@@ -1,0 +1,44 @@
+//! Criterion bench B5: support-counting backends — the prefix-guided DFS
+//! used by the miner versus the classical hash tree of the original
+//! Apriori paper, and the bitmap counter used for GCR measure extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use focus_core::model::count_itemsets;
+use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_mining::{Apriori, AprioriParams, HashTree};
+use std::hint::black_box;
+
+fn bench_counting(c: &mut Criterion) {
+    let gen = AssocGen::new(AssocGenParams::paper(2000, 4.0), 3);
+    let data = gen.generate(5_000, 5);
+    let model = Apriori::new(AprioriParams::with_minsup(0.008).max_len(10)).mine(&data);
+    // Count the frequent pairs (usually the largest level).
+    let pairs: Vec<Vec<u32>> = model
+        .itemsets()
+        .iter()
+        .filter(|s| s.len() == 2)
+        .map(|s| s.items().to_vec())
+        .collect();
+    let mut group = c.benchmark_group("counting");
+    group.bench_with_input(
+        BenchmarkId::new("hash_tree", pairs.len()),
+        &pairs,
+        |b, pairs| {
+            let tree = HashTree::build(pairs, 2);
+            b.iter(|| black_box(tree.count(data.iter())))
+        },
+    );
+    let itemsets: Vec<focus_core::region::Itemset> = pairs
+        .iter()
+        .map(|p| focus_core::region::Itemset::from_slice(p))
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("bitmap_scan", itemsets.len()),
+        &itemsets,
+        |b, sets| b.iter(|| black_box(count_itemsets(&data, sets))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench B4: greatest-common-refinement construction cost —
+//! itemset-family union (lits) and leaf-partition overlay (dt) — the pure
+//! structural work of Definition 3.6, without the dataset scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use focus_core::gcr::{gcr_lits, gcr_partition};
+use focus_data::classify::{ClassifyFn, ClassifyGen};
+use focus_mining::{Apriori, AprioriParams};
+use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_tree::{DecisionTree, TreeParams};
+use std::hint::black_box;
+
+fn bench_gcr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcr");
+
+    // lits: union of two mined itemset families.
+    let g1 = AssocGen::new(AssocGenParams::paper(2000, 4.0), 1);
+    let g2 = AssocGen::new(AssocGenParams::paper(2500, 4.0), 2);
+    let miner = Apriori::new(AprioriParams::with_minsup(0.01).max_len(10));
+    let m1 = miner.mine(&g1.generate(5_000, 3));
+    let m2 = miner.mine(&g2.generate(5_000, 4));
+    group.bench_function(
+        BenchmarkId::new(
+            "lits_union",
+            format!("{}x{}", m1.len(), m2.len()),
+        ),
+        |b| b.iter(|| black_box(gcr_lits(m1.itemsets(), m2.itemsets()))),
+    );
+
+    // dt: overlay of two leaf partitions.
+    for &n in &[2_000usize, 10_000] {
+        let d1 = ClassifyGen::new(ClassifyFn::F2).generate(n, 5);
+        let d2 = ClassifyGen::new(ClassifyFn::F4).generate(n, 6);
+        let p = TreeParams::default().max_depth(10).min_leaf((n / 200).max(5));
+        let t1 = DecisionTree::fit(&d1, p).to_model();
+        let t2 = DecisionTree::fit(&d2, p).to_model();
+        group.bench_with_input(
+            BenchmarkId::new(
+                "dt_overlay",
+                format!("{}x{}_leaves", t1.leaves().len(), t2.leaves().len()),
+            ),
+            &n,
+            |b, _| b.iter(|| black_box(gcr_partition(t1.leaves(), t2.leaves()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcr);
+criterion_main!(benches);

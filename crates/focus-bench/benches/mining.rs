@@ -1,0 +1,31 @@
+//! Criterion bench B2: Apriori throughput versus minimum support on the
+//! paper's association workload — the model-construction cost that the
+//! deviation pipeline (and every bootstrap replicate) pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_mining::{Apriori, AprioriParams};
+use std::hint::black_box;
+
+fn bench_apriori(c: &mut Criterion) {
+    let gen = AssocGen::new(AssocGenParams::paper(2000, 4.0), 7);
+    let data = gen.generate(5_000, 11);
+    let mut group = c.benchmark_group("apriori");
+    for &minsup in &[0.02, 0.01, 0.006] {
+        group.bench_with_input(
+            BenchmarkId::new("mine_5k_txns", format!("minsup_{minsup}")),
+            &minsup,
+            |b, &ms| {
+                b.iter(|| {
+                    black_box(
+                        Apriori::new(AprioriParams::with_minsup(ms).max_len(10)).mine(&data),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apriori);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **Figures 10–12** — dt-models: sample deviation (SD) versus sample
+//! fraction (SF).
+//!
+//! One figure per dataset size — 1M, 0.75M, 0.5M tuples (scaled by
+//! `--scale`) — each with four curves for classification functions F1–F4,
+//! all using `δ(f_a, g_sum)`. Each printed point is the mean SD over
+//! `--samples` draws.
+//!
+//! Expected shape: SD decreases with SF, with diminishing returns past
+//! SF ≈ 0.2–0.3; absolute SD values are an order of magnitude below the
+//! lits curves (the dt structural component is far coarser).
+
+use focus_bench::runner::{dt_sd_sets, SAMPLE_FRACTIONS};
+use focus_bench::{fmt, print_table, ExpConfig};
+use focus_data::classify::{ClassifyFn, ClassifyGen};
+use focus_stats::describe::mean;
+
+fn main() {
+    let cfg = ExpConfig::parse(std::env::args().skip(1));
+    let sizes = [
+        (1_000_000usize, "Figure 10"),
+        (750_000, "Figure 11"),
+        (500_000, "Figure 12"),
+    ];
+    let functions = [
+        ClassifyFn::F1,
+        ClassifyFn::F2,
+        ClassifyFn::F3,
+        ClassifyFn::F4,
+    ];
+
+    for (paper_rows, figure) in sizes {
+        let n = cfg.rows(paper_rows);
+        eprintln!("# {figure}: {n} tuples, mean SD over {} samples", cfg.samples);
+        let mut curves: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+        for f in functions {
+            let data = ClassifyGen::new(f).generate(n, cfg.seed ^ paper_rows as u64);
+            let sets = dt_sd_sets(&data, &SAMPLE_FRACTIONS, cfg.samples, cfg.seed);
+            curves.push((
+                f.name(),
+                sets.iter().map(|(sf, v)| (*sf, mean(v))).collect(),
+            ));
+        }
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (i, &sf) in SAMPLE_FRACTIONS.iter().enumerate() {
+            let mut row = vec![format!("{sf}")];
+            for (_, curve) in &curves {
+                row.push(fmt(curve[i].1));
+            }
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("SF".to_string())
+            .chain(curves.iter().map(|(name, _)| format!("f_a,g_sum:{name}")))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        println!("== {figure}: SD vs SF, {} tuples ==", n);
+        print_table(&header_refs, &rows);
+        println!();
+
+        if cfg.json {
+            for (name, curve) in &curves {
+                for (sf, sd) in curve {
+                    println!(
+                        "{{\"figure\":\"{figure}\",\"function\":\"{name}\",\"sf\":{sf},\"sd\":{sd}}}"
+                    );
+                }
+            }
+        }
+    }
+}

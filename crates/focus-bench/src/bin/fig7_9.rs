@@ -1,0 +1,72 @@
+//! **Figures 7–9** — lits-models: sample deviation (SD) versus sample
+//! fraction (SF).
+//!
+//! One figure per dataset size — 1M, 0.75M, 0.5M transactions (scaled by
+//! `--scale`) — each with three curves for minimum support 1%, 0.8%, 0.6%,
+//! all using `δ(f_a, g_sum)`. Each printed point is the mean SD over
+//! `--samples` draws.
+//!
+//! Expected shape (paper's conclusions): SD falls steeply until SF ≈ 0.3
+//! and flattens after; lower minimum support shifts every curve upward.
+
+use focus_bench::runner::{lits_sd_sets, SAMPLE_FRACTIONS};
+use focus_bench::{fmt, print_table, ExpConfig};
+use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_stats::describe::mean;
+
+fn main() {
+    let cfg = ExpConfig::parse(std::env::args().skip(1));
+    let sizes = [
+        (1_000_000usize, "Figure 7"),
+        (750_000, "Figure 8"),
+        (500_000, "Figure 9"),
+    ];
+    let minsups = [0.01, 0.008, 0.006];
+    let params = AssocGenParams::paper(4000, 4.0);
+    let gen = AssocGen::new(params, cfg.seed);
+
+    for (paper_rows, figure) in sizes {
+        let n = cfg.rows(paper_rows);
+        eprintln!(
+            "# {figure}: {} (scaled to {n}), mean SD over {} samples",
+            params.dataset_name(paper_rows),
+            cfg.samples
+        );
+        let data = gen.generate(n, cfg.seed ^ paper_rows as u64);
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut curves: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();
+        for &ms in &minsups {
+            let sets = lits_sd_sets(&data, ms, &SAMPLE_FRACTIONS, cfg.samples, cfg.seed);
+            let curve: Vec<(f64, f64)> = sets.iter().map(|(sf, v)| (*sf, mean(v))).collect();
+            curves.push((ms, curve));
+        }
+        for (i, &sf) in SAMPLE_FRACTIONS.iter().enumerate() {
+            let mut row = vec![format!("{sf}")];
+            for (_, curve) in &curves {
+                row.push(fmt(curve[i].1));
+            }
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("SF".to_string())
+            .chain(
+                minsups
+                    .iter()
+                    .map(|ms| format!("f_a,g_sum;minSup={ms}")),
+            )
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        println!("== {figure}: SD vs SF, {} ==", params.dataset_name(paper_rows));
+        print_table(&header_refs, &rows);
+        println!();
+
+        if cfg.json {
+            for (ms, curve) in &curves {
+                for (sf, sd) in curve {
+                    println!(
+                        "{{\"figure\":\"{figure}\",\"minsup\":{ms},\"sf\":{sf},\"sd\":{sd}}}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! **Table 1** — lits-models: % significance of the increase in
+//! representativeness when moving from sample fraction `s_i` to `s_{i+1}`.
+//!
+//! Workload: the paper's `1M.20L.1K.4000pats.4patlen` dataset (scaled by
+//! `--scale`), mined at 1% minimum support; `--samples` sample-deviation
+//! values per fraction; Wilcoxon rank-sum between adjacent fractions.
+
+use focus_bench::runner::{adjacent_significance, lits_sd_sets, SAMPLE_FRACTIONS};
+use focus_bench::{fmt_sig, print_table, ExpConfig};
+use focus_data::assoc::{AssocGen, AssocGenParams};
+
+fn main() {
+    let cfg = ExpConfig::parse(std::env::args().skip(1));
+    let params = AssocGenParams::paper(4000, 4.0);
+    let n = cfg.base_rows();
+    eprintln!(
+        "# Table 1: dataset {} (scaled to {n} transactions), minsup 1%, {} samples/fraction",
+        params.dataset_name(1_000_000),
+        cfg.samples
+    );
+    let gen = AssocGen::new(params, cfg.seed);
+    let data = gen.generate(n, cfg.seed.wrapping_add(1));
+
+    // The paper's Table 1 compares s_i against s_{i+1} for SF 0.01 … 0.8.
+    let fractions: Vec<f64> = SAMPLE_FRACTIONS[..10].to_vec();
+    let sets = lits_sd_sets(&data, 0.01, &fractions, cfg.samples, cfg.seed);
+    let sig = adjacent_significance(&sets);
+
+    let headers: Vec<String> = sets.iter().map(|(sf, _)| format!("{sf}")).collect();
+    let header_refs: Vec<&str> = std::iter::once("Sample Fraction")
+        .chain(headers.iter().map(|s| s.as_str()))
+        .collect();
+    let mut row = vec!["Significance".to_string()];
+    for (i, _) in sets.iter().enumerate() {
+        if i < sig.len() {
+            row.push(fmt_sig(sig[i].1));
+        } else {
+            row.push("-".to_string());
+        }
+    }
+    print_table(&header_refs, &[row.clone()]);
+
+    if cfg.json {
+        for (i, (sf, s)) in sig.iter().enumerate() {
+            println!(
+                "{{\"table\":1,\"sf_from\":{sf},\"sf_to\":{},\"significance\":{s}}}",
+                sets[i + 1].0
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! **Table 2** — dt-models: % significance of the decrease in sample
+//! deviation when moving from sample fraction `s_i` to `s_{i+1}`.
+//!
+//! Workload: the paper's `1M.F1` dataset (scaled by `--scale`), CART trees,
+//! `--samples` sample-deviation values per fraction, Wilcoxon rank-sum
+//! between adjacent fractions.
+
+use focus_bench::runner::{adjacent_significance, dt_sd_sets, SAMPLE_FRACTIONS};
+use focus_bench::{fmt_sig, print_table, ExpConfig};
+use focus_data::classify::{ClassifyFn, ClassifyGen};
+
+fn main() {
+    let cfg = ExpConfig::parse(std::env::args().skip(1));
+    let gen = ClassifyGen::new(ClassifyFn::F1);
+    let n = cfg.base_rows();
+    eprintln!(
+        "# Table 2: dataset {} (scaled to {n} tuples), {} samples/fraction",
+        gen.dataset_name(1_000_000),
+        cfg.samples
+    );
+    let data = gen.generate(n, cfg.seed);
+
+    let fractions: Vec<f64> = SAMPLE_FRACTIONS[..10].to_vec();
+    let sets = dt_sd_sets(&data, &fractions, cfg.samples, cfg.seed);
+    let sig = adjacent_significance(&sets);
+
+    let headers: Vec<String> = sets.iter().map(|(sf, _)| format!("{sf}")).collect();
+    let header_refs: Vec<&str> = std::iter::once("Sample Fraction")
+        .chain(headers.iter().map(|s| s.as_str()))
+        .collect();
+    let mut row = vec!["Significance".to_string()];
+    for (i, _) in sets.iter().enumerate() {
+        if i < sig.len() {
+            row.push(fmt_sig(sig[i].1));
+        } else {
+            row.push("-".to_string());
+        }
+    }
+    print_table(&header_refs, &[row.clone()]);
+
+    if cfg.json {
+        for (i, (sf, s)) in sig.iter().enumerate() {
+            println!(
+                "{{\"table\":2,\"sf_from\":{sf},\"sf_to\":{},\"significance\":{s}}}",
+                sets[i + 1].0
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared command-line configuration for the experiment binaries.
+
+/// Common experiment knobs, parsed from `std::env::args`.
+///
+/// * `--scale <f>` — fraction of the paper's dataset sizes (default 0.02:
+///   the paper's 1M-transaction base becomes 20K). The curve *shapes* are
+///   scale-robust; `--full` (= `--scale 1.0`) restores paper scale.
+/// * `--samples <n>` — per-configuration repetitions (paper: 50 sample
+///   deviations per sample fraction; default 15).
+/// * `--reps <n>` — bootstrap replicates for significance (default 19; the
+///   paper's 1%-resolution "%sig" needs 99).
+/// * `--seed <u64>` — master seed (default 42).
+/// * `--json` — additionally emit one JSON object per result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpConfig {
+    /// Fraction of the paper's dataset sizes.
+    pub scale: f64,
+    /// Repetitions per configuration (the paper's 50).
+    pub samples: usize,
+    /// Bootstrap replicates for significance columns.
+    pub reps: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Emit machine-readable JSON lines as well.
+    pub json: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.02,
+            samples: 15,
+            reps: 19,
+            seed: 42,
+            json: false,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Parses the common flags from an iterator of arguments (typically
+    /// `std::env::args().skip(1)`). Unknown flags panic with a usage hint.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => cfg.scale = next_val(&mut it, "--scale"),
+                "--samples" => cfg.samples = next_val(&mut it, "--samples"),
+                "--reps" => cfg.reps = next_val(&mut it, "--reps"),
+                "--seed" => cfg.seed = next_val(&mut it, "--seed"),
+                "--full" => cfg.scale = 1.0,
+                "--json" => cfg.json = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale <f> --samples <n> --reps <n> --seed <u64> --full --json"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?}; try --help"),
+            }
+        }
+        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must be in (0,1]");
+        assert!(cfg.samples >= 2, "need at least 2 samples");
+        cfg
+    }
+
+    /// The paper's 1M-row base size under the current scale.
+    pub fn base_rows(&self) -> usize {
+        (1_000_000.0 * self.scale).round().max(100.0) as usize
+    }
+
+    /// Scales an arbitrary paper-scale row count.
+    pub fn rows(&self, paper_rows: usize) -> usize {
+        ((paper_rows as f64) * self.scale).round().max(50.0) as usize
+    }
+}
+
+fn next_val<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    it.next()
+        .unwrap_or_else(|| panic!("{flag} requires a value"))
+        .parse()
+        .unwrap_or_else(|e| panic!("{flag}: bad value ({e:?})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExpConfig {
+        ExpConfig::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&[]);
+        assert_eq!(c.scale, 0.02);
+        assert_eq!(c.samples, 15);
+        assert_eq!(c.base_rows(), 20_000);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let c = parse(&["--scale", "0.1", "--samples", "50", "--seed", "7", "--json"]);
+        assert_eq!(c.scale, 0.1);
+        assert_eq!(c.samples, 50);
+        assert_eq!(c.seed, 7);
+        assert!(c.json);
+        assert_eq!(c.base_rows(), 100_000);
+    }
+
+    #[test]
+    fn full_flag_restores_paper_scale() {
+        let c = parse(&["--full"]);
+        assert_eq!(c.scale, 1.0);
+        assert_eq!(c.base_rows(), 1_000_000);
+    }
+
+    #[test]
+    fn rows_scales_and_floors() {
+        let c = parse(&["--scale", "0.001"]);
+        assert_eq!(c.rows(1_000_000), 1000);
+        assert_eq!(c.rows(10_000), 50, "floor at 50 rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flag() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,98 @@
+//! # focus-bench — experiment harness for the FOCUS paper
+//!
+//! One binary per table/figure of the paper's evaluation (Sections 6–7),
+//! plus Criterion micro-benchmarks. Every binary prints the same rows or
+//! series the paper reports, at a configurable scale.
+//!
+//! | binary        | reproduces                    |
+//! |---------------|-------------------------------|
+//! | `table1`      | Table 1 — lits sample-size significance (Wilcoxon) |
+//! | `table2`      | Table 2 — dt sample-size significance (Wilcoxon)   |
+//! | `fig7_9`      | Figures 7–9 — lits SD vs SF curves                 |
+//! | `fig10_12`    | Figures 10–12 — dt SD vs SF curves                 |
+//! | `fig13`       | Figure 13 — lits deviations, %sig, δ*, timings     |
+//! | `fig14`       | Figure 14 — dt deviations and %sig                 |
+//! | `fig15`       | Figure 15 — ME vs deviation correlation            |
+//! | `ablation_fg` | all four (f, g) combinations on the Fig. 13 workload |
+//! | `ablation_gcr`| GCR vs coarser refinements (Theorems 4.1/4.3)      |
+//! | `ablation_null`| bootstrap-null width vs dataset scale (A3)        |
+//! | `embed`       | δ* metric embedding via classical MDS (Sec. 4.1.1) |
+//!
+//! All binaries accept `--scale <fraction>` (default 0.02 — 2% of the
+//! paper's 1M-row base, i.e. 20K rows), `--samples <n>` (default 15, paper
+//! 50) and `--seed <u64>`. `--full` restores the paper's scale (takes
+//! hours). Results are printed as aligned text tables and, with `--json`,
+//! as machine-readable JSON lines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub mod config;
+pub mod runner;
+
+pub use config::ExpConfig;
+
+/// Times a closure, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Prints an aligned text table: header row + data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        println!("{s}");
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a float with 4 significant decimals, trimming noise.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a significance percentage the way the paper prints it
+/// (two decimals, e.g. `99.99`).
+pub fn fmt_sig(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt(0.12345678), "0.1235");
+        assert_eq!(fmt_sig(99.99), "99.99");
+    }
+}

@@ -1,0 +1,361 @@
+//! `focus` — command-line interface to the FOCUS change-detection
+//! framework.
+//!
+//! ```text
+//! focus-cli gen-assoc  --out D1.txt --n 10000 [--pats 4000 --patlen 4 --pattern-seed 1 --seed 2]
+//! focus-cli gen-class  --out D1.tbl --n 10000 --function F2 [--seed 1 --noise 0.05]
+//! focus-cli mine       --data D1.txt --minsup 0.01 --out M1.model
+//! focus-cli deviate    --d1 D1.txt --d2 D2.txt --minsup 0.01 [--f fa|fs] [--g sum|max]
+//! focus-cli bound      --m1 M1.model --m2 M2.model
+//! focus-cli qualify    --d1 D1.txt --d2 D2.txt --minsup 0.01 [--reps 99 --seed 7]
+//! focus-cli tree       --data D1.tbl [--max-depth 10 --min-leaf 50] [--render]
+//! focus-cli deviate-dt --d1 D1.tbl --d2 D2.tbl
+//! ```
+//!
+//! All datasets and models use the plain-text formats of
+//! `focus_data::io` / `focus_core::persist`.
+
+use focus_core::bound::lits_upper_bound;
+use focus_core::deviation::{dt_deviation, lits_deviation};
+use focus_core::diff::{AggFn, DiffFn};
+use focus_core::persist::{read_lits_model, write_lits_model};
+use focus_core::qualify::qualify_transactions;
+use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_data::classify::{ClassifyFn, ClassifyGen};
+use focus_data::io::{
+    read_labeled_table, read_transactions, write_labeled_table, write_transactions,
+};
+use focus_mining::{Apriori, AprioriParams};
+use focus_tree::{DecisionTree, TreeParams};
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen-assoc" => gen_assoc(&flags),
+        "gen-class" => gen_class(&flags),
+        "mine" => mine(&flags),
+        "deviate" => deviate(&flags),
+        "bound" => bound(&flags),
+        "qualify" => qualify(&flags),
+        "tree" => tree(&flags),
+        "deviate-dt" => deviate_dt(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+focus-cli — measure changes in data characteristics (FOCUS, PODS 1999)
+
+commands:
+  gen-assoc  --out <file> --n <rows> [--pats N --patlen L --pattern-seed S --seed S]
+  gen-class  --out <file> --n <rows> --function F1..F10 [--seed S --noise P]
+  mine       --data <txns> --minsup <f> [--out <model>]
+  deviate    --d1 <txns> --d2 <txns> --minsup <f> [--f fa|fs] [--g sum|max]
+  bound      --m1 <model> --m2 <model>
+  qualify    --d1 <txns> --d2 <txns> --minsup <f> [--reps N --seed S]
+  tree       --data <table> [--max-depth D --min-leaf N] [--render]
+  deviate-dt --d1 <table> --d2 <table> [--max-depth D --min-leaf N]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found {a:?}"));
+        };
+        // Boolean flags.
+        if name == "render" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn req<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn opt<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+    }
+}
+
+fn io_err(e: std::io::Error) -> String {
+    e.to_string()
+}
+
+fn gen_assoc(flags: &Flags) -> Result<(), String> {
+    let out = req(flags, "out")?;
+    let n: usize = opt(flags, "n", 10_000)?;
+    let pats: usize = opt(flags, "pats", 4000)?;
+    let patlen: f64 = opt(flags, "patlen", 4.0)?;
+    let pattern_seed: u64 = opt(flags, "pattern-seed", 1)?;
+    let seed: u64 = opt(flags, "seed", 2)?;
+    let params = AssocGenParams::paper(pats, patlen);
+    let gen = AssocGen::new(params, pattern_seed);
+    let data = gen.generate(n, seed);
+    write_transactions(&data, File::create(out).map_err(io_err)?).map_err(io_err)?;
+    eprintln!("wrote {} ({} transactions)", out, data.len());
+    Ok(())
+}
+
+fn gen_class(flags: &Flags) -> Result<(), String> {
+    let out = req(flags, "out")?;
+    let n: usize = opt(flags, "n", 10_000)?;
+    let fname = req(flags, "function")?;
+    let function = ClassifyFn::ALL
+        .into_iter()
+        .find(|f| f.name().eq_ignore_ascii_case(fname))
+        .ok_or_else(|| format!("unknown function {fname:?} (use F1..F10)"))?;
+    let seed: u64 = opt(flags, "seed", 1)?;
+    let noise: f64 = opt(flags, "noise", 0.0)?;
+    let data = ClassifyGen::new(function).noise(noise).generate(n, seed);
+    write_labeled_table(&data, File::create(out).map_err(io_err)?).map_err(io_err)?;
+    eprintln!("wrote {} ({} rows, function {})", out, data.len(), function.name());
+    Ok(())
+}
+
+fn miner(minsup: f64) -> Apriori {
+    Apriori::new(
+        AprioriParams::with_minsup(minsup)
+            .max_len(10)
+            .min_count_floor(2),
+    )
+}
+
+fn mine(flags: &Flags) -> Result<(), String> {
+    let path = req(flags, "data")?;
+    let minsup: f64 = opt(flags, "minsup", 0.01)?;
+    let data = read_transactions(File::open(path).map_err(io_err)?).map_err(io_err)?;
+    let model = miner(minsup).mine(&data);
+    eprintln!(
+        "{}: {} frequent itemsets at minsup {}",
+        path,
+        model.len(),
+        minsup
+    );
+    if let Some(out) = flags.get("out") {
+        write_lits_model(&model, File::create(out).map_err(io_err)?).map_err(io_err)?;
+        eprintln!("model written to {out}");
+    } else {
+        for (s, sup) in model.itemsets().iter().zip(model.supports()).take(20) {
+            println!("{s}\t{sup:.4}");
+        }
+        if model.len() > 20 {
+            println!("… ({} more)", model.len() - 20);
+        }
+    }
+    Ok(())
+}
+
+fn diff_fn(flags: &Flags) -> Result<DiffFn, String> {
+    match flags.get("f").map(|s| s.as_str()).unwrap_or("fa") {
+        "fa" => Ok(DiffFn::Absolute),
+        "fs" => Ok(DiffFn::Scaled),
+        other => Err(format!("--f must be fa or fs, got {other:?}")),
+    }
+}
+
+fn agg_fn(flags: &Flags) -> Result<AggFn, String> {
+    match flags.get("g").map(|s| s.as_str()).unwrap_or("sum") {
+        "sum" => Ok(AggFn::Sum),
+        "max" => Ok(AggFn::Max),
+        other => Err(format!("--g must be sum or max, got {other:?}")),
+    }
+}
+
+fn deviate(flags: &Flags) -> Result<(), String> {
+    let minsup: f64 = opt(flags, "minsup", 0.01)?;
+    let d1 = read_transactions(File::open(req(flags, "d1")?).map_err(io_err)?).map_err(io_err)?;
+    let d2 = read_transactions(File::open(req(flags, "d2")?).map_err(io_err)?).map_err(io_err)?;
+    let m = miner(minsup);
+    let m1 = m.mine(&d1);
+    let m2 = m.mine(&d2);
+    let dev = lits_deviation(&m1, &d1, &m2, &d2, diff_fn(flags)?, agg_fn(flags)?);
+    println!("{:.6}", dev.value);
+    eprintln!(
+        "GCR: {} regions; models: {} and {} itemsets",
+        dev.gcr.len(),
+        m1.len(),
+        m2.len()
+    );
+    Ok(())
+}
+
+fn bound(flags: &Flags) -> Result<(), String> {
+    let m1 = read_lits_model(File::open(req(flags, "m1")?).map_err(io_err)?).map_err(io_err)?;
+    let m2 = read_lits_model(File::open(req(flags, "m2")?).map_err(io_err)?).map_err(io_err)?;
+    println!("{:.6}", lits_upper_bound(&m1, &m2, agg_fn(flags)?));
+    Ok(())
+}
+
+fn qualify(flags: &Flags) -> Result<(), String> {
+    let minsup: f64 = opt(flags, "minsup", 0.01)?;
+    let reps: usize = opt(flags, "reps", 99)?;
+    let seed: u64 = opt(flags, "seed", 7)?;
+    let d1 = read_transactions(File::open(req(flags, "d1")?).map_err(io_err)?).map_err(io_err)?;
+    let d2 = read_transactions(File::open(req(flags, "d2")?).map_err(io_err)?).map_err(io_err)?;
+    let m = miner(minsup);
+    let pipeline = |a: &focus_core::data::TransactionSet, b: &focus_core::data::TransactionSet| {
+        let ma = m.mine(a);
+        let mb = m.mine(b);
+        lits_deviation(&ma, a, &mb, b, DiffFn::Absolute, AggFn::Sum).value
+    };
+    let observed = pipeline(&d1, &d2);
+    let q = qualify_transactions(&d1, &d2, observed, reps, seed, pipeline);
+    println!(
+        "deviation {:.6}  significance {:.2}%",
+        observed, q.significance_percent
+    );
+    Ok(())
+}
+
+fn tree_params(flags: &Flags, n: usize) -> Result<TreeParams, String> {
+    Ok(TreeParams::default()
+        .max_depth(opt(flags, "max-depth", 10)?)
+        .min_leaf(opt(flags, "min-leaf", (n / 200).max(5))?))
+}
+
+fn tree(flags: &Flags) -> Result<(), String> {
+    let data =
+        read_labeled_table(File::open(req(flags, "data")?).map_err(io_err)?).map_err(io_err)?;
+    let t = DecisionTree::fit(&data, tree_params(flags, data.len())?);
+    eprintln!(
+        "tree: {} leaves, depth {}, training error {:.4}",
+        t.n_leaves(),
+        t.depth(),
+        t.misclassification_rate(&data)
+    );
+    if flags.contains_key("render") {
+        print!("{}", t.render());
+    }
+    Ok(())
+}
+
+fn deviate_dt(flags: &Flags) -> Result<(), String> {
+    let d1 = read_labeled_table(File::open(req(flags, "d1")?).map_err(io_err)?).map_err(io_err)?;
+    let d2 = read_labeled_table(File::open(req(flags, "d2")?).map_err(io_err)?).map_err(io_err)?;
+    let m1 = DecisionTree::fit(&d1, tree_params(flags, d1.len())?).to_model();
+    let m2 = DecisionTree::fit(&d2, tree_params(flags, d2.len())?).to_model();
+    let dev = dt_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum);
+    println!("{:.6}", dev.value);
+    eprintln!(
+        "GCR: {} cells from {} × {} leaves",
+        dev.cells.len(),
+        m1.leaves().len(),
+        m2.leaves().len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(args: &[&str]) -> Flags {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_flags_pairs_and_booleans() {
+        let f = flags_of(&["--d1", "a.txt", "--render", "--minsup", "0.05"]);
+        assert_eq!(f.get("d1").map(|s| s.as_str()), Some("a.txt"));
+        assert_eq!(f.get("render").map(|s| s.as_str()), Some("true"));
+        assert_eq!(f.get("minsup").map(|s| s.as_str()), Some("0.05"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_positional() {
+        let args = vec!["oops".to_string()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_flags_rejects_dangling_flag() {
+        let args = vec!["--out".to_string()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn required_and_optional_lookup() {
+        let f = flags_of(&["--n", "500"]);
+        assert_eq!(req(&f, "n").unwrap(), "500");
+        assert!(req(&f, "out").is_err());
+        assert_eq!(opt::<usize>(&f, "n", 10).unwrap(), 500);
+        assert_eq!(opt::<usize>(&f, "missing", 10).unwrap(), 10);
+        assert!(opt::<usize>(&flags_of(&["--n", "abc"]), "n", 1).is_err());
+    }
+
+    #[test]
+    fn diff_and_agg_parsing() {
+        assert!(matches!(diff_fn(&flags_of(&[])).unwrap(), DiffFn::Absolute));
+        assert!(matches!(
+            diff_fn(&flags_of(&["--f", "fs"])).unwrap(),
+            DiffFn::Scaled
+        ));
+        assert!(diff_fn(&flags_of(&["--f", "zzz"])).is_err());
+        assert_eq!(agg_fn(&flags_of(&["--g", "max"])).unwrap(), AggFn::Max);
+        assert!(agg_fn(&flags_of(&["--g", "median"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_tempfiles() {
+        let dir = std::env::temp_dir().join("focus-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d1 = dir.join("d1.txt");
+        let m1 = dir.join("m1.model");
+        let mut f = Flags::new();
+        f.insert("out".into(), d1.to_str().unwrap().into());
+        f.insert("n".into(), "500".into());
+        f.insert("pats".into(), "50".into());
+        gen_assoc(&f).unwrap();
+        let mut f = Flags::new();
+        f.insert("data".into(), d1.to_str().unwrap().into());
+        f.insert("minsup".into(), "0.05".into());
+        f.insert("out".into(), m1.to_str().unwrap().into());
+        mine(&f).unwrap();
+        let model = read_lits_model(File::open(&m1).unwrap()).unwrap();
+        assert!(!model.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

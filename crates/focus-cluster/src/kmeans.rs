@@ -1,0 +1,368 @@
+//! Lloyd's k-means with k-means++ seeding, over the numeric attributes of a
+//! table, exporting FOCUS cluster-models.
+
+use focus_core::data::{AttrType, Table, Value};
+use focus_core::model::ClusterModel;
+use focus_core::region::{AttrConstraint, BoxRegion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the k-means clusterer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansParams {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed (k-means++ seeding is randomized).
+    pub seed: u64,
+}
+
+impl KMeansParams {
+    /// Parameters with `k` clusters, 100 iterations, seed 0.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            k,
+            max_iters: 100,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n.max(1);
+        self
+    }
+}
+
+/// The k-means clusterer.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    params: KMeansParams,
+}
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centroids (`k × d`, only numeric attributes).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input row.
+    pub assignment: Vec<usize>,
+    /// Indices of the numeric attributes used.
+    pub numeric_attrs: Vec<usize>,
+    /// Sum of squared distances to assigned centroids (inertia).
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Creates a clusterer with the given parameters.
+    pub fn new(params: KMeansParams) -> Self {
+        Self { params }
+    }
+
+    /// Fits k-means to the numeric attributes of `data`.
+    pub fn fit(&self, data: &Table) -> KMeansResult {
+        assert!(!data.is_empty(), "cannot cluster an empty table");
+        let numeric_attrs: Vec<usize> = (0..data.schema().len())
+            .filter(|&i| matches!(data.schema().attr(i).ty, AttrType::Numeric))
+            .collect();
+        assert!(
+            !numeric_attrs.is_empty(),
+            "k-means requires at least one numeric attribute"
+        );
+        let n = data.len();
+        let k = self.params.k.min(n);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|r| {
+                numeric_attrs
+                    .iter()
+                    .map(|&a| data.row(r)[a].as_num())
+                    .collect()
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut centroids = plus_plus_seed(&points, k, &mut rng);
+        let mut assignment = vec![0usize; n];
+        let mut iterations = 0;
+        for it in 0..self.params.max_iters {
+            iterations = it + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let c = nearest(p, &centroids).0;
+                if assignment[i] != c {
+                    assignment[i] = c;
+                    changed = true;
+                }
+            }
+            if !changed && it > 0 {
+                break;
+            }
+            // Update step.
+            let d = numeric_attrs.len();
+            let mut sums = vec![vec![0.0f64; d]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for s in &mut sums[c] {
+                        *s /= counts[c] as f64;
+                    }
+                    centroids[c] = sums[c].clone();
+                }
+                // Empty clusters keep their old centroid.
+            }
+        }
+        let inertia = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| dist2(p, &centroids[assignment[i]]))
+            .sum();
+        KMeansResult {
+            centroids,
+            assignment,
+            numeric_attrs,
+            inertia,
+            iterations,
+        }
+    }
+}
+
+impl KMeansResult {
+    /// Exports the clustering as a FOCUS [`ClusterModel`]: each cluster
+    /// becomes its axis-aligned bounding box over the numeric attributes
+    /// (half-open on the upper side, nudged so the extreme point is inside),
+    /// measured by the fraction of rows assigned to it.
+    pub fn to_model(&self, data: &Table) -> ClusterModel {
+        let k = self.centroids.len();
+        let d = self.numeric_attrs.len();
+        let mut lo = vec![vec![f64::INFINITY; d]; k];
+        let mut hi = vec![vec![f64::NEG_INFINITY; d]; k];
+        let mut counts = vec![0u64; k];
+        for (r, &c) in self.assignment.iter().enumerate() {
+            counts[c] += 1;
+            for (j, &a) in self.numeric_attrs.iter().enumerate() {
+                let x = data.row(r)[a].as_num();
+                lo[c][j] = lo[c][j].min(x);
+                hi[c][j] = hi[c][j].max(x);
+            }
+        }
+        let mut clusters = Vec::new();
+        let mut measures = Vec::new();
+        let n = data.len().max(1) as f64;
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue; // an empty cluster has no region
+            }
+            let mut region = BoxRegion::full(data.schema());
+            for (j, &a) in self.numeric_attrs.iter().enumerate() {
+                // Half-open interval: nudge the upper bound so the maximal
+                // point is included.
+                let span = (hi[c][j] - lo[c][j]).abs().max(1.0);
+                region.constraints[a] = AttrConstraint::Interval {
+                    lo: lo[c][j],
+                    hi: hi[c][j] + span * 1e-9 + f64::MIN_POSITIVE,
+                };
+            }
+            clusters.push(region);
+            measures.push(counts[c] as f64 / n);
+        }
+        ClusterModel::new(clusters, measures, data.len() as u64)
+    }
+
+    /// Predicts the nearest cluster for a row of the original schema.
+    pub fn predict(&self, row: &[Value]) -> usize {
+        let p: Vec<f64> = self
+            .numeric_attrs
+            .iter()
+            .map(|&a| row[a].as_num())
+            .collect();
+        nearest(&p, &self.centroids).0
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = dist2(p, cent);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones proportional
+/// to squared distance from the nearest chosen centroid.
+fn plus_plus_seed<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids: pick uniformly.
+            points[rng.gen_range(0..points.len())].clone()
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            points[chosen].clone()
+        };
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, &next));
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_core::data::Schema;
+    use std::sync::Arc;
+
+    fn two_blob_table(n_per: usize, gap: f64) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Schema::numeric("x"),
+            Schema::numeric("y"),
+        ]));
+        let mut t = Table::new(schema);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..n_per {
+            t.push_row(&[Value::Num(rng.gen::<f64>()), Value::Num(rng.gen::<f64>())]);
+        }
+        for _ in 0..n_per {
+            t.push_row(&[
+                Value::Num(gap + rng.gen::<f64>()),
+                Value::Num(gap + rng.gen::<f64>()),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blob_table(100, 50.0);
+        let r = KMeans::new(KMeansParams::new(2).seed(1)).fit(&data);
+        // Rows 0..100 are one cluster, 100..200 the other.
+        let first = r.assignment[0];
+        assert!(r.assignment[..100].iter().all(|&a| a == first));
+        assert!(r.assignment[100..].iter().all(|&a| a != first));
+        assert!(r.inertia < 100.0, "inertia = {}", r.inertia);
+    }
+
+    #[test]
+    fn model_boxes_cover_their_points() {
+        let data = two_blob_table(80, 30.0);
+        let r = KMeans::new(KMeansParams::new(2).seed(3)).fit(&data);
+        let model = r.to_model(&data);
+        assert_eq!(model.clusters().len(), 2);
+        // Every row is inside the box of its assigned cluster.
+        for (row_idx, &c) in r.assignment.iter().enumerate() {
+            // Boxes come out in cluster order; map cluster id to box index
+            // (no clusters are empty here).
+            assert!(
+                model.clusters()[c].contains(data.row(row_idx)),
+                "row {row_idx} outside its cluster box"
+            );
+        }
+        // Measures sum to 1 (boxes are exhaustive over assigned points).
+        let total: f64 = model.measures().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_one_is_global_bounding_box() {
+        let data = two_blob_table(50, 10.0);
+        let r = KMeans::new(KMeansParams::new(1)).fit(&data);
+        assert!(r.assignment.iter().all(|&a| a == 0));
+        let model = r.to_model(&data);
+        assert_eq!(model.clusters().len(), 1);
+        assert_eq!(model.measures()[0], 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let mut data = Table::new(schema);
+        data.push_row(&[Value::Num(1.0)]);
+        data.push_row(&[Value::Num(2.0)]);
+        let r = KMeans::new(KMeansParams::new(10)).fit(&data);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = two_blob_table(60, 20.0);
+        let a = KMeans::new(KMeansParams::new(3).seed(9)).fit(&data);
+        let b = KMeans::new(KMeansParams::new(3).seed(9)).fit(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predict_routes_to_nearest() {
+        let data = two_blob_table(50, 100.0);
+        let r = KMeans::new(KMeansParams::new(2).seed(5)).fit(&data);
+        let lo = r.predict(&[Value::Num(0.5), Value::Num(0.5)]);
+        let hi = r.predict(&[Value::Num(100.5), Value::Num(100.5)]);
+        assert_ne!(lo, hi);
+    }
+
+    #[test]
+    fn ignores_categorical_attributes() {
+        let schema = Arc::new(Schema::new(vec![
+            Schema::numeric("x"),
+            Schema::categorical("c", 3),
+        ]));
+        let mut data = Table::new(schema);
+        for i in 0..30 {
+            data.push_row(&[Value::Num(i as f64), Value::Cat((i % 3) as u32)]);
+        }
+        let r = KMeans::new(KMeansParams::new(2)).fit(&data);
+        assert_eq!(r.numeric_attrs, vec![0]);
+        // The model's boxes leave the categorical attribute unconstrained.
+        let model = r.to_model(&data);
+        for b in model.clusters() {
+            match &b.constraints[1] {
+                focus_core::region::AttrConstraint::Cats(m) => {
+                    assert_eq!(m.count(), 3);
+                }
+                _ => panic!("expected categorical constraint"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn rejects_empty_table() {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        KMeans::new(KMeansParams::new(2)).fit(&Table::new(schema));
+    }
+}

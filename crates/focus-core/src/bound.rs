@@ -1,0 +1,192 @@
+//! The upper bound `δ*` for lits-model deviations (Section 4.1.1,
+//! Definition 4.1, Theorem 4.2).
+//!
+//! Computing the exact deviation requires scanning both datasets to obtain
+//! the support, in each dataset, of itemsets frequent only in the other.
+//! `δ*` replaces those unknown supports with the most pessimistic value
+//! consistent with the models — `0` — which:
+//!
+//! 1. upper-bounds `δ(f_a, g)` for `g ∈ {sum, max}` (an unknown support is
+//!    `< ms ≤` the known one, so `|known − 0| ≥ |known − unknown|`);
+//! 2. satisfies the triangle inequality, so `δ*` can embed a collection of
+//!    datasets into a metric space for visual comparison;
+//! 3. needs only the two models — no data scan — making it effectively
+//!    instantaneous in an exploratory loop (the "Time for δ*" column of
+//!    Figure 13).
+
+use crate::diff::AggFn;
+use crate::gcr::gcr_lits;
+use crate::model::LitsModel;
+
+/// The upper bound `δ*(g)(M1, M2)` of Definition 4.1.
+///
+/// For each itemset `X` in the GCR (= union of the structures):
+/// * frequent in both models → `f_a(σ1, σ2)`;
+/// * frequent only in `M1` → `f_a(σ1, 0) = σ1`;
+/// * frequent only in `M2` → `f_a(0, σ2) = σ2`;
+///
+/// aggregated by `g ∈ {sum, max}`.
+pub fn lits_upper_bound(m1: &LitsModel, m2: &LitsModel, g: AggFn) -> f64 {
+    let gcr = gcr_lits(m1.itemsets(), m2.itemsets());
+    g.eval(gcr.iter().map(|x| {
+        match (m1.support_of(x), m2.support_of(x)) {
+            (Some(s1), Some(s2)) => (s1 - s2).abs(),
+            (Some(s1), None) => s1,
+            (None, Some(s2)) => s2,
+            (None, None) => unreachable!("GCR itemset missing from both models"),
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::TransactionSet;
+    use crate::diff::DiffFn;
+    use crate::model::induce_lits_measures;
+    use crate::region::Itemset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(seed: u64, n: usize, skew: f64) -> TransactionSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = TransactionSet::new(8);
+        for _ in 0..n {
+            let mut t = Vec::new();
+            for item in 0..8u32 {
+                let p = 0.15 + skew * (item as f64 / 8.0) * 0.4;
+                if rng.gen::<f64>() < p {
+                    t.push(item);
+                }
+            }
+            ts.push(t);
+        }
+        ts
+    }
+
+    /// Mines the exact frequent itemsets of a tiny dataset by enumeration.
+    fn brute_force_model(data: &TransactionSet, minsup: f64) -> LitsModel {
+        let n_items = data.n_items();
+        let mut frequent: Vec<Itemset> = Vec::new();
+        // Enumerate all non-empty subsets of the 8-item universe.
+        for mask in 1u32..(1 << n_items) {
+            let items: Vec<u32> = (0..n_items).filter(|i| mask & (1 << i) != 0).collect();
+            frequent.push(Itemset::new(items));
+        }
+        let counts = crate::model::count_itemsets(data, &frequent);
+        let n = data.len() as f64;
+        let keep: Vec<(Itemset, f64)> = frequent
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c as f64 / n >= minsup)
+            .map(|(s, c)| (s, c as f64 / n))
+            .collect();
+        let (sets, sups): (Vec<_>, Vec<_>) = keep.into_iter().unzip();
+        LitsModel::new(sets, sups, minsup, data.len() as u64)
+    }
+
+    #[test]
+    fn bound_dominates_true_deviation() {
+        // Theorem 4.2 (1): δ*(g) ≥ δ(f_a, g) on real data, both aggregates.
+        for seed in 0..5u64 {
+            let d1 = random_dataset(seed, 400, 0.0);
+            let d2 = random_dataset(seed + 100, 400, 1.0);
+            let m1 = brute_force_model(&d1, 0.2);
+            let m2 = brute_force_model(&d2, 0.2);
+            for g in [AggFn::Sum, AggFn::Max] {
+                let bound = lits_upper_bound(&m1, &m2, g);
+                let exact = crate::deviation::lits_deviation(
+                    &m1,
+                    &d1,
+                    &m2,
+                    &d2,
+                    DiffFn::Absolute,
+                    g,
+                )
+                .value;
+                assert!(
+                    bound >= exact - 1e-12,
+                    "seed {seed} {g:?}: bound {bound} < exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_exact_for_identical_structures() {
+        // When both models share one structure there are no unknown
+        // supports and δ* = δ(f_a, g).
+        let d1 = random_dataset(1, 300, 0.0);
+        let m1 = brute_force_model(&d1, 0.2);
+        // Re-measure the same structure on a second dataset.
+        let d2 = random_dataset(2, 300, 0.0);
+        let m2 = induce_lits_measures(m1.itemsets().to_vec(), m1.minsup(), &d2);
+        for g in [AggFn::Sum, AggFn::Max] {
+            let bound = lits_upper_bound(&m1, &m2, g);
+            let exact =
+                crate::deviation::lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, g).value;
+            assert!((bound - exact).abs() < 1e-12, "{g:?}: {bound} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn bound_triangle_inequality() {
+        // Theorem 4.2 (2): δ*(g)(A, C) ≤ δ*(g)(A, B) + δ*(g)(B, C).
+        let models: Vec<LitsModel> = (0..4u64)
+            .map(|s| brute_force_model(&random_dataset(s, 300, s as f64 / 3.0), 0.2))
+            .collect();
+        for g in [AggFn::Sum, AggFn::Max] {
+            for a in 0..models.len() {
+                for b in 0..models.len() {
+                    for c in 0..models.len() {
+                        let ab = lits_upper_bound(&models[a], &models[b], g);
+                        let bc = lits_upper_bound(&models[b], &models[c], g);
+                        let ac = lits_upper_bound(&models[a], &models[c], g);
+                        assert!(
+                            ac <= ab + bc + 1e-12,
+                            "{g:?} triangle violated: {ac} > {ab} + {bc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_symmetry_and_identity() {
+        let d1 = random_dataset(7, 300, 0.2);
+        let d2 = random_dataset(8, 300, 0.8);
+        let m1 = brute_force_model(&d1, 0.2);
+        let m2 = brute_force_model(&d2, 0.2);
+        for g in [AggFn::Sum, AggFn::Max] {
+            assert_eq!(
+                lits_upper_bound(&m1, &m2, g),
+                lits_upper_bound(&m2, &m1, g)
+            );
+            assert_eq!(lits_upper_bound(&m1, &m1, g), 0.0);
+        }
+    }
+
+    #[test]
+    fn bound_needs_no_datasets() {
+        // δ* is a pure function of the two models: constructing models with
+        // hand-written supports suffices.
+        let m1 = LitsModel::new(
+            vec![Itemset::from_slice(&[0]), Itemset::from_slice(&[1])],
+            vec![0.5, 0.4],
+            0.3,
+            100,
+        );
+        let m2 = LitsModel::new(
+            vec![Itemset::from_slice(&[0]), Itemset::from_slice(&[2])],
+            vec![0.35, 0.6],
+            0.3,
+            100,
+        );
+        // |0.5−0.35| + 0.4 (only in m1) + 0.6 (only in m2) = 1.15
+        let b = lits_upper_bound(&m1, &m2, AggFn::Sum);
+        assert!((b - 1.15).abs() < 1e-12, "got {b}");
+        let b = lits_upper_bound(&m1, &m2, AggFn::Max);
+        assert!((b - 0.6).abs() < 1e-12, "got {b}");
+    }
+}

@@ -1,0 +1,692 @@
+//! The deviation measure `δ(f,g)` (Definitions 3.5 and 3.6) and its
+//! focussed variant `δρ` (Definition 5.2).
+//!
+//! Computing `δ(f,g)(M1, M2)`:
+//! 1. form the GCR of the two structural components;
+//! 2. extend both models to the GCR — one scan of each dataset to obtain
+//!    the measure of every GCR region w.r.t. that dataset;
+//! 3. apply the difference function `f` per region and the aggregate `g`
+//!    over all regions.
+//!
+//! Focussed deviation first intersects every GCR region with the focussing
+//! region `ρ` and computes the same aggregate over the intersections.
+
+use crate::data::{LabeledTable, TransactionSet};
+use crate::diff::{AggFn, DiffFn};
+use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
+use crate::model::{count_boxes, count_itemsets, ClusterModel, DtModel, LitsModel};
+use crate::region::{BoxRegion, Itemset};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// δ1: identical structural components (Definition 3.5)
+// ---------------------------------------------------------------------------
+
+/// Deviation between two measure components over an *identical* structural
+/// component (Definition 3.5). `counts1`/`counts2` are the absolute measures
+/// of each region w.r.t. datasets of sizes `n1`/`n2`.
+pub fn deviation_fixed(
+    counts1: &[u64],
+    counts2: &[u64],
+    n1: u64,
+    n2: u64,
+    f: DiffFn,
+    g: AggFn,
+) -> f64 {
+    assert_eq!(
+        counts1.len(),
+        counts2.len(),
+        "identical structure required: measure vectors must align"
+    );
+    g.eval(
+        counts1
+            .iter()
+            .zip(counts2)
+            .map(|(&a, &b)| f.eval(a as f64, b as f64, n1 as f64, n2 as f64)),
+    )
+}
+
+/// As [`deviation_fixed`] but over already-normalized selectivities (the
+/// dataset sizes are still passed through to `f` since χ² needs them).
+pub fn deviation_fixed_selectivities(
+    sel1: &[f64],
+    sel2: &[f64],
+    n1: u64,
+    n2: u64,
+    f: DiffFn,
+    g: AggFn,
+) -> f64 {
+    assert_eq!(sel1.len(), sel2.len());
+    g.eval(
+        sel1.iter()
+            .zip(sel2)
+            .map(|(&a, &b)| f.eval(a * n1 as f64, b * n2 as f64, n1 as f64, n2 as f64)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// lits-models
+// ---------------------------------------------------------------------------
+
+/// Full result of a lits-model deviation computation, exposing the GCR and
+/// the per-region differences for exploratory analysis (Section 5).
+#[derive(Debug, Clone)]
+pub struct LitsDeviation {
+    /// The deviation value `δ(f,g)(M1, M2)`.
+    pub value: f64,
+    /// The GCR structural component (union of the two itemset families).
+    pub gcr: Vec<Itemset>,
+    /// Supports of each GCR itemset w.r.t. `D1`.
+    pub supports1: Vec<f64>,
+    /// Supports of each GCR itemset w.r.t. `D2`.
+    pub supports2: Vec<f64>,
+    /// Per-region difference `f(v1, v2, n1, n2)`, parallel to `gcr`.
+    pub per_region: Vec<f64>,
+}
+
+/// Deviation between two lits-models (Definition 3.6, Section 4.1): extends
+/// both to the GCR (union of the itemset families), scanning each dataset
+/// once to obtain missing supports.
+pub fn lits_deviation(
+    m1: &LitsModel,
+    d1: &TransactionSet,
+    m2: &LitsModel,
+    d2: &TransactionSet,
+    f: DiffFn,
+    g: AggFn,
+) -> LitsDeviation {
+    let gcr = gcr_lits(m1.itemsets(), m2.itemsets());
+    lits_deviation_over(&gcr, m1, d1, m2, d2, f, g)
+}
+
+/// Focussed lits-model deviation (Definition 5.2, Section 5.1): only the
+/// GCR itemsets drawn entirely from `universe` (a sorted item list — e.g.
+/// "the shoes department's items") participate.
+pub fn lits_deviation_focussed(
+    m1: &LitsModel,
+    d1: &TransactionSet,
+    m2: &LitsModel,
+    d2: &TransactionSet,
+    universe: &[u32],
+    f: DiffFn,
+    g: AggFn,
+) -> LitsDeviation {
+    debug_assert!(universe.windows(2).all(|w| w[0] < w[1]), "sorted universe");
+    let gcr: Vec<Itemset> = gcr_lits(m1.itemsets(), m2.itemsets())
+        .into_iter()
+        .filter(|s| s.within_universe(universe))
+        .collect();
+    lits_deviation_over(&gcr, m1, d1, m2, d2, f, g)
+}
+
+/// Deviation over an explicit region list (used by both entry points and by
+/// the structural operators of Section 5, which construct their own region
+/// sets).
+pub fn lits_deviation_over(
+    regions: &[Itemset],
+    m1: &LitsModel,
+    d1: &TransactionSet,
+    m2: &LitsModel,
+    d2: &TransactionSet,
+    f: DiffFn,
+    g: AggFn,
+) -> LitsDeviation {
+    let n1 = d1.len() as u64;
+    let n2 = d2.len() as u64;
+    // Reuse supports already present in the models; scan only for the rest.
+    let supports1 = extend_supports(regions, m1, d1);
+    let supports2 = extend_supports(regions, m2, d2);
+    let per_region: Vec<f64> = supports1
+        .iter()
+        .zip(&supports2)
+        .map(|(&s1, &s2)| f.eval(s1 * n1 as f64, s2 * n2 as f64, n1 as f64, n2 as f64))
+        .collect();
+    LitsDeviation {
+        value: g.eval(per_region.iter().copied()),
+        gcr: regions.to_vec(),
+        supports1,
+        supports2,
+        per_region,
+    }
+}
+
+/// The measure-extension step: supports of `regions` w.r.t. `data`, reusing
+/// the supports recorded in `model` where available so only the itemsets
+/// missing from the model's structure trigger counting work.
+fn extend_supports(regions: &[Itemset], model: &LitsModel, data: &TransactionSet) -> Vec<f64> {
+    let mut supports = vec![0.0f64; regions.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, s) in regions.iter().enumerate() {
+        match model.support_of(s) {
+            Some(sup) => supports[i] = sup,
+            None => missing.push(i),
+        }
+    }
+    if !missing.is_empty() {
+        let to_count: Vec<Itemset> = missing.iter().map(|&i| regions[i].clone()).collect();
+        let counts = count_itemsets(data, &to_count);
+        let n = data.len().max(1) as f64;
+        for (slot, &c) in missing.iter().zip(&counts) {
+            supports[*slot] = c as f64 / n;
+        }
+    }
+    supports
+}
+
+// ---------------------------------------------------------------------------
+// dt-models
+// ---------------------------------------------------------------------------
+
+/// Full result of a dt-model deviation computation.
+#[derive(Debug, Clone)]
+pub struct DtDeviation {
+    /// The deviation value `δ(f,g)(M1, M2)`.
+    pub value: f64,
+    /// The GCR cells (overlay of the two leaf partitions), class-free;
+    /// measures are tracked per class below.
+    pub cells: Vec<OverlayCell>,
+    /// Number of classes `k`.
+    pub n_classes: u32,
+    /// Row-major `[cell][class]` selectivities w.r.t. `D1`.
+    pub measures1: Vec<f64>,
+    /// Row-major `[cell][class]` selectivities w.r.t. `D2`.
+    pub measures2: Vec<f64>,
+    /// Row-major `[cell][class]` per-region differences.
+    pub per_region: Vec<f64>,
+}
+
+/// Deviation between two dt-models (Definition 3.6, Section 4.2): overlays
+/// the two leaf partitions into the GCR and scans each dataset once, routing
+/// every row through both partitions to its (unique) GCR cell.
+pub fn dt_deviation(
+    m1: &DtModel,
+    d1: &LabeledTable,
+    m2: &DtModel,
+    d2: &LabeledTable,
+    f: DiffFn,
+    g: AggFn,
+) -> DtDeviation {
+    assert_eq!(m1.n_classes(), m2.n_classes(), "class sets must agree");
+    let cells = gcr_partition(m1.leaves(), m2.leaves());
+    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g)
+}
+
+/// Focussed dt-model deviation (Definition 5.2): every GCR cell is first
+/// intersected with the focussing region `ρ`; cells that miss `ρ` drop out.
+/// If `ρ` carries a class label, only that class's regions participate.
+pub fn dt_deviation_focussed(
+    m1: &DtModel,
+    d1: &LabeledTable,
+    m2: &DtModel,
+    d2: &LabeledTable,
+    focus: &BoxRegion,
+    f: DiffFn,
+    g: AggFn,
+) -> DtDeviation {
+    assert_eq!(m1.n_classes(), m2.n_classes(), "class sets must agree");
+    let cells: Vec<OverlayCell> = gcr_partition(m1.leaves(), m2.leaves())
+        .into_iter()
+        .filter_map(|c| {
+            c.region.intersect(focus).map(|region| OverlayCell {
+                region,
+                left: c.left,
+                right: c.right,
+            })
+        })
+        .collect();
+    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g)
+}
+
+fn dt_deviation_over_cells(
+    cells: Vec<OverlayCell>,
+    m1: &DtModel,
+    d1: &LabeledTable,
+    m2: &DtModel,
+    d2: &LabeledTable,
+    f: DiffFn,
+    g: AggFn,
+) -> DtDeviation {
+    let k = m1.n_classes() as usize;
+    let counts1 = count_cells(&cells, m1, m2, d1);
+    let counts2 = count_cells(&cells, m1, m2, d2);
+    let n1 = d1.len() as f64;
+    let n2 = d2.len() as f64;
+    let mut per_region = vec![0.0f64; cells.len() * k];
+    let mut diffs: Vec<f64> = Vec::with_capacity(cells.len() * k);
+    for (i, cell) in cells.iter().enumerate() {
+        for c in 0..k {
+            // A cell whose region pins a class (a class-focussed ρ)
+            // contributes only that class's region.
+            if let Some(only) = cell.region.class {
+                if only as usize != c {
+                    continue;
+                }
+            }
+            let v1 = counts1[i * k + c] as f64;
+            let v2 = counts2[i * k + c] as f64;
+            let d = f.eval(v1, v2, n1, n2);
+            per_region[i * k + c] = d;
+            diffs.push(d);
+        }
+    }
+    let nmax1 = d1.len().max(1) as f64;
+    let nmax2 = d2.len().max(1) as f64;
+    DtDeviation {
+        value: g.eval(diffs),
+        n_classes: m1.n_classes(),
+        measures1: counts1.iter().map(|&v| v as f64 / nmax1).collect(),
+        measures2: counts2.iter().map(|&v| v as f64 / nmax2).collect(),
+        per_region,
+        cells,
+    }
+}
+
+/// Routes each row of `data` through both original partitions to its GCR
+/// cell and tallies per-class counts. `O(rows · (L1 + L2))` instead of
+/// `O(rows · |GCR|)`.
+fn count_cells(
+    cells: &[OverlayCell],
+    m1: &DtModel,
+    m2: &DtModel,
+    data: &LabeledTable,
+) -> Vec<u64> {
+    let k = m1.n_classes() as usize;
+    let mut by_pair: HashMap<(usize, usize), usize> = HashMap::with_capacity(cells.len());
+    for (idx, c) in cells.iter().enumerate() {
+        by_pair.insert((c.left, c.right), idx);
+    }
+    let mut counts = vec![0u64; cells.len() * k];
+    for (row, label) in data.rows() {
+        let (Some(i), Some(j)) = (m1.locate(row), m2.locate(row)) else {
+            continue;
+        };
+        if let Some(&idx) = by_pair.get(&(i, j)) {
+            // Focussed cells may be smaller than leaf ∩ leaf (they were
+            // intersected with ρ), so re-check geometric membership; for
+            // plain GCR cells this check is trivially true.
+            if cells[idx].region.contains_labeled(row, label) {
+                counts[idx * k + label as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+// ---------------------------------------------------------------------------
+// cluster-models
+// ---------------------------------------------------------------------------
+
+/// Full result of a cluster-model deviation computation.
+#[derive(Debug, Clone)]
+pub struct ClusterDeviation {
+    /// The deviation value.
+    pub value: f64,
+    /// The GCR regions (pairwise intersections + remainders).
+    pub gcr: Vec<BoxRegion>,
+    /// Selectivities of each GCR region w.r.t. `D1`.
+    pub measures1: Vec<f64>,
+    /// Selectivities of each GCR region w.r.t. `D2`.
+    pub measures2: Vec<f64>,
+    /// Per-region differences.
+    pub per_region: Vec<f64>,
+}
+
+/// Deviation between two cluster-models. The GCR is the box overlay with
+/// remainders (see [`gcr_boxes`]); both datasets are scanned once to measure
+/// every GCR region.
+pub fn cluster_deviation(
+    m1: &ClusterModel,
+    d1: &crate::data::Table,
+    m2: &ClusterModel,
+    d2: &crate::data::Table,
+    f: DiffFn,
+    g: AggFn,
+) -> ClusterDeviation {
+    let gcr = gcr_boxes(m1.clusters(), m2.clusters());
+    cluster_deviation_over(&gcr, d1, d2, f, g)
+}
+
+/// Focussed cluster-model deviation: GCR regions intersected with `ρ`.
+pub fn cluster_deviation_focussed(
+    m1: &ClusterModel,
+    d1: &crate::data::Table,
+    m2: &ClusterModel,
+    d2: &crate::data::Table,
+    focus: &BoxRegion,
+    f: DiffFn,
+    g: AggFn,
+) -> ClusterDeviation {
+    let gcr: Vec<BoxRegion> = gcr_boxes(m1.clusters(), m2.clusters())
+        .into_iter()
+        .filter_map(|r| r.intersect(focus))
+        .collect();
+    cluster_deviation_over(&gcr, d1, d2, f, g)
+}
+
+fn cluster_deviation_over(
+    gcr: &[BoxRegion],
+    d1: &crate::data::Table,
+    d2: &crate::data::Table,
+    f: DiffFn,
+    g: AggFn,
+) -> ClusterDeviation {
+    let counts1 = count_boxes(d1, gcr);
+    let counts2 = count_boxes(d2, gcr);
+    let n1 = d1.len() as f64;
+    let n2 = d2.len() as f64;
+    let per_region: Vec<f64> = counts1
+        .iter()
+        .zip(&counts2)
+        .map(|(&a, &b)| f.eval(a as f64, b as f64, n1, n2))
+        .collect();
+    ClusterDeviation {
+        value: g.eval(per_region.iter().copied()),
+        gcr: gcr.to_vec(),
+        measures1: counts1.iter().map(|&v| v as f64 / n1.max(1.0)).collect(),
+        measures2: counts2.iter().map(|&v| v as f64 / n2.max(1.0)).collect(),
+        per_region,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Schema, Value};
+    use crate::model::induce_dt_measures;
+    use crate::region::BoxBuilder;
+    use std::sync::Arc;
+
+    // ---------------- lits ----------------
+
+    /// Builds the paper's Figure 6 scenario as actual transaction datasets.
+    ///
+    /// Supports required (items a=0, b=1, c=2), |D| = 20 each:
+    ///   D1: a:0.5  b:0.4  c:0.1  ab:0.25 bc:0.05
+    ///   D2: a:0.1  b:0.3  c:0.5  ab:0.05 bc:0.2
+    fn figure6_datasets() -> (TransactionSet, TransactionSet) {
+        // Construct D1: 20 transactions.
+        // ab:5, a alone:5, b alone:2(+ab5+bc1=8→0.4), bc:1, c alone:1.
+        let mut d1 = TransactionSet::new(3);
+        for _ in 0..5 {
+            d1.push(vec![0, 1]); // ab (counts a, b, ab)
+        }
+        for _ in 0..5 {
+            d1.push(vec![0]); // a = 10 → 0.5
+        }
+        d1.push(vec![1, 2]); // bc = 1 → 0.05; b = 6+1... wait recompute
+        for _ in 0..2 {
+            d1.push(vec![1]); // b alone
+        }
+        d1.push(vec![2]); // c alone → c = 2 → 0.1
+        // Pad with empty transactions to reach 20.
+        while d1.len() < 20 {
+            d1.push(vec![]);
+        }
+        // Verify: a = 10 (0.5) ✓; b = 5 + 1 + 2 = 8 (0.4) ✓; c = 2 (0.1) ✓;
+        // ab = 5 (0.25) ✓; bc = 1 (0.05) ✓.
+
+        let mut d2 = TransactionSet::new(3);
+        d2.push(vec![0, 1]); // ab = 1 → 0.05; contributes a and b
+        d2.push(vec![0]); // a = 2 → 0.1
+        for _ in 0..4 {
+            d2.push(vec![1, 2]); // bc = 4 → 0.2; b += 4, c += 4
+        }
+        d2.push(vec![1]); // b = 1 + 4 + 1 = 6 → 0.3
+        for _ in 0..6 {
+            d2.push(vec![2]); // c = 4 + 6 = 10 → 0.5
+        }
+        while d2.len() < 20 {
+            d2.push(vec![]);
+        }
+        (d1, d2)
+    }
+
+    fn figure6_models(d1: &TransactionSet, d2: &TransactionSet) -> (LitsModel, LitsModel) {
+        // L1 = {a, b, ab}; L2 = {b, c, bc} (minsup 0.25 on each side).
+        let l1 = crate::model::induce_lits_measures(
+            vec![
+                Itemset::from_slice(&[0]),
+                Itemset::from_slice(&[1]),
+                Itemset::from_slice(&[0, 1]),
+            ],
+            0.25,
+            d1,
+        );
+        let l2 = crate::model::induce_lits_measures(
+            vec![
+                Itemset::from_slice(&[1]),
+                Itemset::from_slice(&[2]),
+                Itemset::from_slice(&[1, 2]),
+            ],
+            0.25,
+            d2,
+        );
+        (l1, l2)
+    }
+
+    #[test]
+    fn paper_figure_6_sum_deviation() {
+        // Section 2.2: δ(f_a, g_sum)(L1, L2)
+        //   = |0.5−0.1| + |0.4−0.3| + |0.1−0.5| + |0.25−0.05| + |0.05−0.2|
+        //   = 0.4 + 0.1 + 0.4 + 0.2 + 0.15 = 1.25.
+        // (The paper prints the total as "1.125", but the five per-region
+        // terms it lists sum to 1.25 — an arithmetic slip in the paper; we
+        // assert the correct sum of its own terms.)
+        let (d1, d2) = figure6_datasets();
+        let (l1, l2) = figure6_models(&d1, &d2);
+        let dev = lits_deviation(&l1, &d1, &l2, &d2, DiffFn::Absolute, AggFn::Sum);
+        assert!((dev.value - 1.25).abs() < 1e-12, "got {}", dev.value);
+        assert_eq!(dev.gcr.len(), 5);
+        // Cross-check the five per-region contributions individually.
+        let mut per: Vec<f64> = dev.per_region.clone();
+        per.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expected = [0.4, 0.1, 0.4, 0.2, 0.15];
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (p, e) in per.iter().zip(expected) {
+            assert!((p - e).abs() < 1e-12, "{p} vs {e}");
+        }
+    }
+
+    #[test]
+    fn paper_figure_6_max_deviation_is_0_4() {
+        // Section 4.1: δ(f_a, g_max)(L1, L2) = 0.4.
+        let (d1, d2) = figure6_datasets();
+        let (l1, l2) = figure6_models(&d1, &d2);
+        let dev = lits_deviation(&l1, &d1, &l2, &d2, DiffFn::Absolute, AggFn::Max);
+        assert!((dev.value - 0.4).abs() < 1e-12, "got {}", dev.value);
+    }
+
+    #[test]
+    fn lits_deviation_identical_models_is_zero() {
+        let (d1, _) = figure6_datasets();
+        let (l1, _) = figure6_models(&d1, &d1);
+        let dev = lits_deviation(&l1, &d1, &l1, &d1, DiffFn::Absolute, AggFn::Sum);
+        assert_eq!(dev.value, 0.0);
+    }
+
+    #[test]
+    fn lits_focussed_restricts_universe() {
+        let (d1, d2) = figure6_datasets();
+        let (l1, l2) = figure6_models(&d1, &d2);
+        // Focus on items {a, b} = {0, 1}: only a, b, ab participate.
+        let dev = lits_deviation_focussed(
+            &l1,
+            &d1,
+            &l2,
+            &d2,
+            &[0, 1],
+            DiffFn::Absolute,
+            AggFn::Sum,
+        );
+        // |0.5−0.1| + |0.4−0.3| + |0.25−0.05| = 0.7
+        assert!((dev.value - 0.7).abs() < 1e-12, "got {}", dev.value);
+        assert_eq!(dev.gcr.len(), 3);
+    }
+
+    #[test]
+    fn deviation_fixed_matches_manual() {
+        let v = deviation_fixed(&[5, 0], &[1, 2], 10, 10, DiffFn::Absolute, AggFn::Sum);
+        assert!((v - (0.4 + 0.2)).abs() < 1e-12);
+        let m = deviation_fixed(&[5, 0], &[1, 2], 10, 10, DiffFn::Absolute, AggFn::Max);
+        assert!((m - 0.4).abs() < 1e-12);
+    }
+
+    // ---------------- dt ----------------
+
+    /// Two one-attribute datasets and trees mirroring the paper's Figure 5
+    /// structure (different split points ⇒ non-trivial overlay).
+    fn dt_fixture() -> (Arc<Schema>, LabeledTable, LabeledTable, DtModel, DtModel) {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("age")]));
+        let mut d1 = LabeledTable::new(Arc::clone(&schema), 2);
+        let mut d2 = LabeledTable::new(Arc::clone(&schema), 2);
+        // D1: ages 0..100; class = age < 30.
+        for i in 0..100 {
+            let age = i as f64;
+            d1.push_row(&[Value::Num(age)], u32::from(age < 30.0));
+        }
+        // D2: class boundary at 50 instead.
+        for i in 0..100 {
+            let age = i as f64;
+            d2.push_row(&[Value::Num(age)], u32::from(age < 50.0));
+        }
+        let t1 = induce_dt_measures(
+            vec![
+                BoxBuilder::new(&schema).lt("age", 30.0).build(),
+                BoxBuilder::new(&schema).ge("age", 30.0).build(),
+            ],
+            &d1,
+        );
+        let t2 = induce_dt_measures(
+            vec![
+                BoxBuilder::new(&schema).lt("age", 50.0).build(),
+                BoxBuilder::new(&schema).ge("age", 50.0).build(),
+            ],
+            &d2,
+        );
+        (schema, d1, d2, t1, t2)
+    }
+
+    #[test]
+    fn dt_deviation_overlay_and_value() {
+        let (_s, d1, d2, t1, t2) = dt_fixture();
+        let dev = dt_deviation(&t1, &d1, &t2, &d2, DiffFn::Absolute, AggFn::Sum);
+        // Overlay cells: [<30), [30,50), [≥50) — 3 cells.
+        assert_eq!(dev.cells.len(), 3);
+        // Manual: cell [0,30): D1 class1 sel = .30, class0 0; D2 class1 .30.
+        //   diffs: |0.30−0.30| + |0−0| = 0
+        // cell [30,50): D1 class0 .20; D2 class1 .20 → |0−.20| + |.20−0| = .4
+        // cell [50,∞): both class0 .50 → 0. Total = 0.4.
+        assert!((dev.value - 0.4).abs() < 1e-12, "got {}", dev.value);
+    }
+
+    #[test]
+    fn dt_deviation_identical_is_zero() {
+        let (_s, d1, _d2, t1, _t2) = dt_fixture();
+        let dev = dt_deviation(&t1, &d1, &t1, &d1, DiffFn::Absolute, AggFn::Sum);
+        assert_eq!(dev.value, 0.0);
+    }
+
+    #[test]
+    fn dt_deviation_focussed_on_region() {
+        let (s, d1, d2, t1, t2) = dt_fixture();
+        // Focus on age < 30: that slice agrees in both datasets → 0.
+        let focus = BoxBuilder::new(&s).lt("age", 30.0).build();
+        let dev = dt_deviation_focussed(&t1, &d1, &t2, &d2, &focus, DiffFn::Absolute, AggFn::Sum);
+        assert_eq!(dev.value, 0.0);
+        // Focus on the disputed band [30, 50): full disagreement 0.4.
+        let focus = BoxBuilder::new(&s).range("age", 30.0, 50.0).build();
+        let dev = dt_deviation_focussed(&t1, &d1, &t2, &d2, &focus, DiffFn::Absolute, AggFn::Sum);
+        assert!((dev.value - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dt_focussed_monotonicity_for_fa() {
+        // Section 5 remark: for f_a and g ∈ {sum, max}, ρ ⊆ ρ′ implies
+        // δρ ≤ δρ′.
+        let (s, d1, d2, t1, t2) = dt_fixture();
+        let small = BoxBuilder::new(&s).range("age", 35.0, 45.0).build();
+        let large = BoxBuilder::new(&s).range("age", 20.0, 60.0).build();
+        for g in [AggFn::Sum, AggFn::Max] {
+            let ds = dt_deviation_focussed(&t1, &d1, &t2, &d2, &small, DiffFn::Absolute, g);
+            let dl = dt_deviation_focussed(&t1, &d1, &t2, &d2, &large, DiffFn::Absolute, g);
+            assert!(ds.value <= dl.value + 1e-12, "{:?}", g);
+        }
+    }
+
+    #[test]
+    fn dt_deviation_chi_squared_zero_when_identical() {
+        let (_s, d1, _d2, t1, _t2) = dt_fixture();
+        let dev = dt_deviation(
+            &t1,
+            &d1,
+            &t1,
+            &d1,
+            DiffFn::ChiSquared { c: 0.5 },
+            AggFn::Sum,
+        );
+        // Identical structure & data: every populated cell contributes 0,
+        // but empty-expected cells contribute c each. With a perfect split
+        // there are two zero-expectation regions (class 0 in the <30 leaf,
+        // class 1 in the ≥30 leaf): value = 2c = 1.0.
+        assert!((dev.value - 1.0).abs() < 1e-12, "got {}", dev.value);
+    }
+
+    // ---------------- cluster ----------------
+
+    #[test]
+    fn cluster_deviation_basics() {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let mut d1 = crate::data::Table::new(Arc::clone(&schema));
+        let mut d2 = crate::data::Table::new(Arc::clone(&schema));
+        for i in 0..10 {
+            d1.push_row(&[Value::Num(i as f64)]); // clustered low
+            d2.push_row(&[Value::Num(i as f64 + 5.0)]); // shifted by 5
+        }
+        let c1 = ClusterModel::new(
+            vec![BoxBuilder::new(&schema).range("x", 0.0, 10.0).build()],
+            vec![1.0],
+            10,
+        );
+        let c2 = ClusterModel::new(
+            vec![BoxBuilder::new(&schema).range("x", 5.0, 15.0).build()],
+            vec![1.0],
+            10,
+        );
+        let dev = cluster_deviation(&c1, &d1, &c2, &d2, DiffFn::Absolute, AggFn::Sum);
+        // GCR: [5,10) ∩, [0,5) rem of c1, [10,15) rem of c2.
+        // sel1: [5,10)=0.5, [0,5)=0.5, [10,15)=0.0
+        // sel2: [5,10)=0.5, [0,5)=0.0, [10,15)=0.5
+        // δ = 0 + 0.5 + 0.5 = 1.0.
+        assert_eq!(dev.gcr.len(), 3);
+        assert!((dev.value - 1.0).abs() < 1e-12, "got {}", dev.value);
+        // Identical models/datasets deviate by zero.
+        let same = cluster_deviation(&c1, &d1, &c1, &d1, DiffFn::Absolute, AggFn::Sum);
+        assert_eq!(same.value, 0.0);
+    }
+
+    #[test]
+    fn cluster_deviation_focus_restricts() {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let mut d1 = crate::data::Table::new(Arc::clone(&schema));
+        let mut d2 = crate::data::Table::new(Arc::clone(&schema));
+        for i in 0..10 {
+            d1.push_row(&[Value::Num(i as f64)]);
+            d2.push_row(&[Value::Num(i as f64 + 5.0)]);
+        }
+        let c1 = ClusterModel::new(
+            vec![BoxBuilder::new(&schema).range("x", 0.0, 10.0).build()],
+            vec![1.0],
+            10,
+        );
+        let c2 = ClusterModel::new(
+            vec![BoxBuilder::new(&schema).range("x", 5.0, 15.0).build()],
+            vec![1.0],
+            10,
+        );
+        // Focus on [5, 10): the shared region where both agree (0.5 vs 0.5).
+        let focus = BoxBuilder::new(&schema).range("x", 5.0, 10.0).build();
+        let dev =
+            cluster_deviation_focussed(&c1, &d1, &c2, &d2, &focus, DiffFn::Absolute, AggFn::Sum);
+        assert_eq!(dev.value, 0.0);
+    }
+}

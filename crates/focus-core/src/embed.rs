@@ -1,0 +1,276 @@
+//! Metric embedding of dataset collections (Section 4.1.1).
+//!
+//! Theorem 4.2 shows that the upper bound δ* satisfies the triangle
+//! inequality, so "δ* can be used to embed a collection of datasets in a
+//! k-dimensional space for visually comparing their relative differences."
+//! This module makes that concrete with **classical multidimensional
+//! scaling** (Torgerson MDS): double-center the squared-distance matrix and
+//! take the top-`k` eigenpairs (by power iteration with deflation — no
+//! linear-algebra dependency needed at these sizes).
+#![allow(clippy::needless_range_loop)] // index loops are the clearest form for dense matrix code
+
+use crate::bound::lits_upper_bound;
+use crate::diff::AggFn;
+use crate::model::LitsModel;
+
+/// A symmetric distance matrix (row-major, `n × n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds from a symmetric closure `dist(i, j)`; the diagonal is zero.
+    pub fn from_fn(n: usize, mut dist: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = dist(i, j);
+                assert!(v >= 0.0, "distances must be non-negative");
+                d[i * n + j] = v;
+                d[j * n + i] = v;
+            }
+        }
+        Self { n, d }
+    }
+
+    /// Pairwise δ*(g_sum) distances between a collection of lits-models —
+    /// computable from the models alone, no dataset scans (Theorem 4.2 (3)).
+    pub fn from_lits_models(models: &[LitsModel]) -> Self {
+        Self::from_fn(models.len(), |i, j| {
+            lits_upper_bound(&models[i], &models[j], AggFn::Sum)
+        })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between points `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+
+    /// Classical MDS embedding into `k` dimensions. Returns `n` coordinate
+    /// vectors of length `k`. Negative eigenvalues (non-Euclidean parts of
+    /// the metric) are dropped, as is standard.
+    pub fn embed(&self, k: usize) -> Vec<Vec<f64>> {
+        let n = self.n;
+        assert!(k >= 1);
+        if n == 0 {
+            return Vec::new();
+        }
+        // B = -1/2 · J D² J with J = I - 1/n · 11ᵀ (double centering).
+        let mut b = vec![0.0f64; n * n];
+        let d2 = |i: usize, j: usize| self.get(i, j) * self.get(i, j);
+        let mut row_mean = vec![0.0f64; n];
+        let mut grand = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                row_mean[i] += d2(i, j);
+            }
+            row_mean[i] /= n as f64;
+            grand += row_mean[i];
+        }
+        grand /= n as f64;
+        for i in 0..n {
+            for j in 0..n {
+                b[i * n + j] = -0.5 * (d2(i, j) - row_mean[i] - row_mean[j] + grand);
+            }
+        }
+
+        // Top-k eigenpairs by power iteration with deflation.
+        let mut coords = vec![vec![0.0f64; k]; n];
+        let mut matrix = b;
+        for dim in 0..k.min(n) {
+            let Some((lambda, v)) = power_iteration(&matrix, n, 500, 1e-12) else {
+                break;
+            };
+            if lambda <= 1e-10 {
+                break; // remaining spectrum is non-positive
+            }
+            let scale = lambda.sqrt();
+            for i in 0..n {
+                coords[i][dim] = v[i] * scale;
+            }
+            // Deflate: M ← M − λ v vᵀ.
+            for i in 0..n {
+                for j in 0..n {
+                    matrix[i * n + j] -= lambda * v[i] * v[j];
+                }
+            }
+        }
+        coords
+    }
+
+    /// The *stress* of an embedding: the RMS relative error between the
+    /// original distances and the embedded Euclidean distances, over all
+    /// pairs with positive original distance. 0 = perfect.
+    pub fn stress(&self, coords: &[Vec<f64>]) -> f64 {
+        let n = self.n;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let orig = self.get(i, j);
+                let emb: f64 = coords[i]
+                    .iter()
+                    .zip(&coords[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                num += (orig - emb) * (orig - emb);
+                den += orig * orig;
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            (num / den).sqrt()
+        }
+    }
+}
+
+/// Dominant eigenpair of a symmetric matrix by power iteration. Returns
+/// `(eigenvalue, unit eigenvector)`; `None` on breakdown (zero matrix).
+fn power_iteration(m: &[f64], n: usize, iters: usize, tol: f64) -> Option<(f64, Vec<f64>)> {
+    // Deterministic non-degenerate start.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.1).collect();
+    normalize(&mut v)?;
+    let mut lambda = 0.0;
+    for _ in 0..iters {
+        let mut w = vec![0.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                w[i] += m[i * n + j] * v[j];
+            }
+        }
+        let new_lambda: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+        normalize(&mut w)?;
+        let delta: f64 = v
+            .iter()
+            .zip(&w)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        v = w;
+        let conv = (new_lambda - lambda).abs() < tol * (1.0 + new_lambda.abs());
+        lambda = new_lambda;
+        if conv && delta < 1e-9 {
+            break;
+        }
+    }
+    Some((lambda, v))
+}
+
+fn normalize(v: &mut [f64]) -> Option<()> {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm == 0.0 || !norm.is_finite() {
+        return None;
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Itemset;
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn embeds_a_line_exactly() {
+        // Points at 0, 1, 3 on a line: 1-D MDS must recover the spacing.
+        let pts = [0.0f64, 1.0, 3.0];
+        let d = DistanceMatrix::from_fn(3, |i, j| (pts[i] - pts[j]).abs());
+        let coords = d.embed(1);
+        for i in 0..3 {
+            for j in 0..3 {
+                let emb = (coords[i][0] - coords[j][0]).abs();
+                assert!(
+                    (emb - d.get(i, j)).abs() < 1e-6,
+                    "pair ({i},{j}): {emb} vs {}",
+                    d.get(i, j)
+                );
+            }
+        }
+        assert!(d.stress(&coords) < 1e-6);
+    }
+
+    #[test]
+    fn embeds_a_square_in_2d() {
+        // Unit square corners: 2-D embedding must be (near) exact, 1-D not.
+        let pts = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)];
+        let d = DistanceMatrix::from_fn(4, |i, j| {
+            euclid(&[pts[i].0, pts[i].1], &[pts[j].0, pts[j].1])
+        });
+        let flat = d.embed(1);
+        let plane = d.embed(2);
+        assert!(d.stress(&plane) < 1e-6, "2-D stress {}", d.stress(&plane));
+        assert!(d.stress(&flat) > 0.1, "1-D must be lossy for a square");
+    }
+
+    #[test]
+    fn diagonal_is_zero_and_symmetric() {
+        let d = DistanceMatrix::from_fn(4, |i, j| (i as f64 - j as f64).abs());
+        for i in 0..4 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn lits_model_collection_embedding() {
+        // Three hand-built models: two near-identical, one far away. The
+        // embedding must place the similar pair close together.
+        let mk = |sups: &[(u32, f64)]| {
+            let (sets, vals): (Vec<Itemset>, Vec<f64>) = sups
+                .iter()
+                .map(|&(i, s)| (Itemset::new(vec![i]), s))
+                .unzip();
+            LitsModel::new(sets, vals, 0.1, 1000)
+        };
+        let a = mk(&[(0, 0.5), (1, 0.4)]);
+        let b = mk(&[(0, 0.52), (1, 0.38)]);
+        let c = mk(&[(5, 0.9), (6, 0.8)]);
+        let d = DistanceMatrix::from_lits_models(&[a, b, c]);
+        let coords = d.embed(2);
+        let ab = euclid(&coords[0], &coords[1]);
+        let ac = euclid(&coords[0], &coords[2]);
+        assert!(ab < ac, "similar models must embed closer: {ab} vs {ac}");
+        // Embedded distances approximate the δ* metric.
+        assert!(d.stress(&coords) < 0.2, "stress {}", d.stress(&coords));
+    }
+
+    #[test]
+    fn zero_matrix_embeds_at_origin() {
+        let d = DistanceMatrix::from_fn(3, |_, _| 0.0);
+        let coords = d.embed(2);
+        for c in coords {
+            assert!(c.iter().all(|&x| x.abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_distances() {
+        DistanceMatrix::from_fn(2, |_, _| -1.0);
+    }
+}

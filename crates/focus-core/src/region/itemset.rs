@@ -1,0 +1,227 @@
+//! Itemset regions for lits-models.
+//!
+//! A frequent itemset `X ⊆ I` identifies the region of the transaction space
+//! where every item of `X` is present; its measure is the support of `X`
+//! (Section 2.2). Itemsets are stored as sorted, deduplicated item-id
+//! vectors, which makes subset tests and the canonical ordering used by the
+//! GCR cheap.
+
+use std::fmt;
+
+/// A sorted, deduplicated itemset over item codes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Itemset(Vec<u32>);
+
+impl Itemset {
+    /// Builds an itemset; the input is sorted and deduplicated.
+    pub fn new(mut items: Vec<u32>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self(items)
+    }
+
+    /// Builds from a slice.
+    pub fn from_slice(items: &[u32]) -> Self {
+        Self::new(items.to_vec())
+    }
+
+    /// The items, ascending.
+    pub fn items(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty itemset.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True if `item` is a member.
+    pub fn contains(&self, item: u32) -> bool {
+        self.0.binary_search(&item).is_ok()
+    }
+
+    /// Subset test against a *sorted* slice (e.g. a transaction): true if
+    /// every item of `self` occurs in `sorted`. Two-pointer scan, `O(n+m)`.
+    pub fn is_subset_of_sorted(&self, sorted: &[u32]) -> bool {
+        let mut j = 0;
+        'outer: for &x in &self.0 {
+            while j < sorted.len() {
+                match sorted[j].cmp(&x) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Subset test against a bitmap of item membership (words of 64 items).
+    pub fn is_subset_of_bitmap(&self, words: &[u64]) -> bool {
+        self.0
+            .iter()
+            .all(|&it| words[(it / 64) as usize] & (1 << (it % 64)) != 0)
+    }
+
+    /// True if all of this itemset's items are drawn from `universe`
+    /// (a sorted slice). Used by the focussing operator of Section 5.1,
+    /// which restricts attention to itemsets over a department's items.
+    pub fn within_universe(&self, universe: &[u32]) -> bool {
+        self.is_subset_of_sorted(universe)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Itemset::new(v)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Itemset) -> Itemset {
+        let mut v = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    v.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Itemset(v)
+    }
+
+    /// All subsets of size `len − 1` (used by the Apriori prune step).
+    pub fn proper_subsets(&self) -> Vec<Itemset> {
+        (0..self.0.len())
+            .map(|skip| {
+                Itemset(
+                    self.0
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, &x)| x)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<u32> for Itemset {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Itemset::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = Itemset::new(vec![5, 1, 3, 1]);
+        assert_eq!(s.items(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn subset_of_sorted() {
+        let s = Itemset::from_slice(&[2, 5]);
+        assert!(s.is_subset_of_sorted(&[1, 2, 3, 5, 8]));
+        assert!(!s.is_subset_of_sorted(&[1, 2, 3]));
+        assert!(!s.is_subset_of_sorted(&[]));
+        assert!(Itemset::new(vec![]).is_subset_of_sorted(&[]));
+    }
+
+    #[test]
+    fn subset_of_bitmap() {
+        let mut words = vec![0u64; 2];
+        for &i in &[2u32, 65] {
+            words[(i / 64) as usize] |= 1 << (i % 64);
+        }
+        assert!(Itemset::from_slice(&[2, 65]).is_subset_of_bitmap(&words));
+        assert!(!Itemset::from_slice(&[2, 64]).is_subset_of_bitmap(&words));
+    }
+
+    #[test]
+    fn union_intersection() {
+        let a = Itemset::from_slice(&[1, 2, 3]);
+        let b = Itemset::from_slice(&[3, 4]);
+        assert_eq!(a.union(&b).items(), &[1, 2, 3, 4]);
+        assert_eq!(a.intersection(&b).items(), &[3]);
+        assert!(a
+            .intersection(&Itemset::from_slice(&[9]))
+            .is_empty());
+    }
+
+    #[test]
+    fn proper_subsets_of_triple() {
+        let s = Itemset::from_slice(&[1, 2, 3]);
+        let subs = s.proper_subsets();
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains(&Itemset::from_slice(&[2, 3])));
+        assert!(subs.contains(&Itemset::from_slice(&[1, 3])));
+        assert!(subs.contains(&Itemset::from_slice(&[1, 2])));
+    }
+
+    #[test]
+    fn within_universe_matches_section_5_semantics() {
+        // Department I1 sells items {0,1,2}; itemset {0,2} is within it,
+        // itemset {2,3} is not.
+        let universe = [0u32, 1, 2];
+        assert!(Itemset::from_slice(&[0, 2]).within_universe(&universe));
+        assert!(!Itemset::from_slice(&[2, 3]).within_universe(&universe));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Itemset::from_slice(&[3, 1]).to_string(), "{1,3}");
+        assert_eq!(Itemset::new(vec![]).to_string(), "{}");
+    }
+
+    #[test]
+    fn ordering_is_canonical() {
+        let mut v = vec![
+            Itemset::from_slice(&[2]),
+            Itemset::from_slice(&[1, 2]),
+            Itemset::from_slice(&[1]),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Itemset::from_slice(&[1]),
+                Itemset::from_slice(&[1, 2]),
+                Itemset::from_slice(&[2]),
+            ]
+        );
+    }
+}

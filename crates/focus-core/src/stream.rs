@@ -1,0 +1,269 @@
+//! Windowed change monitoring — the paper's motivating application
+//! (Section 1: "a sales analyst monitoring a dataset may want to analyze
+//! the data thoroughly only if the current snapshot differs significantly
+//! from previously analyzed snapshots"), packaged as a reusable component.
+//!
+//! A [`ChangeMonitor`] holds a *reference* dataset and its model-induction
+//! pipeline (any `Fn(dataset) → deviation`-style closure pair). Each
+//! incoming block is scored with the FOCUS deviation against the
+//! reference; the alarm threshold is calibrated once by bootstrapping the
+//! null distribution (Section 3.4), so the monitor raises only on
+//! statistically significant drift. On alarm, the monitor can re-baseline
+//! to the new block (`rebaseline = true`), tracking slow concept drift.
+
+use crate::data::{resample_indices, TransactionSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Verdict for one monitored block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockVerdict {
+    /// Sequence number of the block (0-based).
+    pub index: usize,
+    /// The deviation of the block from the current reference.
+    pub deviation: f64,
+    /// Calibrated alarm threshold in force when the block was scored.
+    pub threshold: f64,
+    /// True if the deviation exceeded the threshold.
+    pub drifted: bool,
+}
+
+/// A calibrated drift monitor over transaction blocks.
+///
+/// Generic over the deviation pipeline `F: Fn(&TransactionSet,
+/// &TransactionSet) -> f64` — typically "mine both, compute
+/// `δ(f_a, g_sum)`".
+pub struct ChangeMonitor<F>
+where
+    F: FnMut(&TransactionSet, &TransactionSet) -> f64,
+{
+    reference: TransactionSet,
+    pipeline: F,
+    /// Alarm quantile in the bootstrap null (e.g. 0.99).
+    quantile: f64,
+    /// Bootstrap replicates for calibration.
+    reps: usize,
+    /// Expected block size (calibration resamples this many transactions).
+    block_size: usize,
+    seed: u64,
+    threshold: f64,
+    /// Re-baseline to the offending block after an alarm.
+    rebaseline: bool,
+    history: Vec<BlockVerdict>,
+}
+
+impl<F> ChangeMonitor<F>
+where
+    F: FnMut(&TransactionSet, &TransactionSet) -> f64,
+{
+    /// Creates and calibrates a monitor.
+    ///
+    /// * `reference` — the baseline snapshot;
+    /// * `block_size` — expected size of each monitored block;
+    /// * `quantile` — null quantile for the alarm (0.99 ⇒ 1% false-alarm
+    ///   rate by construction);
+    /// * `reps` — bootstrap replicates for the calibration;
+    /// * `pipeline` — the model-induction + deviation closure.
+    pub fn new(
+        reference: TransactionSet,
+        block_size: usize,
+        quantile: f64,
+        reps: usize,
+        seed: u64,
+        mut pipeline: F,
+    ) -> Self {
+        assert!(!reference.is_empty(), "reference must be non-empty");
+        assert!((0.5..1.0).contains(&quantile), "quantile must be in [0.5, 1)");
+        assert!(reps >= 10, "need at least 10 replicates to calibrate");
+        assert!(block_size > 0);
+        let threshold =
+            calibrate(&reference, block_size, quantile, reps, seed, &mut pipeline);
+        Self {
+            reference,
+            pipeline,
+            quantile,
+            reps,
+            block_size,
+            seed,
+            threshold,
+            rebaseline: false,
+            history: Vec::new(),
+        }
+    }
+
+    /// Enables re-baselining: after an alarm the offending block becomes
+    /// the new reference and the threshold is recalibrated.
+    pub fn with_rebaseline(mut self) -> Self {
+        self.rebaseline = true;
+        self
+    }
+
+    /// The current alarm threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The verdicts so far.
+    pub fn history(&self) -> &[BlockVerdict] {
+        &self.history
+    }
+
+    /// Scores one block; returns its verdict (also recorded in history).
+    pub fn observe(&mut self, block: &TransactionSet) -> BlockVerdict {
+        let deviation = (self.pipeline)(&self.reference, block);
+        let drifted = deviation > self.threshold;
+        let verdict = BlockVerdict {
+            index: self.history.len(),
+            deviation,
+            threshold: self.threshold,
+            drifted,
+        };
+        self.history.push(verdict.clone());
+        if drifted && self.rebaseline {
+            self.reference = block.clone();
+            self.threshold = calibrate(
+                &self.reference,
+                self.block_size,
+                self.quantile,
+                self.reps,
+                self.seed ^ self.history.len() as u64,
+                &mut self.pipeline,
+            );
+        }
+        verdict
+    }
+}
+
+/// Bootstraps the null distribution "reference vs same-process block" and
+/// returns its `quantile` as the alarm threshold.
+fn calibrate<F>(
+    reference: &TransactionSet,
+    block_size: usize,
+    quantile: f64,
+    reps: usize,
+    seed: u64,
+    pipeline: &mut F,
+) -> f64
+where
+    F: FnMut(&TransactionSet, &TransactionSet) -> f64,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut null: Vec<f64> = (0..reps)
+        .map(|_| {
+            let idx = resample_indices(reference.len(), block_size, &mut rng);
+            let pseudo = reference.subset(&idx);
+            pipeline(reference, &pseudo)
+        })
+        .collect();
+    null.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation"));
+    let pos = ((quantile * null.len() as f64).ceil() as usize)
+        .clamp(1, null.len())
+        - 1;
+    null[pos]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Item-frequency deviation: a cheap stand-in for the full mining
+    /// pipeline in tests.
+    fn freq_deviation(a: &TransactionSet, b: &TransactionSet) -> f64 {
+        let hist = |d: &TransactionSet| {
+            let mut h = vec![0.0f64; d.n_items() as usize];
+            for t in d.iter() {
+                for &i in t {
+                    h[i as usize] += 1.0;
+                }
+            }
+            let n = d.len().max(1) as f64;
+            h.iter_mut().for_each(|x| *x /= n);
+            h
+        };
+        let ha = hist(a);
+        let hb = hist(b);
+        ha.iter().zip(&hb).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn block(seed: u64, n: usize, p0: f64) -> TransactionSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = TransactionSet::new(6);
+        for _ in 0..n {
+            let mut t = Vec::new();
+            if rng.gen::<f64>() < p0 {
+                t.push(0);
+            }
+            if rng.gen::<f64>() < 0.4 {
+                t.push(1);
+            }
+            if rng.gen::<f64>() < 0.2 {
+                t.push(2);
+            }
+            ts.push(t);
+        }
+        ts
+    }
+
+    #[test]
+    fn quiet_stream_raises_no_alarm() {
+        let reference = block(1, 2000, 0.5);
+        let mut mon = ChangeMonitor::new(reference, 400, 0.99, 50, 7, freq_deviation);
+        let mut alarms = 0;
+        for i in 0..10 {
+            if mon.observe(&block(100 + i, 400, 0.5)).drifted {
+                alarms += 1;
+            }
+        }
+        assert!(alarms <= 1, "{alarms} false alarms on a quiet stream");
+        assert_eq!(mon.history().len(), 10);
+    }
+
+    #[test]
+    fn drifting_block_raises_alarm() {
+        let reference = block(1, 2000, 0.5);
+        let mut mon = ChangeMonitor::new(reference, 400, 0.99, 50, 7, freq_deviation);
+        assert!(!mon.observe(&block(50, 400, 0.5)).drifted);
+        let v = mon.observe(&block(51, 400, 0.95));
+        assert!(v.drifted, "dev {} ≤ threshold {}", v.deviation, v.threshold);
+    }
+
+    #[test]
+    fn rebaseline_adapts_to_the_new_regime() {
+        let reference = block(1, 2000, 0.2);
+        let mut mon =
+            ChangeMonitor::new(reference, 500, 0.99, 50, 7, freq_deviation).with_rebaseline();
+        // Regime change: p0 jumps to 0.9 and stays there.
+        assert!(mon.observe(&block(60, 500, 0.9)).drifted);
+        // After re-baselining, further 0.9-blocks are business as usual.
+        let follow = mon.observe(&block(61, 500, 0.9));
+        assert!(
+            !follow.drifted,
+            "post-rebaseline block flagged: dev {} thr {}",
+            follow.deviation, follow.threshold
+        );
+    }
+
+    #[test]
+    fn without_rebaseline_the_drift_keeps_alarming() {
+        let reference = block(1, 2000, 0.2);
+        let mut mon = ChangeMonitor::new(reference, 500, 0.99, 50, 7, freq_deviation);
+        assert!(mon.observe(&block(60, 500, 0.9)).drifted);
+        assert!(mon.observe(&block(61, 500, 0.9)).drifted);
+    }
+
+    #[test]
+    fn threshold_scales_with_quantile() {
+        let reference = block(3, 2000, 0.5);
+        let strict = ChangeMonitor::new(reference.clone(), 400, 0.99, 50, 7, freq_deviation);
+        let lax = ChangeMonitor::new(reference, 400, 0.8, 50, 7, freq_deviation);
+        assert!(strict.threshold() >= lax.threshold());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_bad_quantile() {
+        let reference = block(1, 100, 0.5);
+        ChangeMonitor::new(reference, 10, 1.5, 50, 7, freq_deviation);
+    }
+}

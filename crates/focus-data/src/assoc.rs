@@ -1,0 +1,346 @@
+//! The IBM Quest synthetic association (market-basket) data generator,
+//! reimplemented from Agrawal & Srikant, "Fast Algorithms for Mining
+//! Association Rules" (VLDB 1994), Section "Synthetic data".
+//!
+//! The generating *process* is a table of potential maximal itemsets
+//! ("patterns"):
+//!
+//! * pattern lengths are Poisson with the configured mean;
+//! * consecutive patterns share a correlated fraction of items
+//!   (exponentially distributed fraction, mean = `correlation`), the rest
+//!   are drawn uniformly;
+//! * each pattern carries an exponentially distributed weight (normalized
+//!   to sum 1) and a *corruption level* drawn from a clipped normal with
+//!   mean `corruption_mean` — transactions drop items from a chosen pattern
+//!   while a uniform draw stays below the corruption level;
+//! * transaction lengths are Poisson with the configured mean; patterns are
+//!   assigned to a transaction until it is full, and an overflowing pattern
+//!   is kept anyway in half of the cases.
+//!
+//! The pattern table *is* the generating process: two datasets produced
+//! from the same [`AssocGen`] (same pattern seed) with different data seeds
+//! are "two snapshots of the same process" — exactly the null hypothesis of
+//! the FOCUS qualification procedure. Changing `n_patterns` or
+//! `avg_pattern_len` changes the process, which is how the paper builds the
+//! drifted datasets `D(2)…D(7)` of Figure 13.
+
+use focus_core::data::TransactionSet;
+use focus_stats::sample::{Exponential, NormalSampler, Poisson};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the association data generator (names mirror the paper's
+/// dataset naming convention `NM.tlL.|I|I.NpPats.pPatlen`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssocGenParams {
+    /// Number of items `|I|` (the paper uses 1000, printed as `1K`).
+    pub n_items: u32,
+    /// Average transaction length `|T|` (paper: 20, printed `20L`).
+    pub avg_trans_len: f64,
+    /// Number of potential patterns `|L|` (paper: 4000, printed `4000pats`).
+    pub n_patterns: usize,
+    /// Average pattern length (paper: 4, printed `4patlen`).
+    pub avg_pattern_len: f64,
+    /// Correlation between consecutive patterns (paper default 0.25).
+    pub correlation: f64,
+    /// Mean corruption level (paper default 0.5).
+    pub corruption_mean: f64,
+    /// Standard deviation of the corruption level (paper default 0.1).
+    pub corruption_sd: f64,
+}
+
+impl AssocGenParams {
+    /// The paper's configuration: 1000 items, average transaction length
+    /// 20, `n_patterns` patterns of average length `avg_pattern_len`.
+    pub fn paper(n_patterns: usize, avg_pattern_len: f64) -> Self {
+        Self {
+            n_items: 1000,
+            avg_trans_len: 20.0,
+            n_patterns,
+            avg_pattern_len,
+            correlation: 0.25,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1,
+        }
+    }
+
+    /// A small configuration for tests and quick examples.
+    pub fn small() -> Self {
+        Self {
+            n_items: 100,
+            avg_trans_len: 10.0,
+            n_patterns: 50,
+            avg_pattern_len: 4.0,
+            correlation: 0.25,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1,
+        }
+    }
+
+    /// Renders the paper's dataset name for this configuration and a
+    /// transaction count, e.g. `1M.20L.1K.4000pats.4patlen`.
+    pub fn dataset_name(&self, n_trans: usize) -> String {
+        let millions = n_trans as f64 / 1e6;
+        format!(
+            "{}M.{}L.{}K.{}pats.{}patlen",
+            trim(millions),
+            trim(self.avg_trans_len),
+            trim(self.n_items as f64 / 1000.0),
+            self.n_patterns,
+            trim(self.avg_pattern_len),
+        )
+    }
+}
+
+fn trim(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// One potential maximal itemset of the generating process.
+#[derive(Debug, Clone, PartialEq)]
+struct Pattern {
+    items: Vec<u32>,
+    /// Cumulative weight (for roulette selection by binary search).
+    cum_weight: f64,
+    corruption: f64,
+}
+
+/// The association data generator: a fixed pattern table (the process) from
+/// which any number of transaction datasets can be sampled.
+#[derive(Debug, Clone)]
+pub struct AssocGen {
+    params: AssocGenParams,
+    patterns: Vec<Pattern>,
+}
+
+impl AssocGen {
+    /// Builds the generating process (the pattern table) from a seed.
+    pub fn new(params: AssocGenParams, pattern_seed: u64) -> Self {
+        assert!(params.n_items >= 1);
+        assert!(params.n_patterns >= 1);
+        assert!(params.avg_pattern_len >= 1.0);
+        assert!(params.avg_trans_len >= 1.0);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        let len_dist = Poisson::new(params.avg_pattern_len);
+        let frac_dist = Exponential::new(1.0 / params.correlation.max(1e-9));
+        let weight_dist = Exponential::new(1.0);
+        let corr_dist = NormalSampler::new(params.corruption_mean, params.corruption_sd);
+
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(params.n_patterns);
+        let mut prev: Vec<u32> = Vec::new();
+        let mut total_weight = 0.0;
+        for _ in 0..params.n_patterns {
+            let len = (len_dist.sample(&mut rng).max(1) as usize).min(params.n_items as usize);
+            let mut items: Vec<u32> = Vec::with_capacity(len);
+            // Correlated fraction from the previous pattern.
+            if !prev.is_empty() {
+                let frac = frac_dist.sample(&mut rng).min(1.0);
+                let n_shared = ((frac * len as f64).round() as usize).min(prev.len()).min(len);
+                // Sample n_shared distinct items from prev.
+                let mut pool = prev.clone();
+                for k in 0..n_shared {
+                    let j = rng.gen_range(k..pool.len());
+                    pool.swap(k, j);
+                }
+                items.extend_from_slice(&pool[..n_shared]);
+            }
+            // Fill the rest uniformly (distinct).
+            while items.len() < len {
+                let it = rng.gen_range(0..params.n_items);
+                if !items.contains(&it) {
+                    items.push(it);
+                }
+            }
+            items.sort_unstable();
+            let w = weight_dist.sample(&mut rng);
+            total_weight += w;
+            patterns.push(Pattern {
+                items: items.clone(),
+                cum_weight: total_weight,
+                corruption: corr_dist.sample_clamped(&mut rng, 0.0, 1.0),
+            });
+            prev = items;
+        }
+        // Normalize cumulative weights to [0, 1].
+        for p in &mut patterns {
+            p.cum_weight /= total_weight;
+        }
+        Self { params, patterns }
+    }
+
+    /// The generator's parameters.
+    pub fn params(&self) -> &AssocGenParams {
+        &self.params
+    }
+
+    /// Samples a dataset of `n_trans` transactions from the process.
+    /// Distinct `data_seed`s give independent snapshots of the *same*
+    /// process.
+    pub fn generate(&self, n_trans: usize, data_seed: u64) -> TransactionSet {
+        let mut rng = StdRng::seed_from_u64(data_seed ^ 0x9e37_79b9_7f4a_7c15);
+        let len_dist = Poisson::new(self.params.avg_trans_len);
+        let mut out = TransactionSet::new(self.params.n_items);
+        let mut txn: Vec<u32> = Vec::with_capacity(self.params.avg_trans_len as usize * 2);
+        let mut instance: Vec<u32> = Vec::new();
+        for _ in 0..n_trans {
+            let target = len_dist.sample(&mut rng).max(1) as usize;
+            txn.clear();
+            // Guard against pathological loops on tiny pattern tables.
+            let mut attempts = 0;
+            while txn.len() < target && attempts < 8 * (target + 1) {
+                attempts += 1;
+                let p = self.pick_pattern(&mut rng);
+                // Corrupt: drop items while the draw stays below the level.
+                instance.clear();
+                instance.extend_from_slice(&p.items);
+                while instance.len() > 1 && rng.gen::<f64>() < p.corruption {
+                    let drop = rng.gen_range(0..instance.len());
+                    instance.swap_remove(drop);
+                }
+                if txn.len() + instance.len() <= target {
+                    txn.extend_from_slice(&instance);
+                } else if rng.gen::<bool>() {
+                    // Keep the overflowing pattern half the time (as in the
+                    // original generator), then close the transaction.
+                    txn.extend_from_slice(&instance);
+                    break;
+                } else {
+                    break;
+                }
+            }
+            out.push(txn.clone());
+        }
+        out
+    }
+
+    fn pick_pattern<R: Rng + ?Sized>(&self, rng: &mut R) -> &Pattern {
+        let u: f64 = rng.gen();
+        let idx = self
+            .patterns
+            .partition_point(|p| p.cum_weight < u)
+            .min(self.patterns.len() - 1);
+        &self.patterns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_name_matches_paper_convention() {
+        let p = AssocGenParams::paper(4000, 4.0);
+        assert_eq!(p.dataset_name(1_000_000), "1M.20L.1K.4000pats.4patlen");
+        assert_eq!(p.dataset_name(500_000), "0.5M.20L.1K.4000pats.4patlen");
+    }
+
+    #[test]
+    fn generates_requested_count_and_universe() {
+        let g = AssocGen::new(AssocGenParams::small(), 1);
+        let d = g.generate(500, 2);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.n_items(), 100);
+        for t in d.iter() {
+            assert!(t.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn average_transaction_length_tracks_parameter() {
+        let mut p = AssocGenParams::small();
+        p.avg_trans_len = 10.0;
+        let g = AssocGen::new(p, 7);
+        let d = g.generate(4000, 3);
+        let avg = d.avg_len();
+        // Corruption and dedup bias the mean downward a bit; it must still
+        // sit in the right neighbourhood and scale with the parameter.
+        assert!(
+            (5.0..=12.0).contains(&avg),
+            "avg transaction length {avg} out of band"
+        );
+        p.avg_trans_len = 20.0;
+        let g2 = AssocGen::new(p, 7);
+        let d2 = g2.generate(4000, 3);
+        assert!(d2.avg_len() > avg * 1.4, "{} !> {}", d2.avg_len(), avg);
+    }
+
+    #[test]
+    fn same_process_same_seed_is_identical() {
+        let g = AssocGen::new(AssocGenParams::small(), 11);
+        assert_eq!(g.generate(100, 5), g.generate(100, 5));
+    }
+
+    #[test]
+    fn same_process_different_seed_differs_but_same_items() {
+        let g = AssocGen::new(AssocGenParams::small(), 11);
+        let a = g.generate(200, 5);
+        let b = g.generate(200, 6);
+        assert_ne!(a, b);
+        // Same process: the frequent single items should overlap heavily.
+        let freq = |d: &TransactionSet| {
+            let mut counts = vec![0usize; 100];
+            for t in d.iter() {
+                for &i in t {
+                    counts[i as usize] += 1;
+                }
+            }
+            let mut top: Vec<usize> = (0..100).collect();
+            top.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+            top.truncate(10);
+            top.sort_unstable();
+            top
+        };
+        let fa = freq(&a);
+        let fb = freq(&b);
+        let overlap = fa.iter().filter(|i| fb.contains(i)).count();
+        assert!(overlap >= 6, "top-10 item overlap {overlap} too small");
+    }
+
+    #[test]
+    fn different_pattern_seed_is_a_different_process() {
+        let g1 = AssocGen::new(AssocGenParams::small(), 1);
+        let g2 = AssocGen::new(AssocGenParams::small(), 2);
+        assert_ne!(g1.generate(100, 5), g2.generate(100, 5));
+    }
+
+    #[test]
+    fn pattern_lengths_follow_parameter() {
+        let mut p = AssocGenParams::small();
+        p.avg_pattern_len = 6.0;
+        let g = AssocGen::new(p, 3);
+        let mean: f64 = g
+            .patterns
+            .iter()
+            .map(|pt| pt.items.len() as f64)
+            .sum::<f64>()
+            / g.patterns.len() as f64;
+        assert!((4.5..=7.5).contains(&mean), "mean pattern length {mean}");
+        // Patterns are sorted, deduplicated item lists.
+        for pt in &g.patterns {
+            assert!(pt.items.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn cumulative_weights_are_monotone_and_normalized() {
+        let g = AssocGen::new(AssocGenParams::small(), 13);
+        let mut prev = 0.0;
+        for p in &g.patterns {
+            assert!(p.cum_weight >= prev);
+            prev = p.cum_weight;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_levels_in_unit_interval() {
+        let g = AssocGen::new(AssocGenParams::small(), 17);
+        for p in &g.patterns {
+            assert!((0.0..=1.0).contains(&p.corruption));
+        }
+    }
+}

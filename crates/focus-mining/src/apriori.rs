@@ -1,0 +1,442 @@
+//! The Apriori algorithm: level-wise frequent-itemset mining.
+//!
+//! Level `k` proceeds in three steps:
+//! 1. **candidate generation** — join pairs of frequent `(k−1)`-itemsets
+//!    sharing a `(k−2)`-prefix;
+//! 2. **candidate pruning** — drop candidates with an infrequent
+//!    `(k−1)`-subset (downward closure);
+//! 3. **support counting** — one dataset scan; per transaction, enumerate
+//!    exactly the candidate itemsets it contains by a depth-first walk that
+//!    only extends prefixes of surviving candidates.
+//!
+//! The prefix-guided walk keeps counting polynomial in the number of
+//! candidates rather than in `C(|t|, k)` — the practical trick that replaces
+//! the original paper's hash tree.
+
+use focus_core::data::TransactionSet;
+use focus_core::model::LitsModel;
+use focus_core::region::Itemset;
+use std::collections::{HashMap, HashSet};
+
+/// Tuning parameters for the miner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AprioriParams {
+    /// Minimum support as a fraction of the number of transactions
+    /// (the paper's `ms`, e.g. `0.01` for 1%).
+    pub minsup: f64,
+    /// Optional cap on itemset length (`None` = unbounded, the classical
+    /// algorithm). Useful to bound exploratory runs.
+    pub max_len: Option<usize>,
+    /// Absolute floor on the supporting-transaction count (default 1, the
+    /// classical semantics). On very small datasets a fractional threshold
+    /// can collapse to "1 transaction suffices", at which point *every*
+    /// subset of every transaction is frequent and the lattice explodes
+    /// combinatorially; setting the floor to 2+ keeps tiny-sample runs
+    /// (e.g. a 1% sample of an already-scaled-down dataset) well-posed.
+    pub min_count_floor: u64,
+}
+
+impl AprioriParams {
+    /// Parameters with the given minimum support and no length cap.
+    pub fn with_minsup(minsup: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&minsup) && minsup > 0.0,
+            "minsup must be in (0, 1], got {minsup}"
+        );
+        Self {
+            minsup,
+            max_len: None,
+            min_count_floor: 1,
+        }
+    }
+
+    /// Caps the maximum itemset length.
+    pub fn max_len(mut self, len: usize) -> Self {
+        assert!(len >= 1);
+        self.max_len = Some(len);
+        self
+    }
+
+    /// Sets the absolute supporting-count floor (see
+    /// [`AprioriParams::min_count_floor`]).
+    pub fn min_count_floor(mut self, floor: u64) -> Self {
+        assert!(floor >= 1);
+        self.min_count_floor = floor;
+        self
+    }
+}
+
+/// The Apriori miner.
+#[derive(Debug, Clone)]
+pub struct Apriori {
+    params: AprioriParams,
+}
+
+impl Apriori {
+    /// Creates a miner with the given parameters.
+    pub fn new(params: AprioriParams) -> Self {
+        Self { params }
+    }
+
+    /// Mines the frequent itemsets of `data` and returns them as a
+    /// [`LitsModel`] (itemsets + supports + the mining threshold).
+    pub fn mine(&self, data: &TransactionSet) -> LitsModel {
+        let n = data.len();
+        if n == 0 {
+            return LitsModel::new(Vec::new(), Vec::new(), self.params.minsup, 0);
+        }
+        // ceil(minsup · n) supporting transactions required.
+        let min_count =
+            ((self.params.minsup * n as f64).ceil().max(1.0) as u64).max(self.params.min_count_floor);
+
+        let mut all_frequent: Vec<(Itemset, u64)> = Vec::new();
+
+        // Level 1: plain array count.
+        let mut item_counts = vec![0u64; data.n_items() as usize];
+        for txn in data.iter() {
+            for &it in txn {
+                item_counts[it as usize] += 1;
+            }
+        }
+        let mut frontier: Vec<Vec<u32>> = Vec::new();
+        for (it, &c) in item_counts.iter().enumerate() {
+            if c >= min_count {
+                frontier.push(vec![it as u32]);
+                all_frequent.push((Itemset::new(vec![it as u32]), c));
+            }
+        }
+
+        let mut k = 2usize;
+        while !frontier.is_empty() {
+            if let Some(cap) = self.params.max_len {
+                if k > cap {
+                    break;
+                }
+            }
+            let candidates = generate_candidates(&frontier);
+            if candidates.is_empty() {
+                break;
+            }
+            let counts = count_candidates(data, &candidates, k);
+            let mut next: Vec<Vec<u32>> = Vec::new();
+            for (cand, count) in candidates.into_iter().zip(counts) {
+                if count >= min_count {
+                    all_frequent.push((Itemset::new(cand.clone()), count));
+                    next.push(cand);
+                }
+            }
+            frontier = next;
+            k += 1;
+        }
+
+        let (itemsets, counts): (Vec<Itemset>, Vec<u64>) = all_frequent.into_iter().unzip();
+        let supports = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        LitsModel::new(itemsets, supports, self.params.minsup, n as u64)
+    }
+}
+
+/// Join + prune: candidates of size `k` from frequent itemsets of size
+/// `k − 1` (all sorted item vectors).
+fn generate_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let freq_set: HashSet<&[u32]> = frequent.iter().map(|v| v.as_slice()).collect();
+    // Frequent itemsets are sorted lexicographically so prefix-sharing pairs
+    // are adjacent runs.
+    let mut sorted: Vec<&Vec<u32>> = frequent.iter().collect();
+    sorted.sort();
+    let mut out = Vec::new();
+    let k1 = match sorted.first() {
+        Some(v) => v.len(),
+        None => return out,
+    };
+    let mut start = 0;
+    while start < sorted.len() {
+        // Run of itemsets sharing the first k1−1 items.
+        let prefix = &sorted[start][..k1 - 1];
+        let mut end = start + 1;
+        while end < sorted.len() && &sorted[end][..k1 - 1] == prefix {
+            end += 1;
+        }
+        for i in start..end {
+            for j in (i + 1)..end {
+                let mut cand = sorted[i].clone();
+                cand.push(*sorted[j].last().expect("non-empty itemset"));
+                // Downward-closure prune: every (k−1)-subset frequent.
+                if all_subsets_frequent(&cand, &freq_set) {
+                    out.push(cand);
+                }
+            }
+        }
+        start = end;
+    }
+    out.sort();
+    out
+}
+
+/// True if every subset of `cand` missing one element is in `freq_set`.
+fn all_subsets_frequent(cand: &[u32], freq_set: &HashSet<&[u32]>) -> bool {
+    let mut sub: Vec<u32> = Vec::with_capacity(cand.len() - 1);
+    for skip in 0..cand.len() {
+        sub.clear();
+        sub.extend(cand.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &x)| x));
+        if !freq_set.contains(sub.as_slice()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// One scan of the data, counting every candidate of size `k`.
+///
+/// For each transaction a DFS enumerates its subsets of size `k`, extending
+/// a partial itemset only while it remains a prefix of some candidate.
+fn count_candidates(data: &TransactionSet, candidates: &[Vec<u32>], k: usize) -> Vec<u64> {
+    // Index of each full candidate, plus the set of all proper prefixes.
+    let mut index: HashMap<&[u32], usize> = HashMap::with_capacity(candidates.len());
+    let mut prefixes: HashSet<&[u32]> = HashSet::new();
+    for (i, c) in candidates.iter().enumerate() {
+        index.insert(c.as_slice(), i);
+        for plen in 1..k {
+            prefixes.insert(&c[..plen]);
+        }
+    }
+    // Items that appear in at least one candidate: transactions are filtered
+    // to these before enumeration.
+    let active: HashSet<u32> = candidates.iter().flatten().copied().collect();
+
+    let mut counts = vec![0u64; candidates.len()];
+    let mut filtered: Vec<u32> = Vec::new();
+    let mut stack: Vec<u32> = Vec::with_capacity(k);
+    for txn in data.iter() {
+        filtered.clear();
+        filtered.extend(txn.iter().copied().filter(|it| active.contains(it)));
+        if filtered.len() < k {
+            continue;
+        }
+        dfs_count(&filtered, k, &mut stack, &index, &prefixes, &mut counts);
+    }
+    counts
+}
+
+fn dfs_count(
+    items: &[u32],
+    k: usize,
+    stack: &mut Vec<u32>,
+    index: &HashMap<&[u32], usize>,
+    prefixes: &HashSet<&[u32]>,
+    counts: &mut [u64],
+) {
+    let need = k - stack.len();
+    if items.len() < need {
+        return;
+    }
+    for (pos, &it) in items.iter().enumerate() {
+        if items.len() - pos < need {
+            break;
+        }
+        stack.push(it);
+        if stack.len() == k {
+            if let Some(&i) = index.get(stack.as_slice()) {
+                counts[i] += 1;
+            }
+        } else if prefixes.contains(stack.as_slice()) {
+            dfs_count(&items[pos + 1..], k, stack, index, prefixes, counts);
+        }
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_core::model::count_itemsets;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(rows: &[&[u32]], n_items: u32) -> TransactionSet {
+        let mut ts = TransactionSet::new(n_items);
+        for r in rows {
+            ts.push(r.to_vec());
+        }
+        ts
+    }
+
+    #[test]
+    fn textbook_example() {
+        // The classic Agrawal–Srikant toy dataset.
+        let data = dataset(
+            &[
+                &[0, 2, 3],
+                &[1, 2, 4],
+                &[0, 1, 2, 4],
+                &[1, 4],
+            ],
+            5,
+        );
+        // minsup 50% → min_count 2.
+        let m = Apriori::new(AprioriParams::with_minsup(0.5)).mine(&data);
+        let expect = |items: &[u32], sup: f64| {
+            let got = m
+                .support_of(&Itemset::from_slice(items))
+                .unwrap_or_else(|| panic!("{items:?} should be frequent"));
+            assert!((got - sup).abs() < 1e-12, "{items:?}: {got} vs {sup}");
+        };
+        expect(&[0], 0.5);
+        expect(&[1], 0.75);
+        expect(&[2], 0.75);
+        expect(&[4], 0.75);
+        expect(&[0, 2], 0.5);
+        expect(&[1, 2], 0.5);
+        expect(&[1, 4], 0.75);
+        expect(&[2, 4], 0.5);
+        expect(&[1, 2, 4], 0.5);
+        // {3} has support 0.25 — infrequent.
+        assert!(m.support_of(&Itemset::from_slice(&[3])).is_none());
+        assert_eq!(m.len(), 9);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = TransactionSet::new(4);
+        let m = Apriori::new(AprioriParams::with_minsup(0.1)).mine(&data);
+        assert!(m.is_empty());
+        assert_eq!(m.n_transactions(), 0);
+    }
+
+    #[test]
+    fn minsup_one_keeps_only_universal_items() {
+        let data = dataset(&[&[0, 1], &[0, 2], &[0]], 3);
+        let m = Apriori::new(AprioriParams::with_minsup(1.0)).mine(&data);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.support_of(&Itemset::from_slice(&[0])), Some(1.0));
+    }
+
+    #[test]
+    fn max_len_caps_levels() {
+        let rows: Vec<&[u32]> = vec![&[0, 1, 2]; 10];
+        let data = dataset(&rows, 3);
+        let m = Apriori::new(AprioriParams::with_minsup(0.5).max_len(2)).mine(&data);
+        // 3 singletons + 3 pairs, no triple.
+        assert_eq!(m.len(), 6);
+        assert!(m.support_of(&Itemset::from_slice(&[0, 1, 2])).is_none());
+    }
+
+    /// Exhaustive reference miner for small universes.
+    fn brute_force(data: &TransactionSet, minsup: f64) -> Vec<(Itemset, f64)> {
+        let n_items = data.n_items();
+        assert!(n_items <= 16);
+        let all: Vec<Itemset> = (1u32..(1 << n_items))
+            .map(|mask| Itemset::new((0..n_items).filter(|i| mask & (1 << i) != 0).collect()))
+            .collect();
+        let counts = count_itemsets(data, &all);
+        let n = data.len() as f64;
+        let min_count = (minsup * n).ceil().max(1.0) as u64;
+        let mut out: Vec<(Itemset, f64)> = all
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c >= min_count)
+            .map(|(s, c)| (s, c as f64 / n))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..10 {
+            let mut data = TransactionSet::new(8);
+            let n = 60 + trial * 10;
+            for _ in 0..n {
+                let mut t = Vec::new();
+                for item in 0..8u32 {
+                    // Skewed inclusion probabilities create multi-level
+                    // frequent itemsets.
+                    if rng.gen::<f64>() < 0.55 - item as f64 * 0.06 {
+                        t.push(item);
+                    }
+                }
+                data.push(t);
+            }
+            for minsup in [0.1, 0.25, 0.4] {
+                let mined = Apriori::new(AprioriParams::with_minsup(minsup)).mine(&data);
+                let reference = brute_force(&data, minsup);
+                assert_eq!(
+                    mined.len(),
+                    reference.len(),
+                    "trial {trial} minsup {minsup}: {} vs {}",
+                    mined.len(),
+                    reference.len()
+                );
+                for (s, sup) in &reference {
+                    let got = mined.support_of(s).expect("missing frequent itemset");
+                    assert!((got - sup).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_generation_joins_and_prunes() {
+        // Frequent pairs: {0,1}, {0,2}, {1,2}, {1,3}.
+        // Join on shared prefix: {0,1}+{0,2}→{0,1,2}; {1,2}+{1,3}→{1,2,3}.
+        // {0,1,2} survives the prune ({0,1},{0,2},{1,2} all frequent);
+        // {1,2,3} is pruned because {2,3} is not frequent.
+        let frequent = vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![1, 3]];
+        let cands = generate_candidates(&frequent);
+        assert_eq!(cands, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn support_counts_match_core_counter() {
+        // The DFS counter and focus-core's bitmap counter must agree.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data = TransactionSet::new(12);
+        for _ in 0..200 {
+            let t: Vec<u32> = (0..12).filter(|_| rng.gen::<f64>() < 0.3).collect();
+            data.push(t);
+        }
+        let m = Apriori::new(AprioriParams::with_minsup(0.05)).mine(&data);
+        let counts = count_itemsets(&data, m.itemsets());
+        for (i, &c) in counts.iter().enumerate() {
+            let sup = c as f64 / data.len() as f64;
+            assert!(
+                (sup - m.supports()[i]).abs() < 1e-12,
+                "{}: {} vs {}",
+                m.itemsets()[i],
+                sup,
+                m.supports()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minsup must be in")]
+    fn rejects_zero_minsup() {
+        AprioriParams::with_minsup(0.0);
+    }
+
+    #[test]
+    fn min_count_floor_prevents_tiny_sample_explosion() {
+        // 20 transactions, minsup 1% → fractional threshold is below one
+        // transaction. Without a floor every subset of every transaction is
+        // frequent; with floor 3, only genuinely repeated itemsets survive.
+        let mut data = TransactionSet::new(50);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let t: Vec<u32> = (0..50).filter(|_| rng.gen::<f64>() < 0.2).collect();
+            data.push(t);
+        }
+        let floored = Apriori::new(
+            AprioriParams::with_minsup(0.01)
+                .max_len(10)
+                .min_count_floor(3),
+        )
+        .mine(&data);
+        // Everything kept is supported by at least 3 of 20 transactions.
+        for &s in floored.supports() {
+            assert!(s >= 3.0 / 20.0 - 1e-12);
+        }
+        // And the model stays small rather than exponential.
+        assert!(floored.len() < 1000, "model size {}", floored.len());
+    }
+}

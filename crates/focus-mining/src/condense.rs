@@ -1,0 +1,149 @@
+//! Condensed representations: closed and maximal frequent itemsets.
+//!
+//! A frequent itemset is **closed** when no proper superset has the same
+//! support, and **maximal** when no proper superset is frequent at all.
+//! Both are standard lossless/lossy condensations of a lits-model's
+//! structural component. In FOCUS terms they trade structure for speed:
+//! a deviation computed over the closed sets needs fewer GCR regions (the
+//! non-closed itemsets' measures are implied), while the maximal sets give
+//! the coarsest structure that still witnesses every frequent region.
+
+use focus_core::model::LitsModel;
+use focus_core::region::Itemset;
+
+/// Extracts the **closed** frequent itemsets of a model: itemsets with no
+/// frequent proper superset of equal support. Returns a new model over the
+/// condensed structure (same minsup and dataset size).
+pub fn closed_itemsets(model: &LitsModel) -> LitsModel {
+    let keep = filter_model(model, |s, sup, model| {
+        !has_superset_with(model, s, |other_sup| (other_sup - sup).abs() < 1e-12)
+    });
+    rebuild(model, keep)
+}
+
+/// Extracts the **maximal** frequent itemsets: itemsets with no frequent
+/// proper superset at all.
+pub fn maximal_itemsets(model: &LitsModel) -> LitsModel {
+    let keep = filter_model(model, |s, _sup, model| {
+        !has_superset_with(model, s, |_| true)
+    });
+    rebuild(model, keep)
+}
+
+fn filter_model(
+    model: &LitsModel,
+    mut predicate: impl FnMut(&Itemset, f64, &LitsModel) -> bool,
+) -> Vec<usize> {
+    model
+        .itemsets()
+        .iter()
+        .zip(model.supports())
+        .enumerate()
+        .filter(|(_, (s, &sup))| predicate(s, sup, model))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// True if the model contains a *proper* superset of `s` whose support
+/// satisfies `cond`.
+fn has_superset_with(model: &LitsModel, s: &Itemset, mut cond: impl FnMut(f64) -> bool) -> bool {
+    model
+        .itemsets()
+        .iter()
+        .zip(model.supports())
+        .any(|(other, &sup)| {
+            other.len() > s.len() && s.is_subset_of_sorted(other.items()) && cond(sup)
+        })
+}
+
+fn rebuild(model: &LitsModel, keep: Vec<usize>) -> LitsModel {
+    let itemsets = keep.iter().map(|&i| model.itemsets()[i].clone()).collect();
+    let supports = keep.iter().map(|&i| model.supports()[i]).collect();
+    LitsModel::new(itemsets, supports, model.minsup(), model.n_transactions())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Apriori, AprioriParams};
+    use focus_core::data::TransactionSet;
+
+    /// 10 transactions: {0,1,2} ×6, {0,1} ×2, {0} ×2.
+    /// Supports: {0}=1.0, {1}=.8, {2}=.6, {0,1}=.8, {0,2}=.6, {1,2}=.6,
+    /// {0,1,2}=.6.
+    fn model() -> LitsModel {
+        let mut d = TransactionSet::new(3);
+        for _ in 0..6 {
+            d.push(vec![0, 1, 2]);
+        }
+        for _ in 0..2 {
+            d.push(vec![0, 1]);
+        }
+        for _ in 0..2 {
+            d.push(vec![0]);
+        }
+        Apriori::new(AprioriParams::with_minsup(0.5)).mine(&d)
+    }
+
+    #[test]
+    fn closed_sets_of_the_textbook_example() {
+        let m = model();
+        assert_eq!(m.len(), 7);
+        let closed = closed_itemsets(&m);
+        // {1} (=.8) is absorbed by {0,1} (=.8); {2},{0,2},{1,2} (=.6) are
+        // absorbed by {0,1,2} (=.6). Closed: {0}, {0,1}, {0,1,2}.
+        let names: Vec<String> = closed.itemsets().iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, vec!["{0}", "{0,1}", "{0,1,2}"]);
+    }
+
+    #[test]
+    fn maximal_sets_are_the_top_of_the_lattice() {
+        let m = model();
+        let maximal = maximal_itemsets(&m);
+        assert_eq!(maximal.len(), 1);
+        assert_eq!(maximal.itemsets()[0].to_string(), "{0,1,2}");
+    }
+
+    #[test]
+    fn maximal_subset_of_closed_subset_of_all() {
+        let m = model();
+        let closed = closed_itemsets(&m);
+        let maximal = maximal_itemsets(&m);
+        assert!(maximal.len() <= closed.len());
+        assert!(closed.len() <= m.len());
+        for s in maximal.itemsets() {
+            assert!(closed.support_of(s).is_some(), "maximal ⊆ closed");
+        }
+        for s in closed.itemsets() {
+            assert_eq!(m.support_of(s), closed.support_of(s), "supports preserved");
+        }
+    }
+
+    #[test]
+    fn closure_is_lossless_for_support_queries() {
+        // Every frequent itemset's support equals the minimum support of
+        // its closed supersets — the classical recovery rule.
+        let m = model();
+        let closed = closed_itemsets(&m);
+        for (s, &sup) in m.itemsets().iter().zip(m.supports()) {
+            let recovered = closed
+                .itemsets()
+                .iter()
+                .zip(closed.supports())
+                .filter(|(c, _)| s.is_subset_of_sorted(c.items()))
+                .map(|(_, &cs)| cs)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (recovered - sup).abs() < 1e-12,
+                "{s}: {recovered} vs {sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_model_passes_through() {
+        let empty = LitsModel::new(Vec::new(), Vec::new(), 0.1, 0);
+        assert!(closed_itemsets(&empty).is_empty());
+        assert!(maximal_itemsets(&empty).is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Association-rule generation from a mined lits-model — the classical
+//! second phase of Agrawal & Srikant's algorithm (VLDB 1994, Section 3).
+//!
+//! A rule `X ⇒ Y` (with `X ∩ Y = ∅`) holds with
+//! *confidence* `support(X ∪ Y) / support(X)` and *support*
+//! `support(X ∪ Y)`. Rules are generated from each frequent itemset by
+//! moving subsets to the consequent, using the standard anti-monotonicity
+//! of confidence in the consequent to prune.
+//!
+//! Rule sets are themselves 2-component models (structure = the rules,
+//! measure = confidence), so they slot into FOCUS-style comparisons; see
+//! [`rule_set_deviation`].
+
+use focus_core::model::LitsModel;
+use focus_core::region::Itemset;
+use std::collections::HashMap;
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The antecedent `X`.
+    pub antecedent: Itemset,
+    /// The consequent `Y` (disjoint from `X`).
+    pub consequent: Itemset,
+    /// `support(X ∪ Y)`.
+    pub support: f64,
+    /// `support(X ∪ Y) / support(X)`.
+    pub confidence: f64,
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ⇒ {} (sup {:.3}, conf {:.3})",
+            self.antecedent, self.consequent, self.support, self.confidence
+        )
+    }
+}
+
+/// Generates all rules with confidence at least `min_confidence` from the
+/// frequent itemsets of `model`.
+///
+/// For each frequent itemset `Z` with `|Z| ≥ 2`, consequents grow from
+/// single items; a consequent that fails the confidence bar prunes all of
+/// its supersets (confidence is anti-monotone in the consequent because
+/// `support(antecedent)` grows as the antecedent shrinks... precisely:
+/// moving more items to the consequent can only lower confidence).
+pub fn generate_rules(model: &LitsModel, min_confidence: f64) -> Vec<Rule> {
+    assert!((0.0..=1.0).contains(&min_confidence));
+    let mut out = Vec::new();
+    for (z, &sup_z) in model.itemsets().iter().zip(model.supports()) {
+        if z.len() < 2 {
+            continue;
+        }
+        // Start from 1-item consequents.
+        let mut consequents: Vec<Itemset> = z
+            .items()
+            .iter()
+            .map(|&i| Itemset::new(vec![i]))
+            .collect();
+        while !consequents.is_empty() {
+            let mut kept: Vec<Itemset> = Vec::new();
+            for y in &consequents {
+                if y.len() >= z.len() {
+                    continue;
+                }
+                let x: Itemset = z
+                    .items()
+                    .iter()
+                    .copied()
+                    .filter(|i| !y.contains(*i))
+                    .collect();
+                let Some(sup_x) = model.support_of(&x) else {
+                    // The antecedent must be frequent (it is a subset of a
+                    // frequent itemset), but a length-capped mine may have
+                    // dropped it; skip conservatively.
+                    continue;
+                };
+                let confidence = if sup_x > 0.0 { sup_z / sup_x } else { 0.0 };
+                if confidence >= min_confidence {
+                    out.push(Rule {
+                        antecedent: x,
+                        consequent: y.clone(),
+                        support: sup_z,
+                        confidence,
+                    });
+                    kept.push(y.clone());
+                }
+            }
+            // Grow consequents by the Apriori join over the survivors.
+            consequents = join_level(&kept, z);
+        }
+    }
+    out.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap()
+            .then_with(|| b.support.partial_cmp(&a.support).unwrap())
+    });
+    out
+}
+
+/// Joins same-length consequents sharing all but their last item, keeping
+/// only candidates inside `z`.
+fn join_level(level: &[Itemset], z: &Itemset) -> Vec<Itemset> {
+    let mut next = Vec::new();
+    for (i, a) in level.iter().enumerate() {
+        for b in level.iter().skip(i + 1) {
+            let u = a.union(b);
+            if u.len() == a.len() + 1 && u.is_subset_of_sorted(z.items()) {
+                next.push(u);
+            }
+        }
+    }
+    next.sort();
+    next.dedup();
+    next
+}
+
+/// Deviation between two rule sets as a FOCUS-style 2-component comparison:
+/// structure = the union of the rules (as (antecedent, consequent) pairs),
+/// measure = confidence (0 where a rule's antecedent/union is not known to
+/// the model), aggregated with a sum of absolute differences.
+///
+/// This extends the paper's framework to rule models — the structural
+/// component refines exactly as lits-models do (union).
+pub fn rule_set_deviation(a: &[Rule], b: &[Rule]) -> f64 {
+    let key = |r: &Rule| (r.antecedent.clone(), r.consequent.clone());
+    let map_a: HashMap<_, f64> = a.iter().map(|r| (key(r), r.confidence)).collect();
+    let map_b: HashMap<_, f64> = b.iter().map(|r| (key(r), r.confidence)).collect();
+    let mut keys: Vec<_> = map_a.keys().chain(map_b.keys()).cloned().collect();
+    keys.sort();
+    keys.dedup();
+    keys.iter()
+        .map(|k| {
+            let ca = map_a.get(k).copied().unwrap_or(0.0);
+            let cb = map_b.get(k).copied().unwrap_or(0.0);
+            (ca - cb).abs()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Apriori, AprioriParams};
+    use focus_core::data::TransactionSet;
+
+    fn toy_model() -> LitsModel {
+        // 10 transactions: {0,1} ×8, {0} ×1, {1,2} ×1.
+        let mut data = TransactionSet::new(3);
+        for _ in 0..8 {
+            data.push(vec![0, 1]);
+        }
+        data.push(vec![0]);
+        data.push(vec![1, 2]);
+        Apriori::new(AprioriParams::with_minsup(0.1)).mine(&data)
+    }
+
+    #[test]
+    fn confidences_are_exact() {
+        let model = toy_model();
+        let rules = generate_rules(&model, 0.0);
+        let find = |x: &[u32], y: &[u32]| {
+            rules
+                .iter()
+                .find(|r| {
+                    r.antecedent == Itemset::from_slice(x) && r.consequent == Itemset::from_slice(y)
+                })
+                .unwrap_or_else(|| panic!("missing rule {x:?} => {y:?}"))
+        };
+        // support({0,1}) = 0.8; support({0}) = 0.9; support({1}) = 0.9.
+        let r01 = find(&[0], &[1]);
+        assert!((r01.confidence - 0.8 / 0.9).abs() < 1e-12);
+        let r10 = find(&[1], &[0]);
+        assert!((r10.confidence - 0.8 / 0.9).abs() < 1e-12);
+        // support({1,2}) = 0.1: rule 2 ⇒ 1 has confidence 1.0.
+        let r21 = find(&[2], &[1]);
+        assert!((r21.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let model = toy_model();
+        let all = generate_rules(&model, 0.0);
+        let strict = generate_rules(&model, 0.95);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.95));
+        // 2 ⇒ 1 (confidence 1.0) survives.
+        assert!(strict
+            .iter()
+            .any(|r| r.antecedent == Itemset::from_slice(&[2])));
+    }
+
+    #[test]
+    fn rules_are_sorted_by_confidence() {
+        let model = toy_model();
+        let rules = generate_rules(&model, 0.0);
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn antecedent_and_consequent_are_disjoint_and_cover() {
+        let model = toy_model();
+        for r in generate_rules(&model, 0.0) {
+            assert!(r.antecedent.intersection(&r.consequent).is_empty());
+            let u = r.antecedent.union(&r.consequent);
+            assert!(model.support_of(&u).is_some(), "union must be frequent");
+        }
+    }
+
+    #[test]
+    fn multi_item_consequents_from_triples() {
+        // All transactions identical {0,1,2}: every rule has confidence 1,
+        // including 0 ⇒ {1,2}.
+        let mut data = TransactionSet::new(3);
+        for _ in 0..10 {
+            data.push(vec![0, 1, 2]);
+        }
+        let model = Apriori::new(AprioriParams::with_minsup(0.5)).mine(&data);
+        let rules = generate_rules(&model, 0.9);
+        assert!(rules.iter().any(|r| r.consequent.len() == 2));
+        assert!(rules.iter().all(|r| (r.confidence - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rule_set_deviation_basics() {
+        let model = toy_model();
+        let rules = generate_rules(&model, 0.0);
+        assert_eq!(rule_set_deviation(&rules, &rules), 0.0);
+        // Removing one rule shifts the deviation by its confidence.
+        let fewer = &rules[1..];
+        let dev = rule_set_deviation(&rules, fewer);
+        assert!((dev - rules[0].confidence).abs() < 1e-12);
+    }
+}

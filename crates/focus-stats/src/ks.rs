@@ -1,0 +1,153 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! A univariate companion to the FOCUS deviation: where FOCUS compares two
+//! datasets through the models they induce, KS compares two *numeric
+//! samples* through their empirical CDFs. The experiments use it as an
+//! independent cross-check that the drifts injected by the workload
+//! builders are real, and it rounds out the hypothesis-testing toolbox
+//! next to Wilcoxon (location shifts) — KS is sensitive to any
+//! distributional change.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The statistic `D = sup |F1(x) − F2(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution with the standard
+    /// small-sample correction of Stephens).
+    pub p_value: f64,
+}
+
+/// Runs the two-sample KS test. Samples must be non-empty and NaN-free.
+pub fn ks_two_sample(sample1: &[f64], sample2: &[f64]) -> KsResult {
+    assert!(
+        !sample1.is_empty() && !sample2.is_empty(),
+        "ks_two_sample requires non-empty samples"
+    );
+    let mut a: Vec<f64> = sample1.to_vec();
+    let mut b: Vec<f64> = sample2.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+
+    let n1 = a.len();
+    let n2 = b.len();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < n1 && j < n2 {
+        let x = a[i].min(b[j]);
+        while i < n1 && a[i] <= x {
+            i += 1;
+        }
+        while j < n2 && b[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    // Asymptotic p-value: Q_KS((√ne + 0.12 + 0.11/√ne) · D) with
+    // ne = n1·n2/(n1+n2) (Stephens' correction).
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`, clamped to `[0, 1]`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_samples_d_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let r = ks_two_sample(&xs, &xs);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn disjoint_supports_d_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn textbook_statistic() {
+        // F1 jumps at {1,2}, F2 at {1.5}: D at x=1 is |0.5 − 0| = 0.5,
+        // at 1.5 it is |0.5 − 1| = 0.5, at 2 it is 0. D = 0.5.
+        let r = ks_two_sample(&[1.0, 2.0], &[1.5]);
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_high_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value > 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_low_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..300).map(|_| rng.gen::<f64>() + 0.3).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Q(0.8276) ≈ 0.5 (the median of the Kolmogorov distribution is
+        // ≈ 0.82757); Q(1.3581) ≈ 0.05.
+        assert!((kolmogorov_sf(0.82757) - 0.5).abs() < 1e-3);
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 1e-3);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn statistic_symmetry() {
+        let a = [0.3, 0.9, 1.4, 2.0];
+        let b = [0.1, 1.0, 1.1];
+        let r1 = ks_two_sample(&a, &b);
+        let r2 = ks_two_sample(&b, &a);
+        assert_eq!(r1.statistic, r2.statistic);
+        assert_eq!(r1.p_value, r2.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        ks_two_sample(&[], &[1.0]);
+    }
+}

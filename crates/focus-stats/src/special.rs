@@ -1,0 +1,232 @@
+//! Special functions: log-gamma, regularized incomplete gamma, error function.
+//!
+//! These are the numerical kernels behind the chi-squared CDF (regularized
+//! lower incomplete gamma) and the normal CDF (error function). The
+//! implementations follow the classical Lanczos / series / continued-fraction
+//! recipes and are accurate to roughly 1e-10 over the ranges exercised by the
+//! FOCUS experiments, which is far tighter than the 0.01%-significance
+//! resolution the paper reports.
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with g = 7 and 9 coefficients; relative
+/// error is below 1e-13 for all positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps precision near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Maximum iterations for the series / continued-fraction expansions.
+const MAX_ITER: usize = 500;
+/// Convergence tolerance for the expansions.
+const EPS: f64 = 1e-14;
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(a, 0) = 0` and `P(a, ∞) = 1`. For `x < a + 1` the series expansion
+/// converges quickly; otherwise the complement's continued fraction is used.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_p requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_q requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, valid and fast for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction (modified Lentz) expansion of `Q(a, x)` for `x >= a+1`.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Error function `erf(x)`, via the incomplete gamma identity
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else if x > 0.0 {
+        gamma_p(0.5, x * x)
+    } else {
+        -gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Computed through `Q(1/2, x²)` for positive `x` so the deep tail keeps
+/// precision instead of cancelling against 1.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0_f64;
+        for n in 1..15_u32 {
+            close(ln_gamma(n as f64), fact.ln(), 1e-10);
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = √π / 2
+        close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        close(gamma_p(2.0, 1e6), 1.0, 1e-12);
+        // P + Q = 1 across both expansion branches.
+        for &(a, x) in &[(0.5, 0.3), (3.0, 1.0), (3.0, 10.0), (10.0, 3.0)] {
+            close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - e^{-x} (exponential CDF).
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0] {
+            close(gamma_p(1.0, x), 1.0 - (-x_f(x)).exp(), 1e-12);
+        }
+        fn x_f(x: f64) -> f64 {
+            x
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun table values.
+        close(erf(0.5), 0.520_499_877_8, 1e-9);
+        close(erf(1.0), 0.842_700_792_9, 1e-9);
+        close(erf(2.0), 0.995_322_265_0, 1e-9);
+        close(erf(-1.0), -0.842_700_792_9, 1e-9);
+    }
+
+    #[test]
+    fn erfc_tail_precision() {
+        // erfc(5) ≈ 1.537e-12; a naive 1 - erf(5) would lose all digits.
+        let v = erfc(5.0);
+        assert!(v > 1.0e-12 && v < 2.0e-12, "erfc(5) = {v}");
+    }
+
+    #[test]
+    fn erf_erfc_complement() {
+        for &x in &[-3.0, -1.0, -0.2, 0.0, 0.2, 1.0, 3.0] {
+            close(erf(x) + erfc(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma_p requires x >= 0")]
+    fn gamma_p_rejects_negative_x() {
+        gamma_p(1.0, -1.0);
+    }
+}

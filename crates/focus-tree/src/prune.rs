@@ -1,0 +1,387 @@
+//! Post-pruning and model inspection: reduced-error pruning,
+//! cost-complexity (weakest-link) pruning, Gini feature importance, and a
+//! text rendering of the tree.
+//!
+//! The FOCUS experiments use pre-pruned CART trees (the paper's RainForest
+//! setup); these classical post-pruning passes are provided as extensions —
+//! pruned trees have coarser structural components, which directly shrinks
+//! the GCR and therefore the cost of a deviation computation.
+
+use crate::tree::{DecisionTree, Node};
+use focus_core::data::LabeledTable;
+
+/// The training class counts of the subtree rooted at `i` (the sum of its
+/// descendant leaf counts — equal to the training counts that reached the
+/// node during construction).
+fn subtree_counts(nodes: &[Node], i: usize) -> Vec<u64> {
+    match &nodes[i] {
+        Node::Leaf { counts, .. } => counts.clone(),
+        Node::Internal { left, right, .. } => {
+            let a = subtree_counts(nodes, *left);
+            let b = subtree_counts(nodes, *right);
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        }
+    }
+}
+
+fn majority(counts: &[u64]) -> u32 {
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(c, _)| c as u32)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// **Reduced-error pruning**: bottom-up, replace a subtree by a
+    /// majority leaf whenever that does not increase the error on the
+    /// held-out `validation` set. Deterministic; returns the pruned tree.
+    pub fn prune_reduced_error(&self, validation: &LabeledTable) -> DecisionTree {
+        // Route validation rows to nodes.
+        let mut rows_at: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (r, (row, _)) in validation.rows().enumerate() {
+            let mut i = 0;
+            loop {
+                rows_at[i].push(r);
+                match &self.nodes[i] {
+                    Node::Leaf { .. } => break,
+                    Node::Internal { rule, left, right } => {
+                        i = if rule.goes_left(row) { *left } else { *right };
+                    }
+                }
+            }
+        }
+        // Bottom-up decision per node: keep or collapse. `collapse[i]` is
+        // Some(leaf) when the subtree at i should become that leaf.
+        let mut collapse: Vec<Option<Node>> = vec![None; self.nodes.len()];
+        self.decide_collapse(0, &rows_at, validation, &mut collapse);
+        // Rebuild.
+        let mut out = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: self.n_classes,
+            n_rows: self.n_rows,
+            schema: std::sync::Arc::clone(&self.schema),
+        };
+        self.copy_pruned(0, &collapse, &mut out.nodes);
+        out
+    }
+
+    /// Validation errors of the subtree at `i`, assuming descendants keep
+    /// their own collapse decisions; fills `collapse[i]`.
+    fn decide_collapse(
+        &self,
+        i: usize,
+        rows_at: &[Vec<usize>],
+        validation: &LabeledTable,
+        collapse: &mut Vec<Option<Node>>,
+    ) -> u64 {
+        let train_counts = subtree_counts(&self.nodes, i);
+        let leaf_class = majority(&train_counts);
+        let leaf_errors = rows_at[i]
+            .iter()
+            .filter(|&&r| validation.labels[r] != leaf_class)
+            .count() as u64;
+        match &self.nodes[i] {
+            Node::Leaf { .. } => leaf_errors,
+            Node::Internal { left, right, .. } => {
+                let subtree_errors = self.decide_collapse(*left, rows_at, validation, collapse)
+                    + self.decide_collapse(*right, rows_at, validation, collapse);
+                if leaf_errors <= subtree_errors {
+                    collapse[i] = Some(Node::Leaf {
+                        counts: train_counts,
+                        prediction: leaf_class,
+                    });
+                    leaf_errors
+                } else {
+                    subtree_errors
+                }
+            }
+        }
+    }
+
+    /// **Cost-complexity pruning** (CART's weakest-link criterion): a
+    /// subtree `T_t` is collapsed when the per-leaf training-error saving
+    /// does not justify its size, i.e. when
+    /// `R(t) − R(T_t) ≤ alpha · (|leaves(T_t)| − 1)` (errors as counts).
+    /// `alpha = 0` keeps everything with equal error; larger `alpha`
+    /// prunes more aggressively.
+    pub fn prune_cost_complexity(&self, alpha: f64) -> DecisionTree {
+        assert!(alpha >= 0.0);
+        let mut collapse: Vec<Option<Node>> = vec![None; self.nodes.len()];
+        self.decide_cc(0, alpha, &mut collapse);
+        let mut out = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: self.n_classes,
+            n_rows: self.n_rows,
+            schema: std::sync::Arc::clone(&self.schema),
+        };
+        self.copy_pruned(0, &collapse, &mut out.nodes);
+        out
+    }
+
+    /// Returns `(training errors, leaf count)` of the subtree at `i` after
+    /// descendant collapse decisions; fills `collapse[i]`.
+    fn decide_cc(
+        &self,
+        i: usize,
+        alpha: f64,
+        collapse: &mut Vec<Option<Node>>,
+    ) -> (u64, usize) {
+        match &self.nodes[i] {
+            Node::Leaf { counts, prediction } => {
+                let errors = counts.iter().sum::<u64>() - counts[*prediction as usize];
+                (errors, 1)
+            }
+            Node::Internal { left, right, .. } => {
+                let (el, ll) = self.decide_cc(*left, alpha, collapse);
+                let (er, lr) = self.decide_cc(*right, alpha, collapse);
+                let subtree_errors = el + er;
+                let leaves = ll + lr;
+                let counts = subtree_counts(&self.nodes, i);
+                let as_leaf_errors =
+                    counts.iter().sum::<u64>() - counts[majority(&counts) as usize];
+                let saving = as_leaf_errors.saturating_sub(subtree_errors) as f64;
+                if saving <= alpha * (leaves.saturating_sub(1)) as f64 {
+                    collapse[i] = Some(Node::Leaf {
+                        prediction: majority(&counts),
+                        counts,
+                    });
+                    (as_leaf_errors, 1)
+                } else {
+                    (subtree_errors, leaves)
+                }
+            }
+        }
+    }
+
+    fn copy_pruned(&self, i: usize, collapse: &[Option<Node>], out: &mut Vec<Node>) -> usize {
+        if let Some(leaf) = &collapse[i] {
+            out.push(leaf.clone());
+            return out.len() - 1;
+        }
+        match &self.nodes[i] {
+            Node::Leaf { counts, prediction } => {
+                out.push(Node::Leaf {
+                    counts: counts.clone(),
+                    prediction: *prediction,
+                });
+                out.len() - 1
+            }
+            Node::Internal { rule, left, right } => {
+                let me = out.len();
+                out.push(Node::Leaf {
+                    counts: Vec::new(),
+                    prediction: 0,
+                });
+                let l = self.copy_pruned(*left, collapse, out);
+                let r = self.copy_pruned(*right, collapse, out);
+                out[me] = Node::Internal {
+                    rule: rule.clone(),
+                    left: l,
+                    right: r,
+                };
+                me
+            }
+        }
+    }
+
+    /// **Gini feature importance**: per attribute, the training-weighted
+    /// impurity decrease summed over the internal nodes that split on it,
+    /// normalized to sum 1 (all zeros if the tree is a stump).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let n_attrs = self.schema.len();
+        let mut imp = vec![0.0f64; n_attrs];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Internal { rule, left, right } = node {
+                let attr = match rule {
+                    crate::split::SplitRule::Threshold { attr, .. } => *attr,
+                    crate::split::SplitRule::Categories { attr, .. } => *attr,
+                };
+                let c = subtree_counts(&self.nodes, i);
+                let cl = subtree_counts(&self.nodes, *left);
+                let cr = subtree_counts(&self.nodes, *right);
+                let n: u64 = c.iter().sum();
+                let nl: u64 = cl.iter().sum();
+                let nr: u64 = cr.iter().sum();
+                let decrease = crate::split::gini(&c) * n as f64
+                    - crate::split::gini(&cl) * nl as f64
+                    - crate::split::gini(&cr) * nr as f64;
+                imp[attr] += decrease.max(0.0);
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    /// Renders the tree as an indented text diagram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, i: usize, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match &self.nodes[i] {
+            Node::Leaf { counts, prediction } => {
+                out.push_str(&format!("{pad}leaf → class {prediction} {counts:?}\n"));
+            }
+            Node::Internal { rule, left, right } => {
+                let cond = match rule {
+                    crate::split::SplitRule::Threshold { attr, threshold } => {
+                        format!("{} < {:.4}", self.schema.attr(*attr).name, threshold)
+                    }
+                    crate::split::SplitRule::Categories { attr, mask } => {
+                        let codes: Vec<String> = mask.iter().map(|c| c.to_string()).collect();
+                        format!("{} ∈ {{{}}}", self.schema.attr(*attr).name, codes.join(","))
+                    }
+                };
+                out.push_str(&format!("{pad}if {cond}:\n"));
+                self.render_node(*left, depth + 1, out);
+                out.push_str(&format!("{pad}else:\n"));
+                self.render_node(*right, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeParams;
+    use focus_core::data::{Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    /// Noisy one-boundary data: class = x < 40, with `noise` label flips.
+    fn noisy_data(n: usize, noise: f64, seed: u64) -> LabeledTable {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = LabeledTable::new(schema, 2);
+        for _ in 0..n {
+            let x: f64 = rng.gen::<f64>() * 100.0;
+            let mut label = u32::from(x < 40.0);
+            if rng.gen::<f64>() < noise {
+                label = 1 - label;
+            }
+            t.push_row(&[Value::Num(x)], label);
+        }
+        t
+    }
+
+    #[test]
+    fn reduced_error_pruning_shrinks_overfit_tree() {
+        let train = noisy_data(800, 0.15, 1);
+        let validation = noisy_data(400, 0.15, 2);
+        let overfit = DecisionTree::fit(&train, TreeParams::default().max_depth(20).min_leaf(1));
+        let pruned = overfit.prune_reduced_error(&validation);
+        assert!(
+            pruned.n_leaves() < overfit.n_leaves(),
+            "{} !< {}",
+            pruned.n_leaves(),
+            overfit.n_leaves()
+        );
+        // Validation error never increases.
+        assert!(
+            pruned.misclassification_rate(&validation)
+                <= overfit.misclassification_rate(&validation) + 1e-12
+        );
+        // And generalization (a third sample) should not degrade much.
+        let test = noisy_data(400, 0.15, 3);
+        assert!(
+            pruned.misclassification_rate(&test)
+                <= overfit.misclassification_rate(&test) + 0.02
+        );
+    }
+
+    #[test]
+    fn cost_complexity_alpha_monotone() {
+        let train = noisy_data(800, 0.2, 5);
+        let tree = DecisionTree::fit(&train, TreeParams::default().max_depth(20).min_leaf(1));
+        let mut prev_leaves = usize::MAX;
+        for alpha in [0.0, 0.5, 2.0, 8.0, 1e9] {
+            let p = tree.prune_cost_complexity(alpha);
+            assert!(
+                p.n_leaves() <= prev_leaves,
+                "alpha {alpha}: leaves must shrink monotonically"
+            );
+            prev_leaves = p.n_leaves();
+        }
+        // Infinite alpha collapses to a stump.
+        assert_eq!(tree.prune_cost_complexity(1e9).n_leaves(), 1);
+    }
+
+    #[test]
+    fn pruning_preserves_predictions_where_not_collapsed() {
+        let train = noisy_data(500, 0.0, 7);
+        let tree = DecisionTree::fit(&train, TreeParams::default());
+        // Noise-free data: alpha 0 prunes only zero-saving splits, so the
+        // prediction function is unchanged.
+        let pruned = tree.prune_cost_complexity(0.0);
+        for i in 0..100 {
+            let row = [Value::Num(i as f64)];
+            assert_eq!(tree.predict(&row), pruned.predict(&row));
+        }
+    }
+
+    #[test]
+    fn pruned_tree_exports_valid_model() {
+        let train = noisy_data(600, 0.1, 9);
+        let validation = noisy_data(300, 0.1, 10);
+        let tree = DecisionTree::fit(&train, TreeParams::default().max_depth(16).min_leaf(1));
+        let pruned = tree.prune_reduced_error(&validation);
+        let model = pruned.to_model();
+        assert_eq!(model.leaves().len(), pruned.n_leaves());
+        let mass: f64 = model.measures().iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_importance_finds_the_signal() {
+        let schema = Arc::new(Schema::new(vec![
+            Schema::numeric("noise1"),
+            Schema::numeric("signal"),
+            Schema::numeric("noise2"),
+        ]));
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data = LabeledTable::new(schema, 2);
+        for _ in 0..1000 {
+            let s: f64 = rng.gen::<f64>() * 10.0;
+            data.push_row(
+                &[
+                    Value::Num(rng.gen::<f64>()),
+                    Value::Num(s),
+                    Value::Num(rng.gen::<f64>()),
+                ],
+                u32::from(s < 5.0),
+            );
+        }
+        let tree = DecisionTree::fit(&data, TreeParams::default().max_depth(6));
+        let imp = tree.feature_importance();
+        assert!(imp[1] > 0.9, "signal importance {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stump_importance_is_zero_vector() {
+        let train = noisy_data(100, 0.0, 13);
+        let stump = DecisionTree::fit(&train, TreeParams::default().max_depth(0));
+        assert!(stump.feature_importance().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn render_mentions_attributes_and_leaves() {
+        let train = noisy_data(200, 0.0, 15);
+        let tree = DecisionTree::fit(&train, TreeParams::default());
+        let text = tree.render();
+        assert!(text.contains("if x <"));
+        assert!(text.contains("leaf → class"));
+    }
+}

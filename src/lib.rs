@@ -1,0 +1,40 @@
+//! # FOCUS — A Framework for Measuring Changes in Data Characteristics
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a tour.
+//!
+//! * [`core`] — the FOCUS framework itself (models, GCR, deviation).
+//! * [`stats`] — bootstrap, Wilcoxon, chi-squared machinery.
+//! * [`data`] — synthetic data generators (IBM Quest association +
+//!   Agrawal classification).
+//! * [`mining`] — Apriori frequent-itemset mining (lits-models).
+//! * [`tree`] — CART decision trees (dt-models).
+//! * [`cluster`] — k-means and BIRCH clustering (cluster-models).
+//!
+//! ## End-to-end in ten lines
+//!
+//! ```
+//! use focus::core::prelude::*;
+//! use focus::data::assoc::{AssocGen, AssocGenParams};
+//! use focus::mining::{Apriori, AprioriParams};
+//!
+//! let process = AssocGen::new(AssocGenParams::small(), 1);
+//! let d1 = process.generate(800, 1);
+//! let d2 = process.generate(800, 2); // same generating process
+//!
+//! let miner = Apriori::new(AprioriParams::with_minsup(0.05));
+//! let report = lits_report(
+//!     &d1,
+//!     &d2,
+//!     |d| miner.mine(d),
+//!     ReportOptions { reps: 19, ..Default::default() },
+//! );
+//! // Same process ⇒ the deviation is not in the extreme tail of the null.
+//! assert!(!report.is_significant(0.01), "{report}");
+//! ```
+
+pub use focus_cluster as cluster;
+pub use focus_core as core;
+pub use focus_data as data;
+pub use focus_mining as mining;
+pub use focus_stats as stats;
+pub use focus_tree as tree;

@@ -1,0 +1,169 @@
+//! End-to-end lits-model pipeline: synthetic generator → Apriori →
+//! deviation → upper bound → bootstrap qualification — the complete
+//! Figure 13 machinery at test scale.
+
+use focus::core::prelude::*;
+use focus::data::assoc::{AssocGen, AssocGenParams};
+use focus::mining::{Apriori, AprioriParams};
+
+const MINSUP: f64 = 0.02;
+
+fn mine(d: &TransactionSet) -> LitsModel {
+    Apriori::new(
+        AprioriParams::with_minsup(MINSUP)
+            .max_len(8)
+            .min_count_floor(3),
+    )
+    .mine(d)
+}
+
+fn deviation(a: &TransactionSet, b: &TransactionSet) -> f64 {
+    let ma = mine(a);
+    let mb = mine(b);
+    lits_deviation(&ma, a, &mb, b, DiffFn::Absolute, AggFn::Sum).value
+}
+
+#[test]
+fn same_process_deviation_is_small_and_insignificant() {
+    let process = AssocGen::new(AssocGenParams::small(), 3);
+    let d1 = process.generate(2500, 1);
+    let d2 = process.generate(2500, 2);
+    let obs = deviation(&d1, &d2);
+    let q = qualify_transactions(&d1, &d2, obs, 29, 9, deviation);
+    assert!(
+        q.significance_percent < 99.0,
+        "same process flagged: sig {}",
+        q.significance_percent
+    );
+}
+
+#[test]
+fn drifted_process_deviation_is_large_and_significant() {
+    let p1 = AssocGen::new(AssocGenParams::small(), 3);
+    let mut drifted_params = AssocGenParams::small();
+    drifted_params.avg_pattern_len = 7.0;
+    let p2 = AssocGen::new(drifted_params, 4);
+    let d1 = p1.generate(2500, 1);
+    let d2 = p2.generate(2500, 2);
+    let obs = deviation(&d1, &d2);
+    let q = qualify_transactions(&d1, &d2, obs, 29, 9, deviation);
+    assert!(
+        q.significance_percent >= 99.0,
+        "drift missed: sig {}",
+        q.significance_percent
+    );
+    // The drifted deviation dwarfs the same-process one.
+    let same = deviation(&d1, &p1.generate(2500, 7));
+    assert!(obs > 2.0 * same, "obs {obs} vs same-process {same}");
+}
+
+#[test]
+fn appended_block_detection() {
+    // Figure 13 rows (5)–(7): D extended with a small block from another
+    // process deviates measurably more from D than a same-process extension.
+    let base = AssocGen::new(AssocGenParams::small(), 5);
+    let d = base.generate(3000, 1);
+    let mut other_params = AssocGenParams::small();
+    other_params.avg_pattern_len = 7.0;
+    let other = AssocGen::new(other_params, 6);
+
+    let d_plus_same = d.concat(&base.generate(300, 2));
+    let d_plus_drift = d.concat(&other.generate(300, 3));
+    let dev_same = deviation(&d, &d_plus_same);
+    let dev_drift = deviation(&d, &d_plus_drift);
+    assert!(
+        dev_drift > dev_same,
+        "drift block {dev_drift} vs same block {dev_same}"
+    );
+}
+
+#[test]
+fn upper_bound_dominates_and_is_fast_to_agree() {
+    let p1 = AssocGen::new(AssocGenParams::small(), 8);
+    let mut pp = AssocGenParams::small();
+    pp.n_patterns = 120;
+    let p2 = AssocGen::new(pp, 9);
+    let d1 = p1.generate(2000, 1);
+    let d2 = p2.generate(2000, 2);
+    let m1 = mine(&d1);
+    let m2 = mine(&d2);
+    for g in [AggFn::Sum, AggFn::Max] {
+        let bound = lits_upper_bound(&m1, &m2, g);
+        let exact = lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, g).value;
+        assert!(bound >= exact - 1e-12, "{g:?}: {bound} < {exact}");
+    }
+    // δ* is symmetric and zero on identical models.
+    assert_eq!(
+        lits_upper_bound(&m1, &m2, AggFn::Sum),
+        lits_upper_bound(&m2, &m1, AggFn::Sum)
+    );
+    assert_eq!(lits_upper_bound(&m1, &m1, AggFn::Sum), 0.0);
+}
+
+#[test]
+fn focussed_deviation_never_exceeds_total_for_fa() {
+    // Section 5 monotonicity remark, at pipeline level: restricting the
+    // item universe can only reduce δ(f_a, g).
+    let p1 = AssocGen::new(AssocGenParams::small(), 10);
+    let p2 = AssocGen::new(AssocGenParams::small(), 11);
+    let d1 = p1.generate(2000, 1);
+    let d2 = p2.generate(2000, 2);
+    let m1 = mine(&d1);
+    let m2 = mine(&d2);
+    let total = lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value;
+    for hi in [10u32, 40, 80, 100] {
+        let universe: Vec<u32> = (0..hi).collect();
+        let focussed = lits_deviation_focussed(
+            &m1,
+            &d1,
+            &m2,
+            &d2,
+            &universe,
+            DiffFn::Absolute,
+            AggFn::Sum,
+        )
+        .value;
+        assert!(focussed <= total + 1e-9, "universe 0..{hi}");
+    }
+    // The full universe recovers the total exactly.
+    let universe: Vec<u32> = (0..100).collect();
+    let full = lits_deviation_focussed(
+        &m1,
+        &d1,
+        &m2,
+        &d2,
+        &universe,
+        DiffFn::Absolute,
+        AggFn::Sum,
+    )
+    .value;
+    assert!((full - total).abs() < 1e-12);
+}
+
+#[test]
+fn rank_and_select_over_structural_union() {
+    // The Section 5.1 expression: rank the structural union by per-region
+    // deviation and select the top region.
+    let p1 = AssocGen::new(AssocGenParams::small(), 12);
+    let mut pp = AssocGenParams::small();
+    pp.avg_pattern_len = 6.0;
+    let p2 = AssocGen::new(pp, 13);
+    let d1 = p1.generate(2000, 1);
+    let d2 = p2.generate(2000, 2);
+    let m1 = mine(&d1);
+    let m2 = mine(&d2);
+    let dev = lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum);
+    let union = lits_union(m1.itemsets(), m2.itemsets());
+    assert_eq!(union, dev.gcr, "structural union IS the GCR for lits");
+    let ranked = rank(union, |s| {
+        dev.per_region[dev.gcr.binary_search(s).unwrap()]
+    });
+    let top = select_top(&ranked).expect("non-empty");
+    // The top region's deviation equals the max per-region difference,
+    // which is δ(f_a, g_max).
+    let max_dev = lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Max).value;
+    assert!((top.deviation - max_dev).abs() < 1e-12);
+    // Selections behave.
+    assert_eq!(select_top_n(&ranked, 10).len(), 10.min(ranked.len()));
+    assert!(select_min(&ranked).unwrap().deviation <= top.deviation);
+}

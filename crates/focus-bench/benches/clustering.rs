@@ -44,9 +44,17 @@ fn bench_clustering(c: &mut Criterion) {
     }
     // Cluster-model deviation (GCR with remainders).
     let d1 = blobs(1_000, &centers, 3);
-    let d2 = blobs(1_000, &[(5.0, 5.0), (55.0, 5.0), (5.0, 55.0), (55.0, 55.0)], 4);
-    let m1 = KMeans::new(KMeansParams::new(4).seed(5)).fit(&d1).to_model(&d1);
-    let m2 = KMeans::new(KMeansParams::new(4).seed(6)).fit(&d2).to_model(&d2);
+    let d2 = blobs(
+        1_000,
+        &[(5.0, 5.0), (55.0, 5.0), (5.0, 55.0), (55.0, 55.0)],
+        4,
+    );
+    let m1 = KMeans::new(KMeansParams::new(4).seed(5))
+        .fit(&d1)
+        .to_model(&d1);
+    let m2 = KMeans::new(KMeansParams::new(4).seed(6))
+        .fit(&d2)
+        .to_model(&d2);
     group.bench_function("cluster_deviation_4x4", |b| {
         b.iter(|| {
             black_box(cluster_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value)

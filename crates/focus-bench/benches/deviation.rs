@@ -23,9 +23,7 @@ fn bench_delta_vs_bound(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("delta_exact", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value,
-                )
+                black_box(lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value)
             })
         });
         group.bench_with_input(BenchmarkId::new("delta_star_bound", n), &n, |b, _| {

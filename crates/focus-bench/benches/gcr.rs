@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use focus_core::gcr::{gcr_lits, gcr_partition};
+use focus_data::assoc::{AssocGen, AssocGenParams};
 use focus_data::classify::{ClassifyFn, ClassifyGen};
 use focus_mining::{Apriori, AprioriParams};
-use focus_data::assoc::{AssocGen, AssocGenParams};
 use focus_tree::{DecisionTree, TreeParams};
 use std::hint::black_box;
 
@@ -20,10 +20,7 @@ fn bench_gcr(c: &mut Criterion) {
     let m1 = miner.mine(&g1.generate(5_000, 3));
     let m2 = miner.mine(&g2.generate(5_000, 4));
     group.bench_function(
-        BenchmarkId::new(
-            "lits_union",
-            format!("{}x{}", m1.len(), m2.len()),
-        ),
+        BenchmarkId::new("lits_union", format!("{}x{}", m1.len(), m2.len())),
         |b| b.iter(|| black_box(gcr_lits(m1.itemsets(), m2.itemsets()))),
     );
 
@@ -31,7 +28,9 @@ fn bench_gcr(c: &mut Criterion) {
     for &n in &[2_000usize, 10_000] {
         let d1 = ClassifyGen::new(ClassifyFn::F2).generate(n, 5);
         let d2 = ClassifyGen::new(ClassifyFn::F4).generate(n, 6);
-        let p = TreeParams::default().max_depth(10).min_leaf((n / 200).max(5));
+        let p = TreeParams::default()
+            .max_depth(10)
+            .min_leaf((n / 200).max(5));
         let t1 = DecisionTree::fit(&d1, p).to_model();
         let t2 = DecisionTree::fit(&d2, p).to_model();
         group.bench_with_input(

@@ -17,9 +17,7 @@ fn bench_apriori(c: &mut Criterion) {
             &minsup,
             |b, &ms| {
                 b.iter(|| {
-                    black_box(
-                        Apriori::new(AprioriParams::with_minsup(ms).max_len(10)).mine(&data),
-                    )
+                    black_box(Apriori::new(AprioriParams::with_minsup(ms).max_len(10)).mine(&data))
                 })
             },
         );

@@ -30,9 +30,7 @@ fn bench_tree(c: &mut Criterion) {
     let m1 = DecisionTree::fit(&d1, params(n)).to_model();
     let m2 = DecisionTree::fit(&d2, params(n)).to_model();
     group.bench_function("dt_deviation_10k", |b| {
-        b.iter(|| {
-            black_box(dt_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value)
-        })
+        b.iter(|| black_box(dt_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value))
     });
     group.finish();
 }

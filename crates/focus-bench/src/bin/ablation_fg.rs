@@ -34,7 +34,10 @@ fn main() {
     family.push(("D(1)".into(), base_gen.generate(n / 2, cfg.seed ^ 0x11)));
     for (i, p) in processes.iter().enumerate() {
         let g = AssocGen::new(*p, cfg.seed.wrapping_add(100 + i as u64));
-        family.push((format!("D({})", i + 2), g.generate(n, cfg.seed ^ (0x22 + i as u64))));
+        family.push((
+            format!("D({})", i + 2),
+            g.generate(n, cfg.seed ^ (0x22 + i as u64)),
+        ));
     }
 
     let combos: [(&str, DiffFn, AggFn); 4] = [
@@ -70,9 +73,9 @@ fn main() {
 
     // Sanity summary: does every combination rank the same-process control
     // D(1) lowest?
-    let all_rank_control_lowest = columns.iter().all(|col| {
-        col[0] <= col[1..].iter().cloned().fold(f64::INFINITY, f64::min) + 1e-12
-    });
+    let all_rank_control_lowest = columns
+        .iter()
+        .all(|col| col[0] <= col[1..].iter().cloned().fold(f64::INFINITY, f64::min) + 1e-12);
     println!(
         "\nAll four (f,g) combinations rank the same-process dataset D(1) lowest: {}",
         all_rank_control_lowest

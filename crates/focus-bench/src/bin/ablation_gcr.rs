@@ -70,8 +70,7 @@ fn main() {
     let t2_data = ClassifyGen::new(ClassifyFn::F2).generate(n, cfg.seed ^ 4);
     let m1 = fit_dt(&t1_data);
     let m2 = fit_dt(&t2_data);
-    let gcr_value =
-        dt_deviation(&m1, &t1_data, &m2, &t2_data, DiffFn::Absolute, AggFn::Sum).value;
+    let gcr_value = dt_deviation(&m1, &t1_data, &m2, &t2_data, DiffFn::Absolute, AggFn::Sum).value;
 
     // A strictly finer common refinement: cut the overlay once more with a
     // gratuitous salary = 85K hyperplane. Every original cell is the union

@@ -43,18 +43,12 @@ fn run(cfg: ExpConfig) {
 
         // Null: deviations between two same-process resamples of the pool.
         let reps = cfg.reps.max(9);
-        let q = focus_core::qualify::qualify_tables(
-            &d,
-            &d_plus,
-            signal,
-            reps,
-            cfg.seed ^ 2,
-            |a, b| {
+        let q =
+            focus_core::qualify::qualify_tables(&d, &d_plus, signal, reps, cfg.seed ^ 2, |a, b| {
                 let ma = fit_dt(a);
                 let mb = fit_dt(b);
                 dt_deviation(&ma, a, &mb, b, DiffFn::Absolute, AggFn::Sum).value
-            },
-        );
+            });
         let q50 = focus_stats::describe::percentile(&q.null_distribution, 50.0);
         let q99 = focus_stats::describe::percentile(&q.null_distribution, 99.0);
         rows.push(vec![
@@ -71,7 +65,13 @@ fn run(cfg: ExpConfig) {
         }
     }
     print_table(
-        &["|D|", "null q50", "null q99", "block signal δ", "significant"],
+        &[
+            "|D|",
+            "null q50",
+            "null q99",
+            "block signal δ",
+            "significant",
+        ],
         &rows,
     );
     println!(

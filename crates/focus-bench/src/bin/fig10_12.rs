@@ -31,7 +31,10 @@ fn main() {
 
     for (paper_rows, figure) in sizes {
         let n = cfg.rows(paper_rows);
-        eprintln!("# {figure}: {n} tuples, mean SD over {} samples", cfg.samples);
+        eprintln!(
+            "# {figure}: {n} tuples, mean SD over {} samples",
+            cfg.samples
+        );
         let mut curves: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
         for f in functions {
             let data = ClassifyGen::new(f).generate(n, cfg.seed ^ paper_rows as u64);

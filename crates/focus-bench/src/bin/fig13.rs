@@ -51,7 +51,10 @@ fn main() {
     family.push(("D(1)".into(), base_gen.generate(n / 2, cfg.seed ^ 0x11)));
     for (i, p) in processes.iter().enumerate() {
         let g = AssocGen::new(*p, cfg.seed.wrapping_add(100 + i as u64));
-        family.push((format!("D({})", i + 2), g.generate(n, cfg.seed ^ (0x22 + i as u64))));
+        family.push((
+            format!("D({})", i + 2),
+            g.generate(n, cfg.seed ^ (0x22 + i as u64)),
+        ));
     }
     for (i, p) in processes.iter().enumerate() {
         let g = AssocGen::new(*p, cfg.seed.wrapping_add(100 + i as u64));
@@ -63,9 +66,8 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (label, other) in &family {
         let m_o = mine(other, MINSUP);
-        let (dev, t_delta) = timed(|| {
-            lits_deviation(&m_d, &d, &m_o, other, DiffFn::Absolute, AggFn::Sum).value
-        });
+        let (dev, t_delta) =
+            timed(|| lits_deviation(&m_d, &d, &m_o, other, DiffFn::Absolute, AggFn::Sum).value);
         let (bound, t_bound) = timed(|| lits_upper_bound(&m_d, &m_o, AggFn::Sum));
         let sig = if cfg.reps > 0 {
             let q = qualify_transactions(&d, other, dev, cfg.reps, cfg.seed ^ 0x55, |a, b| {

@@ -48,23 +48,20 @@ fn main() {
             rows.push(row);
         }
         let headers: Vec<String> = std::iter::once("SF".to_string())
-            .chain(
-                minsups
-                    .iter()
-                    .map(|ms| format!("f_a,g_sum;minSup={ms}")),
-            )
+            .chain(minsups.iter().map(|ms| format!("f_a,g_sum;minSup={ms}")))
             .collect();
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        println!("== {figure}: SD vs SF, {} ==", params.dataset_name(paper_rows));
+        println!(
+            "== {figure}: SD vs SF, {} ==",
+            params.dataset_name(paper_rows)
+        );
         print_table(&header_refs, &rows);
         println!();
 
         if cfg.json {
             for (ms, curve) in &curves {
                 for (sf, sd) in curve {
-                    println!(
-                        "{{\"figure\":\"{figure}\",\"minsup\":{ms},\"sf\":{sf},\"sd\":{sd}}}"
-                    );
+                    println!("{{\"figure\":\"{figure}\",\"minsup\":{ms},\"sf\":{sf},\"sd\":{sd}}}");
                 }
             }
         }

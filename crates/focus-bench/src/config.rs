@@ -60,7 +60,10 @@ impl ExpConfig {
                 other => panic!("unknown flag {other:?}; try --help"),
             }
         }
-        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must be in (0,1]");
+        assert!(
+            cfg.scale > 0.0 && cfg.scale <= 1.0,
+            "scale must be in (0,1]"
+        );
         assert!(cfg.samples >= 2, "need at least 2 samples");
         cfg
     }

@@ -63,12 +63,7 @@ pub fn lits_sample_deviation(
 
 /// One dt sample deviation: sample, fit a tree, measure
 /// `δ(f_a, g_sum)(M_D, M_S)`.
-pub fn dt_sample_deviation(
-    data: &LabeledTable,
-    full_model: &DtModel,
-    sf: f64,
-    seed: u64,
-) -> f64 {
+pub fn dt_sample_deviation(data: &LabeledTable, full_model: &DtModel, sf: f64, seed: u64) -> f64 {
     let sample = data.sample_fraction(sf, seed);
     let sample_model = fit_dt(&sample);
     dt_deviation(
@@ -83,9 +78,7 @@ pub fn dt_sample_deviation(
 }
 
 /// The paper's sample-fraction grid (Tables 1–2, Figures 7–12).
-pub const SAMPLE_FRACTIONS: [f64; 11] = [
-    0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
-];
+pub const SAMPLE_FRACTIONS: [f64; 11] = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
 /// Collects `samples` SD values per sample fraction (the paper's "sets of
 /// 50 sample deviation values for each size").
@@ -191,7 +184,9 @@ mod tests {
         assert!(
             mean(&sets[1].1) < mean(&sets[0].1),
             "dt SD must shrink with sample size: {:?}",
-            sets.iter().map(|(sf, v)| (*sf, mean(v))).collect::<Vec<_>>()
+            sets.iter()
+                .map(|(sf, v)| (*sf, mean(v)))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -151,7 +151,12 @@ fn gen_class(flags: &Flags) -> Result<(), String> {
     let noise: f64 = opt(flags, "noise", 0.0)?;
     let data = ClassifyGen::new(function).noise(noise).generate(n, seed);
     write_labeled_table(&data, File::create(out).map_err(io_err)?).map_err(io_err)?;
-    eprintln!("wrote {} ({} rows, function {})", out, data.len(), function.name());
+    eprintln!(
+        "wrote {} ({} rows, function {})",
+        out,
+        data.len(),
+        function.name()
+    );
     Ok(())
 }
 

@@ -1,0 +1,261 @@
+//! End-to-end smoke test: drives the `focus-cli` binary through the full
+//! lits pipeline (generate → mine → deviate → bound → qualify) and the dt
+//! pipeline (generate → deviate-dt) on tiny datasets, asserting each step
+//! exits 0 and emits a well-formed report.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_focus-cli")
+}
+
+fn run(args: &[&str]) -> Output {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("failed to spawn focus-cli");
+    assert!(
+        out.status.success(),
+        "focus-cli {:?} failed with {}\nstdout: {}\nstderr: {}",
+        args,
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is not UTF-8")
+}
+
+/// Fresh scratch directory under the target-provided temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("focus-cli-smoke-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().expect("non-UTF-8 temp path")
+}
+
+#[test]
+fn lits_pipeline_end_to_end() {
+    let dir = scratch("lits");
+    let d1 = dir.join("d1.txt");
+    let d2 = dir.join("d2.txt");
+    let m1 = dir.join("m1.model");
+    let m2 = dir.join("m2.model");
+
+    // Two small datasets from the same generating process, different seeds.
+    run(&[
+        "gen-assoc",
+        "--out",
+        path_str(&d1),
+        "--n",
+        "400",
+        "--pats",
+        "50",
+        "--patlen",
+        "3",
+        "--pattern-seed",
+        "1",
+        "--seed",
+        "2",
+    ]);
+    run(&[
+        "gen-assoc",
+        "--out",
+        path_str(&d2),
+        "--n",
+        "400",
+        "--pats",
+        "50",
+        "--patlen",
+        "3",
+        "--pattern-seed",
+        "1",
+        "--seed",
+        "3",
+    ]);
+    assert!(d1.exists() && d2.exists(), "generated datasets must exist");
+
+    // Mine both into model files.
+    run(&[
+        "mine",
+        "--data",
+        path_str(&d1),
+        "--minsup",
+        "0.05",
+        "--out",
+        path_str(&m1),
+    ]);
+    run(&[
+        "mine",
+        "--data",
+        path_str(&d2),
+        "--minsup",
+        "0.05",
+        "--out",
+        path_str(&m2),
+    ]);
+
+    // Exact deviation: stdout is a single non-negative finite number.
+    let dev_out = run(&[
+        "deviate",
+        "--d1",
+        path_str(&d1),
+        "--d2",
+        path_str(&d2),
+        "--minsup",
+        "0.05",
+    ]);
+    let dev: f64 = stdout(&dev_out)
+        .trim()
+        .parse()
+        .expect("deviate must print a number");
+    assert!(dev.is_finite() && dev >= 0.0, "deviation {dev}");
+
+    // Upper bound from the persisted models dominates the exact deviation.
+    let bound_out = run(&["bound", "--m1", path_str(&m1), "--m2", path_str(&m2)]);
+    let bound: f64 = stdout(&bound_out)
+        .trim()
+        .parse()
+        .expect("bound must print a number");
+    assert!(bound >= dev - 1e-9, "δ* = {bound} must dominate δ = {dev}");
+
+    // Qualify: a well-formed deviation report with a significance percentage.
+    let qual_out = run(&[
+        "qualify",
+        "--d1",
+        path_str(&d1),
+        "--d2",
+        path_str(&d2),
+        "--minsup",
+        "0.05",
+        "--reps",
+        "19",
+        "--seed",
+        "7",
+    ]);
+    let report = stdout(&qual_out);
+    assert!(
+        report.contains("deviation") && report.contains("significance"),
+        "malformed report: {report:?}"
+    );
+    let sig: f64 = report
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .trim_end_matches('%')
+        .parse()
+        .expect("significance must be a percentage");
+    assert!((0.0..=100.0).contains(&sig), "significance {sig}");
+
+    // Deterministic: the same invocation prints the same deviation.
+    let dev_out2 = run(&[
+        "deviate",
+        "--d1",
+        path_str(&d1),
+        "--d2",
+        path_str(&d2),
+        "--minsup",
+        "0.05",
+    ]);
+    assert_eq!(stdout(&dev_out), stdout(&dev_out2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dt_pipeline_end_to_end() {
+    let dir = scratch("dt");
+    let d1 = dir.join("d1.tbl");
+    let d2 = dir.join("d2.tbl");
+
+    // Same Agrawal function, different seeds — a small honest drift test.
+    run(&[
+        "gen-class",
+        "--out",
+        path_str(&d1),
+        "--n",
+        "500",
+        "--function",
+        "F2",
+        "--seed",
+        "1",
+    ]);
+    run(&[
+        "gen-class",
+        "--out",
+        path_str(&d2),
+        "--n",
+        "500",
+        "--function",
+        "F2",
+        "--seed",
+        "2",
+    ]);
+
+    // Fit a tree on one dataset; just a structural sanity check.
+    run(&[
+        "tree",
+        "--data",
+        path_str(&d1),
+        "--max-depth",
+        "4",
+        "--min-leaf",
+        "20",
+    ]);
+
+    let out = run(&[
+        "deviate-dt",
+        "--d1",
+        path_str(&d1),
+        "--d2",
+        path_str(&d2),
+        "--max-depth",
+        "4",
+        "--min-leaf",
+        "20",
+    ]);
+    let dev: f64 = stdout(&out)
+        .trim()
+        .parse()
+        .expect("deviate-dt must print a number");
+    assert!(dev.is_finite() && dev >= 0.0, "dt deviation {dev}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = run(&["help"]);
+    let text = stdout(&out);
+    for cmd in [
+        "gen-assoc",
+        "gen-class",
+        "mine",
+        "deviate",
+        "bound",
+        "qualify",
+        "tree",
+        "deviate-dt",
+    ] {
+        assert!(text.contains(cmd), "usage must mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_nonzero() {
+    let out = Command::new(bin())
+        .arg("no-such-command")
+        .output()
+        .expect("failed to spawn focus-cli");
+    assert!(!out.status.success());
+}

@@ -100,7 +100,7 @@ impl ClusteringFeature {
 enum Node {
     Internal {
         summaries: Vec<ClusteringFeature>,
-        children: Vec<Box<Node>>,
+        children: Vec<Node>,
     },
     Leaf {
         entries: Vec<ClusteringFeature>,
@@ -175,20 +175,32 @@ impl Birch {
         assert!(!numeric_attrs.is_empty(), "BIRCH needs a numeric attribute");
         let d = numeric_attrs.len();
         let points: Vec<Vec<f64>> = (0..data.len())
-            .map(|r| numeric_attrs.iter().map(|&a| data.row(r)[a].as_num()).collect())
+            .map(|r| {
+                numeric_attrs
+                    .iter()
+                    .map(|&a| data.row(r)[a].as_num())
+                    .collect()
+            })
             .collect();
 
         // Phase 1: build the CF-tree.
-        let mut root = Node::Leaf { entries: Vec::new() };
+        let mut root = Node::Leaf {
+            entries: Vec::new(),
+        };
         for p in &points {
-            if let Some((a, b)) = insert(&mut root, p, self.params.threshold, self.params.branching, d)
-            {
+            if let Some((a, b)) = insert(
+                &mut root,
+                p,
+                self.params.threshold,
+                self.params.branching,
+                d,
+            ) {
                 // Root split: grow the tree by one level.
                 let sa = subtree_cf(&a, d);
                 let sb = subtree_cf(&b, d);
                 root = Node::Internal {
                     summaries: vec![sa, sb],
-                    children: vec![Box::new(a), Box::new(b)],
+                    children: vec![a, b],
                 };
             }
         }
@@ -341,15 +353,13 @@ fn insert(
                     // Replace the split child with its two halves.
                     let sa = subtree_cf(&a, d);
                     let sb = subtree_cf(&b, d);
-                    *children[bi] = a;
+                    children[bi] = a;
                     summaries[bi] = sa;
-                    children.insert(bi + 1, Box::new(b));
+                    children.insert(bi + 1, b);
                     summaries.insert(bi + 1, sb);
                     if children.len() > branching {
-                        let pairs: Vec<(ClusteringFeature, Box<Node>)> = summaries
-                            .drain(..)
-                            .zip(children.drain(..))
-                            .collect();
+                        let pairs: Vec<(ClusteringFeature, Node)> =
+                            summaries.drain(..).zip(children.drain(..)).collect();
                         let (pa, pb) = split_pairs(pairs);
                         let (sa, ca): (Vec<_>, Vec<_>) = pa.into_iter().unzip();
                         let (sb, cb): (Vec<_>, Vec<_>) = pb.into_iter().unzip();
@@ -374,7 +384,9 @@ fn insert(
 /// Splits leaf entries by the farthest-pair seeding rule of the BIRCH
 /// paper: pick the two entries farthest apart as seeds, assign the rest to
 /// the nearer seed.
-fn split_entries(entries: Vec<ClusteringFeature>) -> (Vec<ClusteringFeature>, Vec<ClusteringFeature>) {
+fn split_entries(
+    entries: Vec<ClusteringFeature>,
+) -> (Vec<ClusteringFeature>, Vec<ClusteringFeature>) {
     let (ia, ib) = farthest_pair(&entries, |e| e.clone());
     let seed_a = entries[ia].clone();
     let seed_b = entries[ib].clone();
@@ -396,7 +408,7 @@ fn split_entries(entries: Vec<ClusteringFeature>) -> (Vec<ClusteringFeature>, Ve
     (a, b)
 }
 
-type NodeEntry = (ClusteringFeature, Box<Node>);
+type NodeEntry = (ClusteringFeature, Node);
 
 fn split_pairs(pairs: Vec<NodeEntry>) -> (Vec<NodeEntry>, Vec<NodeEntry>) {
     let (ia, ib) = farthest_pair(&pairs, |(s, _)| s.clone());
@@ -507,8 +519,10 @@ mod tests {
         assert_eq!(r.clusters.len(), 3);
         // Each blob's 80 points share one cluster id.
         for blob in 0..3 {
-            let ids: std::collections::HashSet<usize> =
-                r.assignment[blob * 80..(blob + 1) * 80].iter().copied().collect();
+            let ids: std::collections::HashSet<usize> = r.assignment[blob * 80..(blob + 1) * 80]
+                .iter()
+                .copied()
+                .collect();
             assert_eq!(ids.len(), 1, "blob {blob} split across clusters");
         }
         // And the three blobs get three distinct ids.
@@ -580,7 +594,13 @@ mod tests {
         // Many spread-out points with branching 2 forces repeated splits
         // through multiple levels; mass must still be conserved.
         let data = blob_table(
-            &[(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0), (20.0, 20.0)],
+            &[
+                (0.0, 0.0),
+                (40.0, 0.0),
+                (0.0, 40.0),
+                (40.0, 40.0),
+                (20.0, 20.0),
+            ],
             60,
             12.0,
             13,

@@ -28,14 +28,15 @@ use crate::model::LitsModel;
 /// aggregated by `g ∈ {sum, max}`.
 pub fn lits_upper_bound(m1: &LitsModel, m2: &LitsModel, g: AggFn) -> f64 {
     let gcr = gcr_lits(m1.itemsets(), m2.itemsets());
-    g.eval(gcr.iter().map(|x| {
-        match (m1.support_of(x), m2.support_of(x)) {
-            (Some(s1), Some(s2)) => (s1 - s2).abs(),
-            (Some(s1), None) => s1,
-            (None, Some(s2)) => s2,
-            (None, None) => unreachable!("GCR itemset missing from both models"),
-        }
-    }))
+    g.eval(
+        gcr.iter()
+            .map(|x| match (m1.support_of(x), m2.support_of(x)) {
+                (Some(s1), Some(s2)) => (s1 - s2).abs(),
+                (Some(s1), None) => s1,
+                (None, Some(s2)) => s2,
+                (None, None) => unreachable!("GCR itemset missing from both models"),
+            }),
+    )
 }
 
 #[cfg(test)]
@@ -95,15 +96,8 @@ mod tests {
             let m2 = brute_force_model(&d2, 0.2);
             for g in [AggFn::Sum, AggFn::Max] {
                 let bound = lits_upper_bound(&m1, &m2, g);
-                let exact = crate::deviation::lits_deviation(
-                    &m1,
-                    &d1,
-                    &m2,
-                    &d2,
-                    DiffFn::Absolute,
-                    g,
-                )
-                .value;
+                let exact =
+                    crate::deviation::lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, g).value;
                 assert!(
                     bound >= exact - 1e-12,
                     "seed {seed} {g:?}: bound {bound} < exact {exact}"
@@ -159,10 +153,7 @@ mod tests {
         let m1 = brute_force_model(&d1, 0.2);
         let m2 = brute_force_model(&d2, 0.2);
         for g in [AggFn::Sum, AggFn::Max] {
-            assert_eq!(
-                lits_upper_bound(&m1, &m2, g),
-                lits_upper_bound(&m2, &m1, g)
-            );
+            assert_eq!(lits_upper_bound(&m1, &m2, g), lits_upper_bound(&m2, &m1, g));
             assert_eq!(lits_upper_bound(&m1, &m1, g), 0.0);
         }
     }

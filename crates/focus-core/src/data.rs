@@ -419,7 +419,8 @@ impl TransactionSet {
     /// allowed, for bootstrap resampling).
     pub fn subset(&self, indices: &[usize]) -> TransactionSet {
         let mut t = TransactionSet::new(self.n_items);
-        t.items.reserve(indices.len() * (self.avg_len().ceil() as usize + 1));
+        t.items
+            .reserve(indices.len() * (self.avg_len().ceil() as usize + 1));
         for &i in indices {
             t.items.extend_from_slice(self.get(i));
             t.offsets.push(t.items.len());

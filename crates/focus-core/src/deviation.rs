@@ -284,12 +284,7 @@ fn dt_deviation_over_cells(
 /// Routes each row of `data` through both original partitions to its GCR
 /// cell and tallies per-class counts. `O(rows · (L1 + L2))` instead of
 /// `O(rows · |GCR|)`.
-fn count_cells(
-    cells: &[OverlayCell],
-    m1: &DtModel,
-    m2: &DtModel,
-    data: &LabeledTable,
-) -> Vec<u64> {
+fn count_cells(cells: &[OverlayCell], m1: &DtModel, m2: &DtModel, data: &LabeledTable) -> Vec<u64> {
     let k = m1.n_classes() as usize;
     let mut by_pair: HashMap<(usize, usize), usize> = HashMap::with_capacity(cells.len());
     for (idx, c) in cells.iter().enumerate() {
@@ -418,7 +413,7 @@ mod tests {
             d1.push(vec![1]); // b alone
         }
         d1.push(vec![2]); // c alone → c = 2 → 0.1
-        // Pad with empty transactions to reach 20.
+                          // Pad with empty transactions to reach 20.
         while d1.len() < 20 {
             d1.push(vec![]);
         }
@@ -509,15 +504,8 @@ mod tests {
         let (d1, d2) = figure6_datasets();
         let (l1, l2) = figure6_models(&d1, &d2);
         // Focus on items {a, b} = {0, 1}: only a, b, ab participate.
-        let dev = lits_deviation_focussed(
-            &l1,
-            &d1,
-            &l2,
-            &d2,
-            &[0, 1],
-            DiffFn::Absolute,
-            AggFn::Sum,
-        );
+        let dev =
+            lits_deviation_focussed(&l1, &d1, &l2, &d2, &[0, 1], DiffFn::Absolute, AggFn::Sum);
         // |0.5−0.1| + |0.4−0.3| + |0.25−0.05| = 0.7
         assert!((dev.value - 0.7).abs() < 1e-12, "got {}", dev.value);
         assert_eq!(dev.gcr.len(), 3);

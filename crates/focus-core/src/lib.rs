@@ -68,9 +68,9 @@
 
 pub mod bound;
 pub mod data;
-pub mod embed;
 pub mod deviation;
 pub mod diff;
+pub mod embed;
 pub mod gcr;
 pub mod model;
 pub mod monitor;
@@ -110,7 +110,7 @@ pub mod prelude {
     };
     pub use crate::persist::{read_dt_model, read_lits_model, write_dt_model, write_lits_model};
     pub use crate::qualify::{qualify_chi_squared, qualify_tables, qualify_transactions};
+    pub use crate::region::{AttrConstraint, BoxBuilder, BoxRegion, CatMask, Itemset};
     pub use crate::report::{dt_report, lits_report, ComparisonReport, ReportOptions};
     pub use crate::stream::{BlockVerdict, ChangeMonitor};
-    pub use crate::region::{AttrConstraint, BoxBuilder, BoxRegion, CatMask, Itemset};
 }

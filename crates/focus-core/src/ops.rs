@@ -200,9 +200,7 @@ mod tests {
     fn rank_orders_descending_and_stable() {
         let regions = vec!["a", "b", "c", "d"];
         let scores = [(0.1), (0.9), (0.9), (0.5)];
-        let ranked = rank(regions, |r| {
-            scores[(r.as_bytes()[0] - b'a') as usize]
-        });
+        let ranked = rank(regions, |r| scores[(r.as_bytes()[0] - b'a') as usize]);
         let order: Vec<&str> = ranked.iter().map(|r| r.region).collect();
         // b before c: ties keep input order.
         assert_eq!(order, vec!["b", "c", "d", "a"]);

@@ -141,7 +141,9 @@ pub fn read_dt_model<R: Read>(r: R) -> std::io::Result<(DtModel, Arc<Schema>)> {
     if fields.len() != 5 || fields[1] != "n" || fields[3] != "leaves" {
         return Err(bad("malformed dt-model header"));
     }
-    let k: u32 = fields[0].parse().map_err(|e| bad(&format!("bad classes: {e}")))?;
+    let k: u32 = fields[0]
+        .parse()
+        .map_err(|e| bad(&format!("bad classes: {e}")))?;
     let n_rows: u64 = fields[2].parse().map_err(|e| bad(&format!("bad n: {e}")))?;
 
     let mut attrs = Vec::new();
@@ -293,8 +295,14 @@ mod tests {
         }
         let model = induce_dt_measures(
             vec![
-                BoxBuilder::new(&schema).lt("age", 50.0).cats("elevel", &[0, 1]).build(),
-                BoxBuilder::new(&schema).lt("age", 50.0).cats("elevel", &[2, 3, 4]).build(),
+                BoxBuilder::new(&schema)
+                    .lt("age", 50.0)
+                    .cats("elevel", &[0, 1])
+                    .build(),
+                BoxBuilder::new(&schema)
+                    .lt("age", 50.0)
+                    .cats("elevel", &[2, 3, 4])
+                    .build(),
                 BoxBuilder::new(&schema).ge("age", 50.0).build(),
             ],
             &data,

@@ -35,7 +35,10 @@ pub fn qualify_transactions<F>(
 where
     F: FnMut(&TransactionSet, &TransactionSet) -> f64,
 {
-    assert!(!d1.is_empty() && !d2.is_empty(), "datasets must be non-empty");
+    assert!(
+        !d1.is_empty() && !d2.is_empty(),
+        "datasets must be non-empty"
+    );
     let pool = d1.concat(d2);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut null = Vec::with_capacity(reps);
@@ -69,7 +72,10 @@ pub fn qualify_tables<F>(
 where
     F: FnMut(&LabeledTable, &LabeledTable) -> f64,
 {
-    assert!(!d1.is_empty() && !d2.is_empty(), "datasets must be non-empty");
+    assert!(
+        !d1.is_empty() && !d2.is_empty(),
+        "datasets must be non-empty"
+    );
     let pool = d1.concat(d2);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut null = Vec::with_capacity(reps);

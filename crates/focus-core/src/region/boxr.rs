@@ -221,10 +221,7 @@ impl BoxRegion {
     /// True if the box admits the (unlabelled) row.
     pub fn contains(&self, row: &[Value]) -> bool {
         debug_assert_eq!(row.len(), self.constraints.len());
-        self.constraints
-            .iter()
-            .zip(row)
-            .all(|(c, v)| c.contains(v))
+        self.constraints.iter().zip(row).all(|(c, v)| c.contains(v))
     }
 
     /// True if the box admits the labelled row (class must match when the
@@ -286,12 +283,7 @@ impl BoxRegion {
         );
         let mut pieces = Vec::new();
         let mut clipped = self.clone();
-        for (dim, (a, b)) in self
-            .constraints
-            .iter()
-            .zip(&other.constraints)
-            .enumerate()
-        {
+        for (dim, (a, b)) in self.constraints.iter().zip(&other.constraints).enumerate() {
             match (a, b) {
                 (
                     AttrConstraint::Interval { lo: alo, hi: ahi },
@@ -561,7 +553,10 @@ mod tests {
 
     #[test]
     fn box_subtract_2d_cross() {
-        let s = Arc::new(Schema::new(vec![Schema::numeric("x"), Schema::numeric("y")]));
+        let s = Arc::new(Schema::new(vec![
+            Schema::numeric("x"),
+            Schema::numeric("y"),
+        ]));
         let a = BoxBuilder::new(&s)
             .range("x", 0.0, 10.0)
             .range("y", 0.0, 10.0)

@@ -177,9 +177,7 @@ mod tests {
         let b = Itemset::from_slice(&[3, 4]);
         assert_eq!(a.union(&b).items(), &[1, 2, 3, 4]);
         assert_eq!(a.intersection(&b).items(), &[3]);
-        assert!(a
-            .intersection(&Itemset::from_slice(&[9]))
-            .is_empty());
+        assert!(a.intersection(&Itemset::from_slice(&[9])).is_empty());
     }
 
     #[test]

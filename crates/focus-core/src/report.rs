@@ -232,10 +232,7 @@ mod tests {
         assert_eq!(r.sizes, (4, 4));
         assert!(!r.top_regions.is_empty());
         // Top regions are sorted descending.
-        assert!(r
-            .top_regions
-            .windows(2)
-            .all(|w| w[0].1 >= w[1].1));
+        assert!(r.top_regions.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]

@@ -73,11 +73,13 @@ where
         mut pipeline: F,
     ) -> Self {
         assert!(!reference.is_empty(), "reference must be non-empty");
-        assert!((0.5..1.0).contains(&quantile), "quantile must be in [0.5, 1)");
+        assert!(
+            (0.5..1.0).contains(&quantile),
+            "quantile must be in [0.5, 1)"
+        );
         assert!(reps >= 10, "need at least 10 replicates to calibrate");
         assert!(block_size > 0);
-        let threshold =
-            calibrate(&reference, block_size, quantile, reps, seed, &mut pipeline);
+        let threshold = calibrate(&reference, block_size, quantile, reps, seed, &mut pipeline);
         Self {
             reference,
             pipeline,
@@ -156,9 +158,7 @@ where
         })
         .collect();
     null.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation"));
-    let pos = ((quantile * null.len() as f64).ceil() as usize)
-        .clamp(1, null.len())
-        - 1;
+    let pos = ((quantile * null.len() as f64).ceil() as usize).clamp(1, null.len()) - 1;
     null[pos]
 }
 

@@ -139,7 +139,9 @@ impl AssocGen {
             // Correlated fraction from the previous pattern.
             if !prev.is_empty() {
                 let frac = frac_dist.sample(&mut rng).min(1.0);
-                let n_shared = ((frac * len as f64).round() as usize).min(prev.len()).min(len);
+                let n_shared = ((frac * len as f64).round() as usize)
+                    .min(prev.len())
+                    .min(len);
                 // Sample n_shared distinct items from prev.
                 let mut pool = prev.clone();
                 for k in 0..n_shared {

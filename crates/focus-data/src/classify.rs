@@ -177,8 +177,7 @@ impl ClassifyFn {
             }
             ClassifyFn::F10 => {
                 let equity = 0.1 * p.hvalue * (p.hyears - 20.0).max(0.0);
-                let disposable = (2.0 * (salary + p.commission)) / 3.0
-                    - 5_000.0 * elevel as f64
+                let disposable = (2.0 * (salary + p.commission)) / 3.0 - 5_000.0 * elevel as f64
                     + 0.2 * equity
                     - 10_000.0;
                 disposable > 0.0
@@ -410,7 +409,11 @@ mod tests {
                 ClassifyFn::F1 | ClassifyFn::F2 | ClassifyFn::F3 | ClassifyFn::F4 => 0.15..=0.85,
                 _ => 0.001..=0.999,
             };
-            assert!(band.contains(&frac), "{}: Group A fraction {frac}", f.name());
+            assert!(
+                band.contains(&frac),
+                "{}: Group A fraction {frac}",
+                f.name()
+            );
         }
     }
 
@@ -426,7 +429,9 @@ mod tests {
         // F1 depends only on age, so the true label of each noisy row can
         // be recomputed from the row itself; the disagreement rate is the
         // noise level.
-        let noisy = ClassifyGen::new(ClassifyFn::F1).noise(0.3).generate(2000, 5);
+        let noisy = ClassifyGen::new(ClassifyFn::F1)
+            .noise(0.3)
+            .generate(2000, 5);
         let schema = classification_schema();
         let ai = schema.index_of("age").unwrap();
         let flipped = noisy

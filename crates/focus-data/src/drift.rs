@@ -179,13 +179,9 @@ mod tests {
     fn dilute_item_reduces_only_that_item() {
         let gen = AssocGen::new(AssocGenParams::small(), 11);
         let data = gen.generate(2000, 12);
-        let count = |d: &TransactionSet, item: u32| {
-            d.iter().filter(|t| t.contains(&item)).count()
-        };
+        let count = |d: &TransactionSet, item: u32| d.iter().filter(|t| t.contains(&item)).count();
         // Pick the most frequent item to get a reliable signal.
-        let target = (0..100u32)
-            .max_by_key(|&i| count(&data, i))
-            .unwrap();
+        let target = (0..100u32).max_by_key(|&i| count(&data, i)).unwrap();
         let before = count(&data, target);
         let diluted = dilute_item(&data, target, 0.5, 13);
         let after = count(&diluted, target);
@@ -215,9 +211,6 @@ mod tests {
         let gen = AssocGen::new(AssocGenParams::small(), 17);
         let data = gen.generate(300, 1);
         assert_eq!(permute_items(&data, 5), permute_items(&data, 5));
-        assert_eq!(
-            dilute_item(&data, 3, 0.5, 7),
-            dilute_item(&data, 3, 0.5, 7)
-        );
+        assert_eq!(dilute_item(&data, 3, 0.5, 7), dilute_item(&data, 3, 0.5, 7));
     }
 }

@@ -221,7 +221,10 @@ mod tests {
     #[test]
     fn rejects_malformed_headers() {
         assert!(read_transactions("no header\n1 2".as_bytes()).is_err());
-        assert!(read_labeled_table("#num x\n1.0,0".as_bytes()).is_err(), "missing #classes");
+        assert!(
+            read_labeled_table("#num x\n1.0,0".as_bytes()).is_err(),
+            "missing #classes"
+        );
     }
 
     #[test]

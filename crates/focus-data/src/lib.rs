@@ -30,5 +30,8 @@ pub mod drift;
 pub mod io;
 
 pub use assoc::{AssocGen, AssocGenParams};
-pub use io::{read_labeled_table, read_table, read_transactions, write_labeled_table, write_table, write_transactions};
 pub use classify::{classification_schema, ClassifyFn, ClassifyGen};
+pub use io::{
+    read_labeled_table, read_table, read_transactions, write_labeled_table, write_table,
+    write_transactions,
+};

@@ -86,8 +86,8 @@ impl Apriori {
             return LitsModel::new(Vec::new(), Vec::new(), self.params.minsup, 0);
         }
         // ceil(minsup · n) supporting transactions required.
-        let min_count =
-            ((self.params.minsup * n as f64).ceil().max(1.0) as u64).max(self.params.min_count_floor);
+        let min_count = ((self.params.minsup * n as f64).ceil().max(1.0) as u64)
+            .max(self.params.min_count_floor);
 
         let mut all_frequent: Vec<(Itemset, u64)> = Vec::new();
 
@@ -177,7 +177,12 @@ fn all_subsets_frequent(cand: &[u32], freq_set: &HashSet<&[u32]>) -> bool {
     let mut sub: Vec<u32> = Vec::with_capacity(cand.len() - 1);
     for skip in 0..cand.len() {
         sub.clear();
-        sub.extend(cand.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &x)| x));
+        sub.extend(
+            cand.iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, &x)| x),
+        );
         if !freq_set.contains(sub.as_slice()) {
             return false;
         }
@@ -263,15 +268,7 @@ mod tests {
     #[test]
     fn textbook_example() {
         // The classic Agrawal–Srikant toy dataset.
-        let data = dataset(
-            &[
-                &[0, 2, 3],
-                &[1, 2, 4],
-                &[0, 1, 2, 4],
-                &[1, 4],
-            ],
-            5,
-        );
+        let data = dataset(&[&[0, 2, 3], &[1, 2, 4], &[0, 1, 2, 4], &[1, 4]], 5);
         // minsup 50% → min_count 2.
         let m = Apriori::new(AprioriParams::with_minsup(0.5)).mine(&data);
         let expect = |items: &[u32], sup: f64| {

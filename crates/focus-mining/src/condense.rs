@@ -133,10 +133,7 @@ mod tests {
                 .filter(|(c, _)| s.is_subset_of_sorted(c.items()))
                 .map(|(_, &cs)| cs)
                 .fold(f64::NEG_INFINITY, f64::max);
-            assert!(
-                (recovered - sup).abs() < 1e-12,
-                "{s}: {recovered} vs {sup}"
-            );
+            assert!((recovered - sup).abs() < 1e-12, "{s}: {recovered} vs {sup}");
         }
     }
 

@@ -54,11 +54,8 @@ pub fn generate_rules(model: &LitsModel, min_confidence: f64) -> Vec<Rule> {
             continue;
         }
         // Start from 1-item consequents.
-        let mut consequents: Vec<Itemset> = z
-            .items()
-            .iter()
-            .map(|&i| Itemset::new(vec![i]))
-            .collect();
+        let mut consequents: Vec<Itemset> =
+            z.items().iter().map(|&i| Itemset::new(vec![i])).collect();
         while !consequents.is_empty() {
             let mut kept: Vec<Itemset> = Vec::new();
             for y in &consequents {

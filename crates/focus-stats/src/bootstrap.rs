@@ -172,10 +172,7 @@ mod tests {
         let d: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let stat = |a: &[f64], b: &[f64]| mean(a) - mean(b);
         let r = qualify(&d, &d, 0.0, 64, 3, stat);
-        assert!(r
-            .null_distribution
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(r.null_distribution.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(r.null_distribution.len(), 64);
     }
 

@@ -79,7 +79,10 @@ pub struct Normal {
 impl Normal {
     /// Standard normal, `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mu: 0.0, sigma: 1.0 }
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Normal with mean `mu` and standard deviation `sigma > 0`.

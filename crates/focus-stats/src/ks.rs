@@ -150,4 +150,38 @@ mod tests {
     fn rejects_empty() {
         ks_two_sample(&[], &[1.0]);
     }
+
+    #[test]
+    fn hand_computed_statistic_unequal_sizes() {
+        // a = {1,2,3,4}, b = {2.5, 3.5}. Walking the pooled values:
+        // F1 jumps by 1/4 at 1,2,3,4; F2 by 1/2 at 2.5, 3.5.
+        // At x=2: |2/4 − 0| = 0.5 is the supremum.
+        let r = ks_two_sample(&[1.0, 2.0, 3.0, 4.0], &[2.5, 3.5]);
+        assert!((r.statistic - 0.5).abs() < 1e-12, "D = {}", r.statistic);
+    }
+
+    #[test]
+    fn tabulated_critical_value_alpha_05() {
+        // Large-sample two-sided critical value at α = 0.05:
+        // D_crit = 1.358 · √((n1+n2)/(n1·n2)). A statistic exactly at the
+        // critical value must produce p ≈ 0.05 (within the Stephens
+        // correction's small bias).
+        let (n1, n2) = (100usize, 100usize);
+        let d_crit = 1.358 * (((n1 + n2) as f64) / ((n1 * n2) as f64)).sqrt();
+        let ne = (n1 * n2) as f64 / (n1 + n2) as f64;
+        let sqrt_ne = ne.sqrt();
+        let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d_crit;
+        let p = kolmogorov_sf(lambda);
+        assert!((0.03..0.06).contains(&p), "p at critical value = {p}");
+    }
+
+    #[test]
+    fn kolmogorov_sf_tabulated_quantiles() {
+        // Tabulated Kolmogorov quantiles: Q(1.2238) ≈ 0.10, Q(1.6276) ≈ 0.01.
+        assert!((kolmogorov_sf(1.2238) - 0.10).abs() < 1e-3);
+        assert!((kolmogorov_sf(1.6276) - 0.01).abs() < 1e-3);
+        // Monotone decreasing.
+        let qs: Vec<f64> = (1..40).map(|i| kolmogorov_sf(i as f64 * 0.1)).collect();
+        assert!(qs.windows(2).all(|w| w[1] <= w[0] + 1e-15));
+    }
 }

@@ -229,4 +229,44 @@ mod tests {
     fn gamma_p_rejects_negative_x() {
         gamma_p(1.0, -1.0);
     }
+
+    #[test]
+    fn ln_gamma_tabulated_values() {
+        // Γ(5.5) = 52.342777784553520181… (A&S 6.1.49 neighborhood).
+        close(ln_gamma(5.5), 52.342_777_784_553_52_f64.ln(), 1e-12);
+        // Γ(0.1) = 9.513507698668731836…
+        close(ln_gamma(0.1), 9.513_507_698_668_732_f64.ln(), 1e-10);
+        // Duplication sanity: Γ(2x) = Γ(x)Γ(x+1/2) 2^{2x−1}/√π at x = 3.3.
+        let x = 3.3_f64;
+        let lhs = ln_gamma(2.0 * x);
+        let rhs = ln_gamma(x) + ln_gamma(x + 0.5) + (2.0 * x - 1.0) * 2.0_f64.ln()
+            - 0.5 * std::f64::consts::PI.ln();
+        close(lhs, rhs, 1e-10);
+    }
+
+    #[test]
+    fn chi_squared_tabulated_critical_values() {
+        // P(k/2, x/2) is the χ²_k CDF; at the tabulated 95th-percentile
+        // critical values it must return 0.950 to table precision.
+        for &(k, crit) in &[
+            (1.0, 3.841),
+            (2.0, 5.991),
+            (5.0, 11.070),
+            (10.0, 18.307),
+            (30.0, 43.773),
+        ] {
+            let p = gamma_p(k / 2.0, crit / 2.0);
+            close(p, 0.95, 5e-4);
+        }
+    }
+
+    #[test]
+    fn normal_quantiles_via_erf() {
+        // Φ(z) = (1 + erf(z/√2))/2 at tabulated z: Φ(1.644854) ≈ 0.95,
+        // Φ(1.959964) ≈ 0.975, Φ(2.575829) ≈ 0.995.
+        let phi = |z: f64| 0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2));
+        close(phi(1.644_854), 0.95, 1e-6);
+        close(phi(1.959_964), 0.975, 1e-6);
+        close(phi(2.575_829), 0.995, 1e-6);
+    }
 }

@@ -208,4 +208,54 @@ mod tests {
     fn empty_sample_panics() {
         rank_sum(&[], &[1.0], Alternative::TwoSided);
     }
+
+    #[test]
+    fn hand_computed_textbook_example() {
+        // Pooled sorted: 60 68 70 75 77 80 82 85 90 92; sample-1 ranks are
+        // {2, 5, 7, 8, 10}, so W = 32. With n1 = n2 = 5 and no ties:
+        // E[W] = 27.5, Var[W] = 275/12, z = (4.5 − 0.5)/√(275/12) ≈ 0.8356,
+        // two-sided p = 2(1 − Φ(0.8356)) ≈ 0.4033.
+        let s1 = [68.0, 77.0, 82.0, 85.0, 92.0];
+        let s2 = [60.0, 70.0, 75.0, 80.0, 90.0];
+        let r = rank_sum(&s1, &s2, Alternative::TwoSided);
+        assert_eq!(r.w, 32.0);
+        assert!((r.z - 0.8356).abs() < 1e-3, "z = {}", r.z);
+        assert!((r.p_value - 0.4033).abs() < 1e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn one_sided_p_values_complement() {
+        // With the continuity correction, P(less) + P(greater) > 1 by the
+        // mass at the observed point; both must still be proper and ordered.
+        let a = [1.2, 3.4, 2.2, 5.0, 4.4, 0.9];
+        let b = [2.0, 4.1, 3.3, 6.2, 5.7, 2.9];
+        let less = rank_sum(&a, &b, Alternative::Less).p_value;
+        let greater = rank_sum(&a, &b, Alternative::Greater).p_value;
+        assert!(less < greater, "a is shifted left of b");
+        assert!((0.0..=1.0).contains(&less) && (0.0..=1.0).contains(&greater));
+        assert!((less + greater - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn tie_correction_shrinks_variance() {
+        // Heavy ties reduce Var[W]; with ties the same |W − E[W]| yields a
+        // larger |z| than the tie-free variance would give. Check against
+        // the closed form: Var = n1 n2/12 · (n+1 − Σ(t³−t)/(n(n−1))).
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 2.0, 3.0];
+        let r = rank_sum(&a, &b, Alternative::TwoSided);
+        // Tie groups: three 1s, three 2s, two 3s → Σ(t³−t) = 24+24+6 = 54.
+        // Var = 16/12 · (9 − 54/56) = 16/12 · (9 − 27/28) = 10.714285…
+        // W(sample1): ranks of the three 1s avg 2, the 2s avg 5, 3s avg 7.5
+        // → W = 2 + 2 + 5 + 7.5 = 16.5; E[W] = 18; z = (−1.5+0.5)/√10.714.
+        assert_eq!(r.w, 16.5);
+        let var: f64 = 16.0 / 12.0 * (9.0 - 54.0 / 56.0);
+        let z_expected = (16.5 - 18.0 + 0.5) / var.sqrt();
+        assert!(
+            (r.z - z_expected).abs() < 1e-12,
+            "z = {} vs {}",
+            r.z,
+            z_expected
+        );
+    }
 }

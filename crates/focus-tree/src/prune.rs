@@ -122,12 +122,7 @@ impl DecisionTree {
 
     /// Returns `(training errors, leaf count)` of the subtree at `i` after
     /// descendant collapse decisions; fills `collapse[i]`.
-    fn decide_cc(
-        &self,
-        i: usize,
-        alpha: f64,
-        collapse: &mut Vec<Option<Node>>,
-    ) -> (u64, usize) {
+    fn decide_cc(&self, i: usize, alpha: f64, collapse: &mut Vec<Option<Node>>) -> (u64, usize) {
         match &self.nodes[i] {
             Node::Leaf { counts, prediction } => {
                 let errors = counts.iter().sum::<u64>() - counts[*prediction as usize];
@@ -296,8 +291,7 @@ mod tests {
         // And generalization (a third sample) should not degrade much.
         let test = noisy_data(400, 0.15, 3);
         assert!(
-            pruned.misclassification_rate(&test)
-                <= overfit.misclassification_rate(&test) + 0.02
+            pruned.misclassification_rate(&test) <= overfit.misclassification_rate(&test) + 0.02
         );
     }
 

@@ -185,7 +185,11 @@ fn best_categorical_split(
         let mut left = vec![0u64; k];
         let mut right = vec![0u64; k];
         for &c in &present {
-            let side = if mask.contains(c) { &mut left } else { &mut right };
+            let side = if mask.contains(c) {
+                &mut left
+            } else {
+                &mut right
+            };
             for j in 0..k {
                 side[j] += cat_counts[c as usize * k + j];
             }
@@ -324,7 +328,16 @@ mod tests {
         // class 1. The ordering trick must find a perfect subset split even
         // though no single category separates the data.
         let data = categorical_data(
-            &[(0, 0), (0, 0), (2, 0), (2, 0), (1, 1), (1, 1), (3, 1), (3, 1)],
+            &[
+                (0, 0),
+                (0, 0),
+                (2, 0),
+                (2, 0),
+                (1, 1),
+                (1, 1),
+                (3, 1),
+                (3, 1),
+            ],
             4,
         );
         let rows: Vec<usize> = (0..data.len()).collect();

@@ -118,10 +118,7 @@ impl DecisionTree {
                 .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
                 .map(|(c, _)| c as u32)
                 .unwrap_or(0);
-            nodes.push(Node::Leaf {
-                counts,
-                prediction,
-            });
+            nodes.push(Node::Leaf { counts, prediction });
             nodes.len() - 1
         };
 
@@ -261,23 +258,21 @@ fn split_region(region: &BoxRegion, rule: &SplitRule) -> (BoxRegion, BoxRegion) 
     let mut left = region.clone();
     let mut right = region.clone();
     match rule {
-        SplitRule::Threshold { attr, threshold } => {
-            match &region.constraints[*attr] {
-                AttrConstraint::Interval { lo, hi } => {
-                    left.constraints[*attr] = AttrConstraint::Interval {
-                        lo: *lo,
-                        hi: threshold.min(*hi),
-                    };
-                    right.constraints[*attr] = AttrConstraint::Interval {
-                        lo: threshold.max(*lo),
-                        hi: *hi,
-                    };
-                }
-                AttrConstraint::Cats(_) => {
-                    panic!("threshold split on a categorical attribute")
-                }
+        SplitRule::Threshold { attr, threshold } => match &region.constraints[*attr] {
+            AttrConstraint::Interval { lo, hi } => {
+                left.constraints[*attr] = AttrConstraint::Interval {
+                    lo: *lo,
+                    hi: threshold.min(*hi),
+                };
+                right.constraints[*attr] = AttrConstraint::Interval {
+                    lo: threshold.max(*lo),
+                    hi: *hi,
+                };
             }
-        }
+            AttrConstraint::Cats(_) => {
+                panic!("threshold split on a categorical attribute")
+            }
+        },
         SplitRule::Categories { attr, mask } => match &region.constraints[*attr] {
             AttrConstraint::Cats(current) => {
                 left.constraints[*attr] = AttrConstraint::Cats(current.intersect(mask));

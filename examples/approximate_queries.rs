@@ -69,7 +69,9 @@ fn true_selectivity(data: &LabeledTable, query: &BoxRegion) -> f64 {
 fn fit(data: &LabeledTable) -> DtModel {
     DecisionTree::fit(
         data,
-        TreeParams::default().max_depth(10).min_leaf(data.len() / 400),
+        TreeParams::default()
+            .max_depth(10)
+            .min_leaf(data.len() / 400),
     )
     .to_model()
 }
@@ -98,15 +100,23 @@ fn main() {
         ("young", BoxBuilder::new(schema).lt("age", 35.0).build()),
         (
             "mid-income",
-            BoxBuilder::new(schema).range("salary", 60_000.0, 90_000.0).build(),
+            BoxBuilder::new(schema)
+                .range("salary", 60_000.0, 90_000.0)
+                .build(),
         ),
         (
             "young ∧ low-edu",
-            BoxBuilder::new(schema).lt("age", 40.0).cats("elevel", &[0, 1]).build(),
+            BoxBuilder::new(schema)
+                .lt("age", 40.0)
+                .cats("elevel", &[0, 1])
+                .build(),
         ),
         (
             "senior ∧ high-salary",
-            BoxBuilder::new(schema).ge("age", 60.0).ge("salary", 100_000.0).build(),
+            BoxBuilder::new(schema)
+                .ge("age", 60.0)
+                .ge("salary", 100_000.0)
+                .build(),
         ),
     ];
 
@@ -126,8 +136,15 @@ fn main() {
     println!("\nafter drift (labels/shape now follow F4):");
     let d_new = ClassifyGen::new(ClassifyFn::F4).generate(20_000, 2);
     let model_new = fit(&d_new);
-    let deviation =
-        dt_deviation(&synopsis, &d_old, &model_new, &d_new, DiffFn::Absolute, AggFn::Sum).value;
+    let deviation = dt_deviation(
+        &synopsis,
+        &d_old,
+        &model_new,
+        &d_new,
+        DiffFn::Absolute,
+        AggFn::Sum,
+    )
+    .value;
     let mut max_err_stale = 0.0f64;
     for (name, q) in &queries {
         let est = estimate_selectivity(&synopsis, q, &bounds);
@@ -151,7 +168,11 @@ fn main() {
         for (leaf_idx, leaf) in synopsis.leaves().iter().enumerate() {
             if leaf.intersect(&class_q).is_some() {
                 let overlap = leaf.intersect(&class_q).unwrap();
-                let frac = if overlap == leaf.clone().with_class(1) { 1.0 } else { 0.5 };
+                let frac = if overlap == leaf.clone().with_class(1) {
+                    1.0
+                } else {
+                    0.5
+                };
                 total += synopsis.measure(leaf_idx, 1) * frac;
             }
         }

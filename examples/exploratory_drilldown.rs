@@ -15,7 +15,9 @@ use focus::tree::{DecisionTree, TreeParams};
 fn fit(data: &LabeledTable) -> DtModel {
     DecisionTree::fit(
         data,
-        TreeParams::default().max_depth(8).min_leaf(data.len() / 100),
+        TreeParams::default()
+            .max_depth(8)
+            .min_leaf(data.len() / 100),
     )
     .to_model()
 }
@@ -35,13 +37,20 @@ fn main() {
 
     // Overall deviation.
     let dev = dt_deviation(&m_old, &d_old, &m_new, &d_new, DiffFn::Absolute, AggFn::Sum);
-    println!("overall δ(f_a, g_sum) = {:.4} over {} GCR cells", dev.value, dev.cells.len());
+    println!(
+        "overall δ(f_a, g_sum) = {:.4} over {} GCR cells",
+        dev.value,
+        dev.cells.len()
+    );
 
     // --- Focus on analyst-specified regions (Section 2.3 style) ---------
     let schema = d_old.table.schema();
     let regions = [
         ("age < 30", BoxBuilder::new(schema).lt("age", 30.0).build()),
-        ("30 ≤ age < 60", BoxBuilder::new(schema).range("age", 30.0, 60.0).build()),
+        (
+            "30 ≤ age < 60",
+            BoxBuilder::new(schema).range("age", 30.0, 60.0).build(),
+        ),
         ("age ≥ 60", BoxBuilder::new(schema).ge("age", 60.0).build()),
         (
             "low education (elevel ∈ {0,1})",
@@ -51,7 +60,13 @@ fn main() {
     println!("\nfocussed deviations:");
     for (name, region) in &regions {
         let f = dt_deviation_focussed(
-            &m_old, &d_old, &m_new, &d_new, region, DiffFn::Absolute, AggFn::Sum,
+            &m_old,
+            &d_old,
+            &m_new,
+            &d_new,
+            region,
+            DiffFn::Absolute,
+            AggFn::Sum,
         );
         println!("  δ_ρ({name}) = {:.4}", f.value);
     }
@@ -66,7 +81,11 @@ fn main() {
     println!("\ntop-3 drifting regions of the GCR:");
     for r in select_top_n(&scored, 3) {
         let (_, cell) = r.region;
-        println!("  Δ = {:.4} at {}", r.deviation, cell.region.describe(schema));
+        println!(
+            "  Δ = {:.4} at {}",
+            r.deviation,
+            cell.region.describe(schema)
+        );
     }
 
     // --- Change monitoring (Section 5.2) --------------------------------

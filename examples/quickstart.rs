@@ -29,7 +29,12 @@ fn main() {
     let m1 = miner.mine(&d1);
     let m2 = miner.mine(&d2);
     let m3 = miner.mine(&d3);
-    println!("model sizes: |M1|={}, |M2|={}, |M3|={}", m1.len(), m2.len(), m3.len());
+    println!(
+        "model sizes: |M1|={}, |M2|={}, |M3|={}",
+        m1.len(),
+        m2.len(),
+        m3.len()
+    );
 
     // The deviation δ(f_a, g_sum): extend both models to their greatest
     // common refinement, scan once, aggregate per-region differences.

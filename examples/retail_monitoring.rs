@@ -43,15 +43,29 @@ fn main() {
 
     // --- Exact deviation for the flagged pair ---------------------------
     let dev12 = lits_deviation(
-        &models[0], &stores[0].1, &models[1], &stores[1].1,
-        DiffFn::Absolute, AggFn::Sum,
+        &models[0],
+        &stores[0].1,
+        &models[1],
+        &stores[1].1,
+        DiffFn::Absolute,
+        AggFn::Sum,
     );
     let dev14 = lits_deviation(
-        &models[0], &stores[0].1, &models[3], &stores[3].1,
-        DiffFn::Absolute, AggFn::Sum,
+        &models[0],
+        &stores[0].1,
+        &models[3],
+        &stores[3].1,
+        DiffFn::Absolute,
+        AggFn::Sum,
     );
-    println!("\nexact δ(store-1, store-2) = {:.3}  (same process)", dev12.value);
-    println!("exact δ(store-1, store-4) = {:.3}  (different process)", dev14.value);
+    println!(
+        "\nexact δ(store-1, store-2) = {:.3}  (same process)",
+        dev12.value
+    );
+    println!(
+        "exact δ(store-1, store-4) = {:.3}  (different process)",
+        dev14.value
+    );
     assert!(dev14.value > dev12.value);
 
     // --- Section 5.1: which regions drive the difference? ---------------
@@ -78,8 +92,13 @@ fn main() {
     // --- Focussed deviation: one department (items 0..20) ---------------
     let department: Vec<u32> = (0..20).collect();
     let focussed = lits_deviation_focussed(
-        &models[0], &stores[0].1, &models[3], &stores[3].1,
-        &department, DiffFn::Absolute, AggFn::Sum,
+        &models[0],
+        &stores[0].1,
+        &models[3],
+        &stores[3].1,
+        &department,
+        DiffFn::Absolute,
+        AggFn::Sum,
     );
     println!(
         "focussed δ on department items 0..20: {:.3} over {} regions (total {:.3})",

@@ -40,7 +40,15 @@ fn main() {
             .map(|s| {
                 let sample = data.sample_fraction(sf, 1000 + (i * 100 + s) as u64);
                 let m = fit(&sample);
-                dt_deviation(&full_model, &data, &m, &sample, DiffFn::Absolute, AggFn::Sum).value
+                dt_deviation(
+                    &full_model,
+                    &data,
+                    &m,
+                    &sample,
+                    DiffFn::Absolute,
+                    AggFn::Sum,
+                )
+                .value
             })
             .collect();
         let mean = sds.iter().sum::<f64>() / sds.len() as f64;

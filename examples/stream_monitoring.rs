@@ -19,9 +19,7 @@ fn main() {
     let reference = regular.generate(4000, 0);
 
     // Deviation oracle: mine both sides, compare with δ(f_a, g_sum).
-    let miner = Apriori::new(
-        AprioriParams::with_minsup(0.03).min_count_floor(3),
-    );
+    let miner = Apriori::new(AprioriParams::with_minsup(0.03).min_count_floor(3));
     let pipeline = move |a: &TransactionSet, b: &TransactionSet| {
         let ma = miner.mine(a);
         let mb = miner.mine(b);
@@ -30,8 +28,7 @@ fn main() {
 
     // Calibrate: the alarm fires only if a weekly batch deviates more than
     // 99% of same-process batches would.
-    let mut monitor =
-        ChangeMonitor::new(reference, 800, 0.99, 39, 11, pipeline).with_rebaseline();
+    let mut monitor = ChangeMonitor::new(reference, 800, 0.99, 39, 11, pipeline).with_rebaseline();
     println!("calibrated alarm threshold: {:.3}", monitor.threshold());
 
     // Six quiet weeks, then the assortment changes (longer patterns), then

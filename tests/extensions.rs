@@ -42,7 +42,9 @@ fn birch_and_kmeans_cluster_models_agree_on_deviation_ordering() {
     for substrate in ["kmeans", "birch"] {
         let model = |d: &Table, seed: u64| -> ClusterModel {
             if substrate == "kmeans" {
-                KMeans::new(KMeansParams::new(2).seed(seed)).fit(d).to_model(d)
+                KMeans::new(KMeansParams::new(2).seed(seed))
+                    .fit(d)
+                    .to_model(d)
             } else {
                 Birch::new(BirchParams::new(6.0, 2)).fit(d).to_model(d)
             }
@@ -171,8 +173,15 @@ fn label_noise_increases_dt_deviation_monotonically() {
     for noise in [0.0, 0.1, 0.3] {
         let noisy = drift::flip_labels(&base, noise, 7);
         let m_noisy = fit(&noisy);
-        let dev = dt_deviation(&m_base, &base, &m_noisy, &noisy, DiffFn::Absolute, AggFn::Sum)
-            .value;
+        let dev = dt_deviation(
+            &m_base,
+            &base,
+            &m_noisy,
+            &noisy,
+            DiffFn::Absolute,
+            AggFn::Sum,
+        )
+        .value;
         assert!(
             dev > prev,
             "deviation must grow with label noise: {dev} after {prev}"
@@ -190,9 +199,7 @@ fn item_permutation_preserves_magnitude_but_moves_structure() {
     let d = gen.generate(2500, 1);
     let permuted = drift::permute_items(&d, 99);
 
-    let lengths = |ts: &TransactionSet| -> Vec<f64> {
-        ts.iter().map(|t| t.len() as f64).collect()
-    };
+    let lengths = |ts: &TransactionSet| -> Vec<f64> { ts.iter().map(|t| t.len() as f64).collect() };
     let ks = ks_two_sample(&lengths(&d), &lengths(&permuted));
     assert!(
         ks.p_value > 0.99,

@@ -61,8 +61,14 @@ fn figure5() -> (Arc<Schema>, LabeledTable, LabeledTable, DtModel, DtModel) {
     let t1 = induce_dt_measures(
         vec![
             BoxBuilder::new(&schema).lt("age", 30.0).build(),
-            BoxBuilder::new(&schema).ge("age", 30.0).lt("salary", 100_000.0).build(),
-            BoxBuilder::new(&schema).ge("age", 30.0).ge("salary", 100_000.0).build(),
+            BoxBuilder::new(&schema)
+                .ge("age", 30.0)
+                .lt("salary", 100_000.0)
+                .build(),
+            BoxBuilder::new(&schema)
+                .ge("age", 30.0)
+                .ge("salary", 100_000.0)
+                .build(),
         ],
         &d1,
     );
@@ -70,18 +76,30 @@ fn figure5() -> (Arc<Schema>, LabeledTable, LabeledTable, DtModel, DtModel) {
     // overlay yields the six GCR cells of Figure 5.
     let t2 = induce_dt_measures(
         vec![
-            BoxBuilder::new(&schema).lt("age", 30.0).lt("salary", 80_000.0).build(),
+            BoxBuilder::new(&schema)
+                .lt("age", 30.0)
+                .lt("salary", 80_000.0)
+                .build(),
             BoxBuilder::new(&schema)
                 .lt("age", 30.0)
                 .range("salary", 80_000.0, 100_000.0)
                 .build(),
-            BoxBuilder::new(&schema).lt("age", 30.0).ge("salary", 100_000.0).build(),
-            BoxBuilder::new(&schema).ge("age", 30.0).lt("salary", 80_000.0).build(),
+            BoxBuilder::new(&schema)
+                .lt("age", 30.0)
+                .ge("salary", 100_000.0)
+                .build(),
+            BoxBuilder::new(&schema)
+                .ge("age", 30.0)
+                .lt("salary", 80_000.0)
+                .build(),
             BoxBuilder::new(&schema)
                 .ge("age", 30.0)
                 .range("salary", 80_000.0, 100_000.0)
                 .build(),
-            BoxBuilder::new(&schema).ge("age", 30.0).ge("salary", 100_000.0).build(),
+            BoxBuilder::new(&schema)
+                .ge("age", 30.0)
+                .ge("salary", 100_000.0)
+                .build(),
         ],
         &d2,
     );

@@ -28,7 +28,9 @@ fn blobs(centers: &[(f64, f64)], per: usize, spread: f64, seed: u64) -> Table {
 }
 
 fn model(data: &Table, k: usize, seed: u64) -> ClusterModel {
-    KMeans::new(KMeansParams::new(k).seed(seed)).fit(data).to_model(data)
+    KMeans::new(KMeansParams::new(k).seed(seed))
+        .fit(data)
+        .to_model(data)
 }
 
 #[test]

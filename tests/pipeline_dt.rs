@@ -130,10 +130,24 @@ fn focussed_deviation_drills_into_the_drifting_band() {
     let m2 = fit(&d2);
     let drift_band = BoxBuilder::new(&schema).range("age", 40.0, 45.0).build();
     let quiet_band = BoxBuilder::new(&schema).range("age", 60.0, 80.0).build();
-    let dev_drift =
-        dt_deviation_focussed(&m1, &d1, &m2, &d2, &drift_band, DiffFn::Absolute, AggFn::Sum);
-    let dev_quiet =
-        dt_deviation_focussed(&m1, &d1, &m2, &d2, &quiet_band, DiffFn::Absolute, AggFn::Sum);
+    let dev_drift = dt_deviation_focussed(
+        &m1,
+        &d1,
+        &m2,
+        &d2,
+        &drift_band,
+        DiffFn::Absolute,
+        AggFn::Sum,
+    );
+    let dev_quiet = dt_deviation_focussed(
+        &m1,
+        &d1,
+        &m2,
+        &d2,
+        &quiet_band,
+        DiffFn::Absolute,
+        AggFn::Sum,
+    );
     assert!(
         dev_drift.value > 2.0 * dev_quiet.value,
         "drift band {} vs quiet band {}",

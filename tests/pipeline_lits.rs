@@ -113,30 +113,15 @@ fn focussed_deviation_never_exceeds_total_for_fa() {
     let total = lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value;
     for hi in [10u32, 40, 80, 100] {
         let universe: Vec<u32> = (0..hi).collect();
-        let focussed = lits_deviation_focussed(
-            &m1,
-            &d1,
-            &m2,
-            &d2,
-            &universe,
-            DiffFn::Absolute,
-            AggFn::Sum,
-        )
-        .value;
+        let focussed =
+            lits_deviation_focussed(&m1, &d1, &m2, &d2, &universe, DiffFn::Absolute, AggFn::Sum)
+                .value;
         assert!(focussed <= total + 1e-9, "universe 0..{hi}");
     }
     // The full universe recovers the total exactly.
     let universe: Vec<u32> = (0..100).collect();
-    let full = lits_deviation_focussed(
-        &m1,
-        &d1,
-        &m2,
-        &d2,
-        &universe,
-        DiffFn::Absolute,
-        AggFn::Sum,
-    )
-    .value;
+    let full =
+        lits_deviation_focussed(&m1, &d1, &m2, &d2, &universe, DiffFn::Absolute, AggFn::Sum).value;
     assert!((full - total).abs() < 1e-12);
 }
 
@@ -155,9 +140,7 @@ fn rank_and_select_over_structural_union() {
     let dev = lits_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum);
     let union = lits_union(m1.itemsets(), m2.itemsets());
     assert_eq!(union, dev.gcr, "structural union IS the GCR for lits");
-    let ranked = rank(union, |s| {
-        dev.per_region[dev.gcr.binary_search(s).unwrap()]
-    });
+    let ranked = rank(union, |s| dev.per_region[dev.gcr.binary_search(s).unwrap()]);
     let top = select_top(&ranked).expect("non-empty");
     // The top region's deviation equals the max per-region difference,
     // which is δ(f_a, g_max).

@@ -129,10 +129,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 fn arb_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..10, 0..6),
-        10..60,
-    )
+    proptest::collection::vec(proptest::collection::vec(0u32..10, 0..6), 10..60)
 }
 
 fn to_set(rows: Vec<Vec<u32>>) -> TransactionSet {

@@ -8,7 +8,12 @@ use focus::mining::{Apriori, AprioriParams};
 use focus::tree::{DecisionTree, TreeParams};
 
 fn mine(d: &TransactionSet) -> LitsModel {
-    Apriori::new(AprioriParams::with_minsup(0.02).max_len(8).min_count_floor(3)).mine(d)
+    Apriori::new(
+        AprioriParams::with_minsup(0.02)
+            .max_len(8)
+            .min_count_floor(3),
+    )
+    .mine(d)
 }
 
 /// Theorem 4.1: for lits-models, the GCR yields the least deviation over
@@ -104,10 +109,7 @@ fn theorem_4_3_gcr_least_deviation_dt() {
         DiffFn::Absolute,
         AggFn::Sum,
     );
-    assert!(
-        at_gcr <= at_finer + 1e-9,
-        "GCR {at_gcr} > finer {at_finer}"
-    );
+    assert!(at_gcr <= at_finer + 1e-9, "GCR {at_gcr} > finer {at_finer}");
 }
 
 /// Theorem 4.2 at pipeline level: δ* dominates δ(f_a, g), satisfies the
@@ -162,9 +164,16 @@ fn theorem_5_1_focussing_consistency() {
     let schema = d1.table.schema();
     let everything = BoxRegion::full(schema);
     let total = dt_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum).value;
-    let focussed_total =
-        dt_deviation_focussed(&m1, &d1, &m2, &d2, &everything, DiffFn::Absolute, AggFn::Sum)
-            .value;
+    let focussed_total = dt_deviation_focussed(
+        &m1,
+        &d1,
+        &m2,
+        &d2,
+        &everything,
+        DiffFn::Absolute,
+        AggFn::Sum,
+    )
+    .value;
     assert!((total - focussed_total).abs() < 1e-12);
 
     // A disjoint decomposition of the space. Each half is bounded by the

@@ -10,6 +10,9 @@
 /// * `--reps <n>` — bootstrap replicates for significance (default 19; the
 ///   paper's 1%-resolution "%sig" needs 99).
 /// * `--seed <u64>` — master seed (default 42).
+/// * `--threads <n>` — worker threads for scans and bootstrap fan-out
+///   (0 = one per core). Results are bit-identical for every setting;
+///   without the flag the `FOCUS_THREADS` env var (or core count) decides.
 /// * `--json` — additionally emit one JSON object per result row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExpConfig {
@@ -21,6 +24,9 @@ pub struct ExpConfig {
     pub reps: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads (`None` = inherit `FOCUS_THREADS` / core count;
+    /// `Some(0)` = one per core). Applied process-wide by [`Self::parse`].
+    pub threads: Option<usize>,
     /// Emit machine-readable JSON lines as well.
     pub json: bool,
 }
@@ -32,6 +38,7 @@ impl Default for ExpConfig {
             samples: 15,
             reps: 19,
             seed: 42,
+            threads: None,
             json: false,
         }
     }
@@ -49,11 +56,13 @@ impl ExpConfig {
                 "--samples" => cfg.samples = next_val(&mut it, "--samples"),
                 "--reps" => cfg.reps = next_val(&mut it, "--reps"),
                 "--seed" => cfg.seed = next_val(&mut it, "--seed"),
+                "--threads" => cfg.threads = Some(next_val(&mut it, "--threads")),
                 "--full" => cfg.scale = 1.0,
                 "--json" => cfg.json = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale <f> --samples <n> --reps <n> --seed <u64> --full --json"
+                        "flags: --scale <f> --samples <n> --reps <n> --seed <u64> \
+                         --threads <n> --full --json"
                     );
                     std::process::exit(0);
                 }
@@ -65,6 +74,11 @@ impl ExpConfig {
             "scale must be in (0,1]"
         );
         assert!(cfg.samples >= 2, "need at least 2 samples");
+        // Experiment results are bit-identical for any thread count, so a
+        // process-wide override is safe for every binary that parses this.
+        if let Some(n) = cfg.threads {
+            focus_exec::set_global_threads(n);
+        }
         cfg
     }
 
@@ -112,7 +126,19 @@ mod tests {
         assert_eq!(c.samples, 50);
         assert_eq!(c.seed, 7);
         assert!(c.json);
+        assert!(c.threads.is_none());
         assert_eq!(c.base_rows(), 100_000);
+    }
+
+    #[test]
+    fn threads_flag_sets_global_parallelism() {
+        let c = parse(&["--threads", "2"]);
+        assert_eq!(c.threads, Some(2));
+        assert_eq!(focus_exec::global_threads(), 2);
+        // 0 = one worker per core.
+        let c = parse(&["--threads", "0"]);
+        assert_eq!(c.threads, Some(0));
+        assert!(focus_exec::global_threads() >= 1);
     }
 
     #[test]

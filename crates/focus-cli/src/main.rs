@@ -12,6 +12,10 @@
 //! focus-cli deviate-dt --d1 D1.tbl --d2 D2.tbl
 //! ```
 //!
+//! Every command additionally accepts `--threads N` (0 = one worker per
+//! core): dataset scans and the bootstrap fan-out run on that many threads
+//! with bit-identical results. `FOCUS_THREADS` is the env-var equivalent.
+//!
 //! All datasets and models use the plain-text formats of
 //! `focus_data::io` / `focus_core::persist`.
 
@@ -44,6 +48,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global flag, honoured by every command: worker threads for dataset
+    // scans and bootstrap fan-out (0 = one per core). Results are
+    // bit-identical for any setting; without the flag the FOCUS_THREADS
+    // environment variable (or the core count) decides.
+    match opt::<usize>(&flags, "threads", 0) {
+        Ok(n) => {
+            if flags.contains_key("threads") {
+                focus_exec::set_global_threads(n);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "gen-assoc" => gen_assoc(&flags),
         "gen-class" => gen_class(&flags),
@@ -79,7 +98,12 @@ commands:
   bound      --m1 <model> --m2 <model>
   qualify    --d1 <txns> --d2 <txns> --minsup <f> [--reps N --seed S]
   tree       --data <table> [--max-depth D --min-leaf N] [--render]
-  deviate-dt --d1 <table> --d2 <table> [--max-depth D --min-leaf N]";
+  deviate-dt --d1 <table> --d2 <table> [--max-depth D --min-leaf N]
+
+global flags:
+  --threads N   worker threads for scans and bootstrap fan-out (0 = one per
+                core; default: FOCUS_THREADS env var, else core count).
+                Results are bit-identical for every thread count.";
 
 type Flags = HashMap<String, String>;
 

@@ -14,8 +14,9 @@
 use crate::data::{LabeledTable, TransactionSet};
 use crate::diff::{AggFn, DiffFn};
 use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
-use crate::model::{count_boxes, count_itemsets, ClusterModel, DtModel, LitsModel};
+use crate::model::{count_boxes_par, count_itemsets_par, ClusterModel, DtModel, LitsModel};
 use crate::region::{BoxRegion, Itemset};
+use focus_exec::{map_chunks, merge_counts, Parallelism};
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
@@ -25,6 +26,11 @@ use std::collections::HashMap;
 /// Deviation between two measure components over an *identical* structural
 /// component (Definition 3.5). `counts1`/`counts2` are the absolute measures
 /// of each region w.r.t. datasets of sizes `n1`/`n2`.
+///
+/// Empty datasets are well-defined: a dataset with `n = 0` rows has
+/// selectivity 0 in every region (see [`DiffFn::eval`]), so the deviation
+/// against an empty side degenerates to the other side's total mass rather
+/// than NaN, and two empty datasets deviate by 0.
 pub fn deviation_fixed(
     counts1: &[u64],
     counts2: &[u64],
@@ -95,8 +101,23 @@ pub fn lits_deviation(
     f: DiffFn,
     g: AggFn,
 ) -> LitsDeviation {
+    lits_deviation_par(m1, d1, m2, d2, f, g, Parallelism::Global)
+}
+
+/// [`lits_deviation`] with an explicit [`Parallelism`] for the extension
+/// scans. Bit-identical to the sequential computation for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn lits_deviation_par(
+    m1: &LitsModel,
+    d1: &TransactionSet,
+    m2: &LitsModel,
+    d2: &TransactionSet,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> LitsDeviation {
     let gcr = gcr_lits(m1.itemsets(), m2.itemsets());
-    lits_deviation_over(&gcr, m1, d1, m2, d2, f, g)
+    lits_deviation_over_par(&gcr, m1, d1, m2, d2, f, g, par)
 }
 
 /// Focussed lits-model deviation (Definition 5.2, Section 5.1): only the
@@ -131,11 +152,27 @@ pub fn lits_deviation_over(
     f: DiffFn,
     g: AggFn,
 ) -> LitsDeviation {
+    lits_deviation_over_par(regions, m1, d1, m2, d2, f, g, Parallelism::Global)
+}
+
+/// [`lits_deviation_over`] with an explicit [`Parallelism`] for the
+/// extension scans.
+#[allow(clippy::too_many_arguments)]
+pub fn lits_deviation_over_par(
+    regions: &[Itemset],
+    m1: &LitsModel,
+    d1: &TransactionSet,
+    m2: &LitsModel,
+    d2: &TransactionSet,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> LitsDeviation {
     let n1 = d1.len() as u64;
     let n2 = d2.len() as u64;
     // Reuse supports already present in the models; scan only for the rest.
-    let supports1 = extend_supports(regions, m1, d1);
-    let supports2 = extend_supports(regions, m2, d2);
+    let supports1 = extend_supports(regions, m1, d1, par);
+    let supports2 = extend_supports(regions, m2, d2, par);
     let per_region: Vec<f64> = supports1
         .iter()
         .zip(&supports2)
@@ -153,7 +190,12 @@ pub fn lits_deviation_over(
 /// The measure-extension step: supports of `regions` w.r.t. `data`, reusing
 /// the supports recorded in `model` where available so only the itemsets
 /// missing from the model's structure trigger counting work.
-fn extend_supports(regions: &[Itemset], model: &LitsModel, data: &TransactionSet) -> Vec<f64> {
+fn extend_supports(
+    regions: &[Itemset],
+    model: &LitsModel,
+    data: &TransactionSet,
+    par: Parallelism,
+) -> Vec<f64> {
     let mut supports = vec![0.0f64; regions.len()];
     let mut missing: Vec<usize> = Vec::new();
     for (i, s) in regions.iter().enumerate() {
@@ -164,7 +206,7 @@ fn extend_supports(regions: &[Itemset], model: &LitsModel, data: &TransactionSet
     }
     if !missing.is_empty() {
         let to_count: Vec<Itemset> = missing.iter().map(|&i| regions[i].clone()).collect();
-        let counts = count_itemsets(data, &to_count);
+        let counts = count_itemsets_par(data, &to_count, par);
         let n = data.len().max(1) as f64;
         for (slot, &c) in missing.iter().zip(&counts) {
             supports[*slot] = c as f64 / n;
@@ -206,9 +248,24 @@ pub fn dt_deviation(
     f: DiffFn,
     g: AggFn,
 ) -> DtDeviation {
+    dt_deviation_par(m1, d1, m2, d2, f, g, Parallelism::Global)
+}
+
+/// [`dt_deviation`] with an explicit [`Parallelism`] for the routing scans.
+/// Bit-identical to the sequential computation for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn dt_deviation_par(
+    m1: &DtModel,
+    d1: &LabeledTable,
+    m2: &DtModel,
+    d2: &LabeledTable,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> DtDeviation {
     assert_eq!(m1.n_classes(), m2.n_classes(), "class sets must agree");
     let cells = gcr_partition(m1.leaves(), m2.leaves());
-    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g)
+    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g, par)
 }
 
 /// Focussed dt-model deviation (Definition 5.2): every GCR cell is first
@@ -234,9 +291,10 @@ pub fn dt_deviation_focussed(
             })
         })
         .collect();
-    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g)
+    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g, Parallelism::Global)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dt_deviation_over_cells(
     cells: Vec<OverlayCell>,
     m1: &DtModel,
@@ -245,10 +303,11 @@ fn dt_deviation_over_cells(
     d2: &LabeledTable,
     f: DiffFn,
     g: AggFn,
+    par: Parallelism,
 ) -> DtDeviation {
     let k = m1.n_classes() as usize;
-    let counts1 = count_cells(&cells, m1, m2, d1);
-    let counts2 = count_cells(&cells, m1, m2, d2);
+    let counts1 = count_cells(&cells, m1, m2, d1, par);
+    let counts2 = count_cells(&cells, m1, m2, d2, par);
     let n1 = d1.len() as f64;
     let n2 = d2.len() as f64;
     let mut per_region = vec![0.0f64; cells.len() * k];
@@ -283,28 +342,45 @@ fn dt_deviation_over_cells(
 
 /// Routes each row of `data` through both original partitions to its GCR
 /// cell and tallies per-class counts. `O(rows · (L1 + L2))` instead of
-/// `O(rows · |GCR|)`.
-fn count_cells(cells: &[OverlayCell], m1: &DtModel, m2: &DtModel, data: &LabeledTable) -> Vec<u64> {
+/// `O(rows · |GCR|)`. Row chunks fan out over `par` worker threads; the
+/// per-chunk tallies merge by `u64` addition, bit-identical to a sequential
+/// scan.
+fn count_cells(
+    cells: &[OverlayCell],
+    m1: &DtModel,
+    m2: &DtModel,
+    data: &LabeledTable,
+    par: Parallelism,
+) -> Vec<u64> {
     let k = m1.n_classes() as usize;
     let mut by_pair: HashMap<(usize, usize), usize> = HashMap::with_capacity(cells.len());
     for (idx, c) in cells.iter().enumerate() {
         by_pair.insert((c.left, c.right), idx);
     }
-    let mut counts = vec![0u64; cells.len() * k];
-    for (row, label) in data.rows() {
-        let (Some(i), Some(j)) = (m1.locate(row), m2.locate(row)) else {
-            continue;
-        };
-        if let Some(&idx) = by_pair.get(&(i, j)) {
-            // Focussed cells may be smaller than leaf ∩ leaf (they were
-            // intersected with ρ), so re-check geometric membership; for
-            // plain GCR cells this check is trivially true.
-            if cells[idx].region.contains_labeled(row, label) {
-                counts[idx * k + label as usize] += 1;
+    let by_pair = &by_pair;
+    let parts = map_chunks(par, data.len(), crate::model::SCAN_GRAIN, |range| {
+        let mut counts = vec![0u64; cells.len() * k];
+        for r in range {
+            let row = data.table.row(r);
+            let label = data.labels[r];
+            let (Some(i), Some(j)) = (m1.locate(row), m2.locate(row)) else {
+                continue;
+            };
+            if let Some(&idx) = by_pair.get(&(i, j)) {
+                // Focussed cells may be smaller than leaf ∩ leaf (they were
+                // intersected with ρ), so re-check geometric membership; for
+                // plain GCR cells this check is trivially true.
+                if cells[idx].region.contains_labeled(row, label) {
+                    counts[idx * k + label as usize] += 1;
+                }
             }
         }
+        counts
+    });
+    if parts.is_empty() {
+        return vec![0u64; cells.len() * k];
     }
-    counts
+    merge_counts(parts)
 }
 
 // ---------------------------------------------------------------------------
@@ -337,8 +413,23 @@ pub fn cluster_deviation(
     f: DiffFn,
     g: AggFn,
 ) -> ClusterDeviation {
+    cluster_deviation_par(m1, d1, m2, d2, f, g, Parallelism::Global)
+}
+
+/// [`cluster_deviation`] with an explicit [`Parallelism`] for the measure
+/// scans. Bit-identical to the sequential computation for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn cluster_deviation_par(
+    m1: &ClusterModel,
+    d1: &crate::data::Table,
+    m2: &ClusterModel,
+    d2: &crate::data::Table,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> ClusterDeviation {
     let gcr = gcr_boxes(m1.clusters(), m2.clusters());
-    cluster_deviation_over(&gcr, d1, d2, f, g)
+    cluster_deviation_over(&gcr, d1, d2, f, g, par)
 }
 
 /// Focussed cluster-model deviation: GCR regions intersected with `ρ`.
@@ -355,7 +446,7 @@ pub fn cluster_deviation_focussed(
         .into_iter()
         .filter_map(|r| r.intersect(focus))
         .collect();
-    cluster_deviation_over(&gcr, d1, d2, f, g)
+    cluster_deviation_over(&gcr, d1, d2, f, g, Parallelism::Global)
 }
 
 fn cluster_deviation_over(
@@ -364,9 +455,10 @@ fn cluster_deviation_over(
     d2: &crate::data::Table,
     f: DiffFn,
     g: AggFn,
+    par: Parallelism,
 ) -> ClusterDeviation {
-    let counts1 = count_boxes(d1, gcr);
-    let counts2 = count_boxes(d2, gcr);
+    let counts1 = count_boxes_par(d1, gcr, par);
+    let counts2 = count_boxes_par(d2, gcr, par);
     let n1 = d1.len() as f64;
     let n2 = d2.len() as f64;
     let per_region: Vec<f64> = counts1
@@ -517,6 +609,54 @@ mod tests {
         assert!((v - (0.4 + 0.2)).abs() < 1e-12);
         let m = deviation_fixed(&[5, 0], &[1, 2], 10, 10, DiffFn::Absolute, AggFn::Max);
         assert!((m - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_fixed_defined_on_empty_datasets() {
+        // Regression: n1 == 0 or n2 == 0 used to produce NaN for f_s (0/0)
+        // and f_χ² (zero expectation); an empty dataset now counts as
+        // selectivity 0 everywhere.
+        for f in [
+            DiffFn::Absolute,
+            DiffFn::Scaled,
+            DiffFn::ChiSquared { c: 0.5 },
+        ] {
+            for g in [AggFn::Sum, AggFn::Max] {
+                let one_empty = deviation_fixed(&[5, 0], &[1, 2], 0, 10, f, g);
+                assert!(one_empty.is_finite(), "{f:?}/{g:?}: {one_empty}");
+                let other_empty = deviation_fixed(&[5, 0], &[1, 2], 10, 0, f, g);
+                assert!(other_empty.is_finite(), "{f:?}/{g:?}: {other_empty}");
+                let both_empty = deviation_fixed(&[0, 0], &[0, 0], 0, 0, f, g);
+                assert!(both_empty.is_finite(), "{f:?}/{g:?}: {both_empty}");
+            }
+        }
+        // Two genuinely empty measure components do not deviate at all
+        // under f_a — the defined value is exactly 0.
+        assert_eq!(
+            deviation_fixed(&[0, 0], &[0, 0], 0, 0, DiffFn::Absolute, AggFn::Sum),
+            0.0
+        );
+        // Against an empty side, f_a degenerates to the populated side's
+        // total selectivity mass: 0.1 + 0.2 here.
+        let v = deviation_fixed(&[0, 0], &[1, 2], 0, 10, DiffFn::Absolute, AggFn::Sum);
+        assert!((v - 0.3).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn lits_deviation_with_empty_dataset_is_defined() {
+        let (d1, _) = figure6_datasets();
+        let (l1, _) = figure6_models(&d1, &d1);
+        let empty = TransactionSet::new(3);
+        let empty_model = crate::model::induce_lits_measures(Vec::new(), 0.25, &empty);
+        for f in [
+            DiffFn::Absolute,
+            DiffFn::Scaled,
+            DiffFn::ChiSquared { c: 0.5 },
+        ] {
+            let dev = lits_deviation(&l1, &d1, &empty_model, &empty, f, AggFn::Sum);
+            assert!(dev.value.is_finite(), "{f:?}: {}", dev.value);
+            assert!(dev.per_region.iter().all(|d| d.is_finite()));
+        }
     }
 
     // ---------------- dt ----------------

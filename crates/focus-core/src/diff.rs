@@ -45,6 +45,12 @@ impl DiffFn {
     ///
     /// `v1`, `v2` are absolute counts of the region in the two datasets;
     /// `n1`, `n2` the dataset sizes.
+    ///
+    /// Empty datasets (`n = 0`) are treated as having selectivity 0 in
+    /// every region, so every built-in difference function stays finite:
+    /// the branch guards below test the *selectivities*, not the raw
+    /// counts, which keeps `f_s` and `f_χ²` out of their `0/0` corners
+    /// when one side is empty.
     pub fn eval(&self, v1: f64, v2: f64, n1: f64, n2: f64) -> f64 {
         debug_assert!(v1 >= 0.0 && v2 >= 0.0 && n1 >= 0.0 && n2 >= 0.0);
         let s1 = if n1 > 0.0 { v1 / n1 } else { 0.0 };
@@ -52,14 +58,14 @@ impl DiffFn {
         match self {
             DiffFn::Absolute => (s1 - s2).abs(),
             DiffFn::Scaled => {
-                if v1 + v2 > 0.0 {
+                if s1 + s2 > 0.0 {
                     (s1 - s2).abs() / ((s1 + s2) / 2.0)
                 } else {
                     0.0
                 }
             }
             DiffFn::ChiSquared { c } => {
-                if v1 > 0.0 {
+                if s1 > 0.0 {
                     n2 * (s1 - s2) * (s1 - s2) / s1
                 } else {
                     *c
@@ -169,5 +175,32 @@ mod tests {
             let v = f.eval(0.0, 0.0, 0.0, 0.0);
             assert!(v.is_finite());
         }
+    }
+
+    #[test]
+    fn one_empty_side_stays_finite_for_every_builtin() {
+        // Regression: with n1 = 0 but v1 > 0 (a model whose structure came
+        // from elsewhere, measured against an empty dataset), f_s used to
+        // hit 0/0 and f_χ² divided by a zero expectation.
+        for f in [
+            DiffFn::Absolute,
+            DiffFn::Scaled,
+            DiffFn::ChiSquared { c: 0.5 },
+        ] {
+            for (v1, n1, v2, n2) in [
+                (3.0, 0.0, 5.0, 10.0),
+                (3.0, 0.0, 0.0, 0.0),
+                (0.0, 0.0, 5.0, 10.0),
+                (4.0, 8.0, 2.0, 0.0),
+            ] {
+                let v = f.eval(v1, v2, n1, n2);
+                assert!(v.is_finite(), "{f:?} on ({v1},{v2},{n1},{n2}) = {v}");
+            }
+        }
+        // An empty side behaves as selectivity 0: the absolute difference
+        // degenerates to the other side's selectivity.
+        assert_eq!(DiffFn::Absolute.eval(7.0, 5.0, 0.0, 10.0), 0.5);
+        // χ² with zero expected selectivity falls back to the constant c.
+        assert_eq!(DiffFn::ChiSquared { c: 0.5 }.eval(7.0, 5.0, 0.0, 10.0), 0.5);
     }
 }

@@ -88,16 +88,18 @@ pub mod prelude {
         AttrType, Attribute, LabeledTable, Schema, Table, TransactionSet, Value,
     };
     pub use crate::deviation::{
-        cluster_deviation, cluster_deviation_focussed, deviation_fixed, dt_deviation,
-        dt_deviation_focussed, lits_deviation, lits_deviation_focussed, lits_deviation_over,
+        cluster_deviation, cluster_deviation_focussed, cluster_deviation_par, deviation_fixed,
+        dt_deviation, dt_deviation_focussed, dt_deviation_par, lits_deviation,
+        lits_deviation_focussed, lits_deviation_over, lits_deviation_over_par, lits_deviation_par,
         ClusterDeviation, DtDeviation, LitsDeviation,
     };
     pub use crate::diff::{AggFn, DiffFn};
     pub use crate::embed::DistanceMatrix;
     pub use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
     pub use crate::model::{
-        count_boxes, count_itemsets, count_partition, induce_dt_measures, induce_lits_measures,
-        ClusterModel, DtModel, LitsModel,
+        count_boxes, count_boxes_par, count_itemsets, count_itemsets_par, count_partition,
+        count_partition_par, induce_dt_measures, induce_lits_measures, ClusterModel, DtModel,
+        LitsModel,
     };
     pub use crate::monitor::{
         chi_squared_statistic, chi_squared_test, me_via_deviation, misclassification_error,
@@ -109,8 +111,12 @@ pub mod prelude {
         select_top_n, Ranked,
     };
     pub use crate::persist::{read_dt_model, read_lits_model, write_dt_model, write_lits_model};
-    pub use crate::qualify::{qualify_chi_squared, qualify_tables, qualify_transactions};
+    pub use crate::qualify::{
+        qualify_chi_squared, qualify_chi_squared_par, qualify_tables, qualify_tables_par,
+        qualify_transactions, qualify_transactions_par,
+    };
     pub use crate::region::{AttrConstraint, BoxBuilder, BoxRegion, CatMask, Itemset};
     pub use crate::report::{dt_report, lits_report, ComparisonReport, ReportOptions};
     pub use crate::stream::{BlockVerdict, ChangeMonitor};
+    pub use focus_exec::Parallelism;
 }

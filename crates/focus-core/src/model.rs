@@ -9,7 +9,12 @@
 
 use crate::data::{LabeledTable, Table, TransactionSet};
 use crate::region::{BoxRegion, Itemset};
+use focus_exec::{map_chunks, merge_counts, Parallelism};
 use std::collections::HashMap;
+
+/// Minimum rows per worker chunk for the counting scans: below this,
+/// thread-spawn overhead exceeds the scan itself and the scan runs inline.
+pub(crate) const SCAN_GRAIN: usize = focus_exec::DEFAULT_GRAIN;
 
 /// A lits-model: the set of frequent itemsets of a transaction dataset at a
 /// minimum-support level, with their supports (Section 2.2).
@@ -238,78 +243,141 @@ impl ClusterModel {
 // Measure computation: extending a structure over a dataset (one scan).
 // ---------------------------------------------------------------------------
 
-/// Counts, for each itemset, the number of supporting transactions.
+/// Counts, for each itemset, the number of supporting transactions, with
+/// the scan's row range fanned out over `par` worker threads.
 ///
 /// One scan of the dataset: each transaction is turned into an item bitmap
-/// and tested against every itemset with early exit. Itemsets are bucketed
-/// by their first item so most tests fail on the first probe.
-pub fn count_itemsets(data: &TransactionSet, itemsets: &[Itemset]) -> Vec<u64> {
-    let mut counts = vec![0u64; itemsets.len()];
+/// and tested against every itemset with early exit. Per-chunk counters are
+/// merged by `u64` addition in chunk order, so the result is bit-identical
+/// to the sequential scan for every thread count.
+pub fn count_itemsets_par(
+    data: &TransactionSet,
+    itemsets: &[Itemset],
+    par: Parallelism,
+) -> Vec<u64> {
     if itemsets.is_empty() || data.is_empty() {
         // The empty itemset is contained in every transaction; handle the
-        // empty-data case uniformly below.
-        for (i, s) in itemsets.iter().enumerate() {
-            if s.is_empty() {
-                counts[i] = data.len() as u64;
-            }
-        }
-        return counts;
+        // empty-data case uniformly here.
+        return itemsets
+            .iter()
+            .map(|s| if s.is_empty() { data.len() as u64 } else { 0 })
+            .collect();
     }
     let words_len = (data.n_items() as usize).div_ceil(64).max(1);
-    let mut words = vec![0u64; words_len];
-    for t in 0..data.len() {
-        data.bitmap_of(t, &mut words);
-        for (i, s) in itemsets.iter().enumerate() {
-            if s.is_subset_of_bitmap(&words) {
-                counts[i] += 1;
+    let parts = map_chunks(par, data.len(), SCAN_GRAIN, |range| {
+        let mut words = vec![0u64; words_len];
+        let mut counts = vec![0u64; itemsets.len()];
+        for t in range {
+            data.bitmap_of(t, &mut words);
+            for (i, s) in itemsets.iter().enumerate() {
+                if s.is_subset_of_bitmap(&words) {
+                    counts[i] += 1;
+                }
             }
         }
-    }
-    counts
+        counts
+    });
+    merge_counts(parts)
+}
+
+/// [`count_itemsets_par`] at the process-wide default parallelism.
+pub fn count_itemsets(data: &TransactionSet, itemsets: &[Itemset]) -> Vec<u64> {
+    count_itemsets_par(data, itemsets, Parallelism::Global)
 }
 
 /// Counts, for each `(leaf, class)` region of a partition, the number of
-/// rows of `data` that fall in it. Returns a row-major
-/// `leaves.len() × n_classes` vector.
+/// rows of `data` that fall in it, scanning row chunks on `par` worker
+/// threads. Returns a row-major `leaves.len() × n_classes` vector,
+/// bit-identical for every thread count.
 ///
 /// One scan: each row is routed to the (unique) containing leaf.
-pub fn count_partition(data: &LabeledTable, leaves: &[BoxRegion], n_classes: u32) -> Vec<u64> {
+pub fn count_partition_par(
+    data: &LabeledTable,
+    leaves: &[BoxRegion],
+    n_classes: u32,
+    par: Parallelism,
+) -> Vec<u64> {
     let k = n_classes as usize;
-    let mut counts = vec![0u64; leaves.len() * k];
-    for (row, label) in data.rows() {
-        if let Some(leaf) = leaves.iter().position(|l| l.contains(row)) {
-            counts[leaf * k + label as usize] += 1;
-        }
+    if leaves.is_empty() {
+        return Vec::new();
     }
-    counts
+    let parts = map_chunks(par, data.len(), SCAN_GRAIN, |range| {
+        let mut counts = vec![0u64; leaves.len() * k];
+        for i in range {
+            let row = data.table.row(i);
+            if let Some(leaf) = leaves.iter().position(|l| l.contains(row)) {
+                counts[leaf * k + data.labels[i] as usize] += 1;
+            }
+        }
+        counts
+    });
+    if parts.is_empty() {
+        return vec![0u64; leaves.len() * k];
+    }
+    merge_counts(parts)
+}
+
+/// [`count_partition_par`] at the process-wide default parallelism.
+pub fn count_partition(data: &LabeledTable, leaves: &[BoxRegion], n_classes: u32) -> Vec<u64> {
+    count_partition_par(data, leaves, n_classes, Parallelism::Global)
 }
 
 /// Counts, for each (possibly overlapping) box, the rows of `data` inside
-/// it. Unlike [`count_partition`], every box is tested for every row.
-pub fn count_boxes(data: &Table, boxes: &[BoxRegion]) -> Vec<u64> {
-    let mut counts = vec![0u64; boxes.len()];
-    for row in data.rows() {
-        for (i, b) in boxes.iter().enumerate() {
-            if b.contains(row) {
-                counts[i] += 1;
+/// it, scanning row chunks on `par` worker threads. Unlike
+/// [`count_partition_par`], every box is tested for every row.
+pub fn count_boxes_par(data: &Table, boxes: &[BoxRegion], par: Parallelism) -> Vec<u64> {
+    let parts = map_chunks(par, data.len(), SCAN_GRAIN, |range| {
+        let mut counts = vec![0u64; boxes.len()];
+        for r in range {
+            let row = data.row(r);
+            for (i, b) in boxes.iter().enumerate() {
+                if b.contains(row) {
+                    counts[i] += 1;
+                }
             }
         }
+        counts
+    });
+    if parts.is_empty() {
+        return vec![0u64; boxes.len()];
     }
-    counts
+    merge_counts(parts)
+}
+
+/// [`count_boxes_par`] at the process-wide default parallelism.
+pub fn count_boxes(data: &Table, boxes: &[BoxRegion]) -> Vec<u64> {
+    count_boxes_par(data, boxes, Parallelism::Global)
 }
 
 /// Counts labelled rows per class-carrying box (used when GCR cells carry
-/// class labels explicitly).
-pub fn count_labeled_boxes(data: &LabeledTable, boxes: &[BoxRegion]) -> Vec<u64> {
-    let mut counts = vec![0u64; boxes.len()];
-    for (row, label) in data.rows() {
-        for (i, b) in boxes.iter().enumerate() {
-            if b.contains_labeled(row, label) {
-                counts[i] += 1;
+/// class labels explicitly), scanning row chunks on `par` worker threads.
+pub fn count_labeled_boxes_par(
+    data: &LabeledTable,
+    boxes: &[BoxRegion],
+    par: Parallelism,
+) -> Vec<u64> {
+    let parts = map_chunks(par, data.len(), SCAN_GRAIN, |range| {
+        let mut counts = vec![0u64; boxes.len()];
+        for r in range {
+            let row = data.table.row(r);
+            let label = data.labels[r];
+            for (i, b) in boxes.iter().enumerate() {
+                if b.contains_labeled(row, label) {
+                    counts[i] += 1;
+                }
             }
         }
+        counts
+    });
+    if parts.is_empty() {
+        return vec![0u64; boxes.len()];
     }
-    counts
+    merge_counts(parts)
+}
+
+/// [`count_labeled_boxes_par`] at the process-wide default parallelism.
+pub fn count_labeled_boxes(data: &LabeledTable, boxes: &[BoxRegion]) -> Vec<u64> {
+    count_labeled_boxes_par(data, boxes, Parallelism::Global)
 }
 
 /// Builds a [`DtModel`] measure component for an externally supplied leaf

@@ -11,8 +11,16 @@
 //!
 //! The heavy lifting is generic in `focus-stats`; this module adapts it to
 //! the two dataset shapes, resampling *indices* so rows are never cloned.
+//!
+//! Each bootstrap replicate runs the full model-induction pipeline, so the
+//! fan-out over replicates dominates qualification cost. Every function here
+//! therefore takes (or defaults) a [`Parallelism`]: replicate `i` seeds its
+//! own `StdRng` from `derive_seed(seed, i)`, making the null distribution a
+//! pure function of `(datasets, reps, seed)` — bit-identical for any thread
+//! count.
 
 use crate::data::{resample_indices, LabeledTable, TransactionSet};
+use focus_exec::{derive_seed, map_indices, Parallelism};
 use focus_stats::bootstrap::{significance_percent, BootstrapResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,25 +38,39 @@ pub fn qualify_transactions<F>(
     observed: f64,
     reps: usize,
     seed: u64,
-    mut stat: F,
+    stat: F,
 ) -> BootstrapResult
 where
-    F: FnMut(&TransactionSet, &TransactionSet) -> f64,
+    F: Fn(&TransactionSet, &TransactionSet) -> f64 + Sync,
+{
+    qualify_transactions_par(d1, d2, observed, reps, seed, Parallelism::Global, stat)
+}
+
+/// [`qualify_transactions`] with an explicit [`Parallelism`] for the
+/// per-replicate fan-out.
+pub fn qualify_transactions_par<F>(
+    d1: &TransactionSet,
+    d2: &TransactionSet,
+    observed: f64,
+    reps: usize,
+    seed: u64,
+    par: Parallelism,
+    stat: F,
+) -> BootstrapResult
+where
+    F: Fn(&TransactionSet, &TransactionSet) -> f64 + Sync,
 {
     assert!(
         !d1.is_empty() && !d2.is_empty(),
         "datasets must be non-empty"
     );
     let pool = d1.concat(d2);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut null = Vec::with_capacity(reps);
-    for _ in 0..reps {
+    let mut null = map_indices(par, reps, |rep| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, rep as u64));
         let i1 = resample_indices(pool.len(), d1.len(), &mut rng);
         let i2 = resample_indices(pool.len(), d2.len(), &mut rng);
-        let s1 = pool.subset(&i1);
-        let s2 = pool.subset(&i2);
-        null.push(stat(&s1, &s2));
-    }
+        stat(&pool.subset(&i1), &pool.subset(&i2))
+    });
     let significance = significance_percent(observed, &null);
     null.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation in bootstrap"));
     BootstrapResult {
@@ -67,25 +89,39 @@ pub fn qualify_tables<F>(
     observed: f64,
     reps: usize,
     seed: u64,
-    mut stat: F,
+    stat: F,
 ) -> BootstrapResult
 where
-    F: FnMut(&LabeledTable, &LabeledTable) -> f64,
+    F: Fn(&LabeledTable, &LabeledTable) -> f64 + Sync,
+{
+    qualify_tables_par(d1, d2, observed, reps, seed, Parallelism::Global, stat)
+}
+
+/// [`qualify_tables`] with an explicit [`Parallelism`] for the
+/// per-replicate fan-out.
+pub fn qualify_tables_par<F>(
+    d1: &LabeledTable,
+    d2: &LabeledTable,
+    observed: f64,
+    reps: usize,
+    seed: u64,
+    par: Parallelism,
+    stat: F,
+) -> BootstrapResult
+where
+    F: Fn(&LabeledTable, &LabeledTable) -> f64 + Sync,
 {
     assert!(
         !d1.is_empty() && !d2.is_empty(),
         "datasets must be non-empty"
     );
     let pool = d1.concat(d2);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut null = Vec::with_capacity(reps);
-    for _ in 0..reps {
+    let mut null = map_indices(par, reps, |rep| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, rep as u64));
         let i1 = resample_indices(pool.len(), d1.len(), &mut rng);
         let i2 = resample_indices(pool.len(), d2.len(), &mut rng);
-        let s1 = pool.subset(&i1);
-        let s2 = pool.subset(&i2);
-        null.push(stat(&s1, &s2));
-    }
+        stat(&pool.subset(&i1), &pool.subset(&i2))
+    });
     let significance = significance_percent(observed, &null);
     null.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation in bootstrap"));
     BootstrapResult {
@@ -110,19 +146,35 @@ pub fn qualify_chi_squared<F>(
     observed: f64,
     reps: usize,
     seed: u64,
-    mut stat: F,
+    stat: F,
 ) -> BootstrapResult
 where
-    F: FnMut(&LabeledTable) -> f64,
+    F: Fn(&LabeledTable) -> f64 + Sync,
+{
+    qualify_chi_squared_par(d1, n2, observed, reps, seed, Parallelism::Global, stat)
+}
+
+/// [`qualify_chi_squared`] with an explicit [`Parallelism`] for the
+/// per-replicate fan-out.
+pub fn qualify_chi_squared_par<F>(
+    d1: &LabeledTable,
+    n2: usize,
+    observed: f64,
+    reps: usize,
+    seed: u64,
+    par: Parallelism,
+    stat: F,
+) -> BootstrapResult
+where
+    F: Fn(&LabeledTable) -> f64 + Sync,
 {
     assert!(!d1.is_empty(), "dataset must be non-empty");
     assert!(n2 > 0, "target dataset size must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut null = Vec::with_capacity(reps);
-    for _ in 0..reps {
+    let mut null = map_indices(par, reps, |rep| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, rep as u64));
         let idx = resample_indices(d1.len(), n2, &mut rng);
-        null.push(stat(&d1.subset(&idx)));
-    }
+        stat(&d1.subset(&idx))
+    });
     let significance = significance_percent(observed, &null);
     null.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic in bootstrap"));
     BootstrapResult {

@@ -102,7 +102,7 @@ pub fn lits_report<M>(
     opts: ReportOptions,
 ) -> ComparisonReport
 where
-    M: Fn(&TransactionSet) -> LitsModel,
+    M: Fn(&TransactionSet) -> LitsModel + Sync,
 {
     let m1 = miner(d1);
     let m2 = miner(d2);
@@ -149,7 +149,7 @@ pub fn dt_report<M>(
     opts: ReportOptions,
 ) -> ComparisonReport
 where
-    M: Fn(&LabeledTable) -> DtModel,
+    M: Fn(&LabeledTable) -> DtModel + Sync,
 {
     let m1 = fit(d1);
     let m2 = fit(d2);

@@ -1,0 +1,412 @@
+//! # focus-exec — deterministic fork-join execution
+//!
+//! Every hot path in the FOCUS pipeline is embarrassingly parallel over
+//! independent units of work: the one-scan-per-dataset region counting
+//! behind `δ(f,g)` is parallel over rows, Apriori support counting is
+//! parallel over transactions, and the bootstrap null distribution of the
+//! qualification procedure (Section 3.4 of the paper) is parallel over
+//! resamples. This crate provides the one mechanism all of them share:
+//! a scoped fork-join over index ranges with a **deterministic chunk
+//! decomposition and merge order**, built on `std::thread` only.
+//!
+//! ## The determinism contract
+//!
+//! Parallel results are **bit-identical** to sequential results, for any
+//! thread count, because
+//!
+//! 1. chunk boundaries are a pure function of `(len, chunk count)` — no
+//!    work stealing, no racing on a shared cursor;
+//! 2. per-chunk results are merged *in chunk order* on the calling thread;
+//! 3. the merges the callers perform are exact: `u64` counter addition
+//!    (associative and commutative — regrouping cannot change the sum) and
+//!    order-preserving concatenation. Floating-point aggregation always
+//!    happens *after* the merge, on the same totals in the same order as
+//!    the sequential code;
+//! 4. randomized fan-out (bootstrap resamples) derives one RNG seed per
+//!    work item via [`derive_seed`], so a replicate's random stream depends
+//!    only on `(master seed, replicate index)` — never on which thread ran
+//!    it or how many threads exist.
+//!
+//! The cross-crate `tests/parallel_equiv.rs` suite in the workspace root
+//! enforces this contract for all three model classes.
+//!
+//! ## Choosing a thread count
+//!
+//! APIs take a [`Parallelism`] value. `Parallelism::Global` (the default)
+//! resolves to the process-wide setting: [`set_global_threads`] if called
+//! (the CLI's `--threads` flag), else the `FOCUS_THREADS` environment
+//! variable (`0` or `auto` = one thread per core), else one thread per
+//! available core.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default minimum work items per chunk for dataset scans. Region-counting
+/// scans cost `O(rows · regions)` per item, so a few hundred items dwarf
+/// the ~50 µs a scoped spawn costs. Callers with much cheaper or much more
+/// expensive items (e.g. bootstrap replicates: one full pipeline each)
+/// pass their own grain.
+pub const DEFAULT_GRAIN: usize = 256;
+
+/// How many worker threads a parallel region may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Use the process-wide default (CLI `--threads`, `FOCUS_THREADS`
+    /// environment variable, or one thread per available core).
+    #[default]
+    Global,
+    /// Single-threaded execution on the calling thread.
+    Sequential,
+    /// Exactly this many worker threads (clamped to at least 1).
+    Threads(usize),
+    /// One worker thread per available core.
+    Auto,
+}
+
+impl Parallelism {
+    /// Builds a `Parallelism` from a user-facing thread count, with the
+    /// CLI convention `0` = auto.
+    pub fn from_threads(n: usize) -> Self {
+        match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Sequential,
+            n => Parallelism::Threads(n),
+        }
+    }
+
+    /// Resolves to a concrete worker-thread count (always ≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Global => global_threads(),
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => available_cores(),
+        }
+    }
+}
+
+/// Process-wide thread-count override: 0 = not set (fall through to the
+/// environment / core count).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily parsed `FOCUS_THREADS` environment setting.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        let raw = std::env::var("FOCUS_THREADS").ok()?;
+        let t = raw.trim();
+        if t.eq_ignore_ascii_case("auto") {
+            return Some(available_cores());
+        }
+        match t.parse::<usize>() {
+            Ok(0) => Some(available_cores()),
+            Ok(n) => Some(n),
+            Err(_) => {
+                // A typo'd setting silently running on all cores would be
+                // invisible (results are bit-identical by design), so say
+                // so once.
+                eprintln!(
+                    "focus-exec: ignoring unparseable FOCUS_THREADS={raw:?} \
+                     (want a number, 0, or \"auto\"); using one thread per core"
+                );
+                None
+            }
+        }
+    })
+}
+
+/// Sets the process-wide default thread count (`Parallelism::Global`).
+/// `0` means "one thread per available core". Takes precedence over the
+/// `FOCUS_THREADS` environment variable.
+pub fn set_global_threads(n: usize) {
+    let resolved = if n == 0 { available_cores() } else { n };
+    GLOBAL_THREADS.store(resolved, Ordering::Relaxed);
+}
+
+/// The process-wide default thread count: [`set_global_threads`] if set,
+/// else `FOCUS_THREADS`, else one per available core.
+pub fn global_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => env_threads().unwrap_or_else(available_cores),
+        n => n,
+    }
+}
+
+/// Splits `0..len` into `chunks` contiguous near-equal ranges: the first
+/// `len % chunks` ranges get one extra element. Deterministic in its
+/// arguments; never returns an empty range (fewer ranges are returned when
+/// `len < chunks`).
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+thread_local! {
+    /// True while the current thread is a focus-exec worker. Nested
+    /// parallel regions (a bootstrap replicate whose pipeline contains
+    /// chunked scans, say) run inline instead of multiplying thread
+    /// counts: the outer fan-out already owns the parallelism budget.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` over a deterministic chunk decomposition of `0..len` and
+/// returns the per-chunk results **in chunk order**.
+///
+/// The chunk count is `min(threads, len / grain)` (at least 1): `grain` is
+/// the minimum number of items worth shipping to a worker thread, so tiny
+/// inputs never pay thread-spawn overhead. With one chunk, `f(0..len)` runs
+/// inline on the calling thread — the exact sequential code path.
+///
+/// Calls issued *from inside* a focus-exec worker always run inline:
+/// nesting one parallel region in another would oversubscribe the machine
+/// (outer threads × inner threads) without making anything faster. The
+/// results are unaffected either way — that is the determinism contract.
+pub fn map_chunks<R, F>(par: Parallelism, len: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = if IN_WORKER.get() { 1 } else { par.threads() };
+    let chunks = threads.min(len / grain.max(1)).max(1);
+    if chunks == 1 {
+        return vec![f(0..len)];
+    }
+    let ranges = chunk_ranges(len, chunks);
+    let fref = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                s.spawn(move || {
+                    IN_WORKER.set(true);
+                    fref(r)
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps the merge order deterministic.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("focus-exec worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f(i)` for every `i in 0..n` and returns the results **in index
+/// order**, fanning the indices out over worker threads. Each index is an
+/// independent unit of work (grain 1) — the shape of bootstrap-resample
+/// fan-out, where one index is one full model-induction pipeline run.
+pub fn map_indices<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let nested = map_chunks(par, n, 1, |range| range.map(&f).collect::<Vec<R>>());
+    let mut out = Vec::with_capacity(n);
+    for part in nested {
+        out.extend(part);
+    }
+    out
+}
+
+/// Merges per-chunk counter vectors by element-wise addition, in chunk
+/// order. All parts must have equal length. `u64` addition is associative
+/// and commutative, so the totals are bit-identical to a sequential count
+/// regardless of how the rows were chunked.
+pub fn merge_counts(parts: Vec<Vec<u64>>) -> Vec<u64> {
+    let mut it = parts.into_iter();
+    let Some(mut acc) = it.next() else {
+        return Vec::new();
+    };
+    for part in it {
+        assert_eq!(acc.len(), part.len(), "count vectors must align");
+        for (a, b) in acc.iter_mut().zip(part) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+/// Derives an independent per-work-item RNG seed from a master seed and a
+/// work-item index (SplitMix64 finalizer over their combination). Replicate
+/// `i` gets the same seed no matter how many threads run the fan-out, which
+/// is what makes randomized parallel results thread-count-invariant.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        ^ index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_and_partition() {
+        for len in [0usize, 1, 7, 64, 100, 1001] {
+            for chunks in [1usize, 2, 3, 7, 16, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                // Contiguous cover of 0..len, no empty ranges.
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start);
+                    assert!(r.end > r.start, "empty chunk for len={len} chunks={chunks}");
+                    expect_start = r.end;
+                }
+                assert_eq!(expect_start, len);
+                if len > 0 {
+                    assert_eq!(ranges.len(), chunks.min(len));
+                    // Near-equal: sizes differ by at most one.
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+                    let min = sizes.iter().min().unwrap();
+                    let max = sizes.iter().max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_results_in_chunk_order() {
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threads(3),
+            Parallelism::Threads(8),
+        ] {
+            let parts = map_chunks(par, 100, 1, |r| (r.start, r.end));
+            let mut expect_start = 0;
+            for (s, e) in parts {
+                assert_eq!(s, expect_start);
+                expect_start = e;
+            }
+            assert_eq!(expect_start, 100);
+        }
+    }
+
+    #[test]
+    fn map_chunks_grain_limits_fanout() {
+        // 100 items at grain 64: only one chunk even with many threads.
+        let parts = map_chunks(Parallelism::Threads(16), 100, 64, |r| r);
+        assert_eq!(parts, vec![0..100]);
+        // Grain 25: at most 4 chunks.
+        let parts = map_chunks(Parallelism::Threads(16), 100, 25, |r| r);
+        assert_eq!(parts.len(), 4);
+    }
+
+    #[test]
+    fn map_indices_preserves_order_for_any_thread_count() {
+        let expected: Vec<usize> = (0..57).map(|i| i * i).collect();
+        for t in [1usize, 2, 4, 7, 16] {
+            let got = map_indices(Parallelism::Threads(t), 57, |i| i * i);
+            assert_eq!(got, expected, "threads = {t}");
+        }
+        assert!(map_indices(Parallelism::Threads(4), 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn merge_counts_is_elementwise_sum() {
+        let merged = merge_counts(vec![vec![1, 2, 3], vec![10, 0, 5], vec![0, 1, 0]]);
+        assert_eq!(merged, vec![11, 3, 8]);
+        assert!(merge_counts(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential_exactly() {
+        // The canonical use: per-chunk u64 counters merged by addition.
+        let data: Vec<u64> = (0..10_000).map(|i| i % 97).collect();
+        let count = |par: Parallelism| {
+            let parts = map_chunks(par, data.len(), 8, |r| {
+                let mut c = vec![0u64; 97];
+                for i in r {
+                    c[data[i] as usize] += 1;
+                }
+                c
+            });
+            merge_counts(parts)
+        };
+        let seq = count(Parallelism::Sequential);
+        for t in [2, 3, 4, 7, 13] {
+            assert_eq!(count(Parallelism::Threads(t)), seq, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_regions_run_inline() {
+        // A parallel region opened inside a worker must not spawn again:
+        // the inner map_chunks collapses to a single chunk, while the
+        // outer one keeps its fan-out. (The inner call asks for 8 threads
+        // over 8000 items at grain 1 — it would split if it could.)
+        let outer = map_chunks(Parallelism::Threads(4), 4000, 1, |r| {
+            let inner = map_chunks(Parallelism::Threads(8), 8000, 1, |ir| ir.len());
+            (r.len(), inner.len())
+        });
+        assert_eq!(outer.len(), 4, "outer region keeps its fan-out");
+        for (_, inner_chunks) in outer {
+            assert_eq!(inner_chunks, 1, "nested region must run inline");
+        }
+        // Back on the calling thread, parallelism is available again.
+        let after = map_chunks(Parallelism::Threads(2), 4000, 1, |r| r.len());
+        assert_eq!(after.len(), 2);
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        assert_ne!(derive_seed(42, 7), derive_seed(42, 8));
+        assert_ne!(derive_seed(42, 7), derive_seed(43, 7));
+        // Nearby indices should not collide over a realistic rep range.
+        let mut seen: Vec<u64> = (0..10_000).map(|i| derive_seed(1, i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn from_threads_cli_convention() {
+        assert_eq!(Parallelism::from_threads(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from_threads(1), Parallelism::Sequential);
+        assert_eq!(Parallelism::from_threads(6), Parallelism::Threads(6));
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn global_threads_override() {
+        // Whatever the environment says, an explicit set wins.
+        set_global_threads(3);
+        assert_eq!(global_threads(), 3);
+        assert_eq!(Parallelism::Global.threads(), 3);
+        set_global_threads(0);
+        assert!(global_threads() >= 1);
+    }
+}

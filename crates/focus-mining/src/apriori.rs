@@ -16,7 +16,11 @@
 use focus_core::data::TransactionSet;
 use focus_core::model::LitsModel;
 use focus_core::region::Itemset;
+use focus_exec::{map_chunks, merge_counts, Parallelism};
 use std::collections::{HashMap, HashSet};
+
+/// Minimum transactions per worker chunk for the counting scans.
+const SCAN_GRAIN: usize = focus_exec::DEFAULT_GRAIN;
 
 /// Tuning parameters for the miner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +38,10 @@ pub struct AprioriParams {
     /// combinatorially; setting the floor to 2+ keeps tiny-sample runs
     /// (e.g. a 1% sample of an already-scaled-down dataset) well-posed.
     pub min_count_floor: u64,
+    /// Worker threads for the support-counting scans (default
+    /// [`Parallelism::Global`]). Mined models are bit-identical for every
+    /// setting: per-chunk transaction counts merge by `u64` addition.
+    pub parallelism: Parallelism,
 }
 
 impl AprioriParams {
@@ -47,6 +55,7 @@ impl AprioriParams {
             minsup,
             max_len: None,
             min_count_floor: 1,
+            parallelism: Parallelism::Global,
         }
     }
 
@@ -62,6 +71,12 @@ impl AprioriParams {
     pub fn min_count_floor(mut self, floor: u64) -> Self {
         assert!(floor >= 1);
         self.min_count_floor = floor;
+        self
+    }
+
+    /// Sets the worker-thread policy for the support-counting scans.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
         self
     }
 }
@@ -91,13 +106,22 @@ impl Apriori {
 
         let mut all_frequent: Vec<(Itemset, u64)> = Vec::new();
 
-        // Level 1: plain array count.
-        let mut item_counts = vec![0u64; data.n_items() as usize];
-        for txn in data.iter() {
-            for &it in txn {
-                item_counts[it as usize] += 1;
-            }
-        }
+        // Level 1: plain array count, transaction chunks fanned out over
+        // worker threads and merged by addition (exact for any chunking).
+        let item_counts = merge_counts(map_chunks(
+            self.params.parallelism,
+            data.len(),
+            SCAN_GRAIN,
+            |range| {
+                let mut counts = vec![0u64; data.n_items() as usize];
+                for t in range {
+                    for &it in data.get(t) {
+                        counts[it as usize] += 1;
+                    }
+                }
+                counts
+            },
+        ));
         let mut frontier: Vec<Vec<u32>> = Vec::new();
         for (it, &c) in item_counts.iter().enumerate() {
             if c >= min_count {
@@ -117,7 +141,7 @@ impl Apriori {
             if candidates.is_empty() {
                 break;
             }
-            let counts = count_candidates(data, &candidates, k);
+            let counts = count_candidates(data, &candidates, k, self.params.parallelism);
             let mut next: Vec<Vec<u32>> = Vec::new();
             for (cand, count) in candidates.into_iter().zip(counts) {
                 if count >= min_count {
@@ -190,11 +214,20 @@ fn all_subsets_frequent(cand: &[u32], freq_set: &HashSet<&[u32]>) -> bool {
     true
 }
 
-/// One scan of the data, counting every candidate of size `k`.
+/// One scan of the data, counting every candidate of size `k`, with the
+/// transaction range fanned out over `par` worker threads.
 ///
 /// For each transaction a DFS enumerates its subsets of size `k`, extending
-/// a partial itemset only while it remains a prefix of some candidate.
-fn count_candidates(data: &TransactionSet, candidates: &[Vec<u32>], k: usize) -> Vec<u64> {
+/// a partial itemset only while it remains a prefix of some candidate. The
+/// candidate index and prefix set are built once and shared read-only; each
+/// chunk tallies into its own counter vector, merged by `u64` addition, so
+/// the counts are bit-identical to a sequential scan.
+fn count_candidates(
+    data: &TransactionSet,
+    candidates: &[Vec<u32>],
+    k: usize,
+    par: Parallelism,
+) -> Vec<u64> {
     // Index of each full candidate, plus the set of all proper prefixes.
     let mut index: HashMap<&[u32], usize> = HashMap::with_capacity(candidates.len());
     let mut prefixes: HashSet<&[u32]> = HashSet::new();
@@ -208,18 +241,25 @@ fn count_candidates(data: &TransactionSet, candidates: &[Vec<u32>], k: usize) ->
     // to these before enumeration.
     let active: HashSet<u32> = candidates.iter().flatten().copied().collect();
 
-    let mut counts = vec![0u64; candidates.len()];
-    let mut filtered: Vec<u32> = Vec::new();
-    let mut stack: Vec<u32> = Vec::with_capacity(k);
-    for txn in data.iter() {
-        filtered.clear();
-        filtered.extend(txn.iter().copied().filter(|it| active.contains(it)));
-        if filtered.len() < k {
-            continue;
+    let (index, prefixes, active) = (&index, &prefixes, &active);
+    let parts = map_chunks(par, data.len(), SCAN_GRAIN, |range| {
+        let mut counts = vec![0u64; candidates.len()];
+        let mut filtered: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = Vec::with_capacity(k);
+        for t in range {
+            filtered.clear();
+            filtered.extend(data.get(t).iter().copied().filter(|it| active.contains(it)));
+            if filtered.len() < k {
+                continue;
+            }
+            dfs_count(&filtered, k, &mut stack, index, prefixes, &mut counts);
         }
-        dfs_count(&filtered, k, &mut stack, &index, &prefixes, &mut counts);
+        counts
+    });
+    if parts.is_empty() {
+        return vec![0u64; candidates.len()];
     }
-    counts
+    merge_counts(parts)
 }
 
 fn dfs_count(

@@ -13,6 +13,8 @@
 //! profiles faster on the paper's workloads, but the hash tree wins when
 //! candidates are dense over few items.
 
+use focus_core::data::TransactionSet;
+use focus_exec::{map_chunks, merge_counts, Parallelism};
 use std::collections::HashMap;
 
 /// A hash tree over fixed-length candidate itemsets.
@@ -73,6 +75,27 @@ impl HashTree {
             }
         }
         counts
+    }
+
+    /// [`HashTree::count`] over a [`TransactionSet`], with the transaction
+    /// range fanned out over `par` worker threads. The tree is probed
+    /// read-only; per-chunk counters merge by `u64` addition, so the counts
+    /// are bit-identical to the sequential walk for every thread count.
+    pub fn count_set(&self, data: &TransactionSet, par: Parallelism) -> Vec<u64> {
+        let parts = map_chunks(par, data.len(), focus_exec::DEFAULT_GRAIN, |range| {
+            let mut counts = vec![0u64; self.n_candidates];
+            for t in range {
+                let txn = data.get(t);
+                if txn.len() >= self.k {
+                    walk(&self.root, txn, 0, self.k, &mut counts);
+                }
+            }
+            counts
+        });
+        if parts.is_empty() {
+            return vec![0u64; self.n_candidates];
+        }
+        merge_counts(parts)
     }
 }
 
@@ -222,6 +245,138 @@ mod tests {
                     "{cand:?}: hash-tree {sup} vs miner {expected}"
                 );
             }
+        }
+    }
+
+    /// Counts how many interior nodes the tree contains (0 ⇒ the root is
+    /// still a single leaf).
+    fn interior_nodes(node: &HtNode) -> usize {
+        match node {
+            HtNode::Leaf(_) => 0,
+            HtNode::Interior(map) => 1 + map.values().map(interior_nodes).sum::<usize>(),
+        }
+    }
+
+    /// Collects every stored `(candidate, index)` pair, depth-first.
+    fn stored(node: &HtNode, out: &mut Vec<(Vec<u32>, usize)>) {
+        match node {
+            HtNode::Leaf(items) => out.extend(items.iter().cloned()),
+            HtNode::Interior(map) => {
+                for child in map.values() {
+                    stored(child, out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_keeps_root_leaf_until_capacity() {
+        // ≤ LEAF_CAP candidates: no splitting, everything in the root leaf.
+        let candidates: Vec<Vec<u32>> = (0..LEAF_CAP as u32).map(|b| vec![b, b + 100]).collect();
+        let tree = HashTree::build(&candidates, 2);
+        assert_eq!(interior_nodes(&tree.root), 0);
+        assert_eq!(tree.len(), LEAF_CAP);
+        // One more insert forces the split.
+        let candidates: Vec<Vec<u32>> = (0..=LEAF_CAP as u32).map(|b| vec![b, b + 100]).collect();
+        let tree = HashTree::build(&candidates, 2);
+        assert!(interior_nodes(&tree.root) >= 1);
+    }
+
+    #[test]
+    fn bucket_split_preserves_every_candidate_and_index() {
+        // Shared first item pushes the overflow one level down; shared first
+        // two items push it down again — a chain of interior conversions.
+        let mut candidates: Vec<Vec<u32>> = (0..12u32).map(|b| vec![0, 1, b + 2]).collect();
+        candidates.extend((0..12u32).map(|b| vec![5, b + 6, b + 20]));
+        let tree = HashTree::build(&candidates, 3);
+        assert!(interior_nodes(&tree.root) >= 2, "nested splits expected");
+        let mut kept = Vec::new();
+        stored(&tree.root, &mut kept);
+        kept.sort();
+        let mut expected: Vec<(Vec<u32>, usize)> = candidates
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
+        expected.sort();
+        assert_eq!(kept, expected, "splitting must not lose or re-index");
+    }
+
+    #[test]
+    fn max_depth_leaf_absorbs_overflow_without_splitting() {
+        // A leaf at depth k cannot split (there is no item left to hash
+        // on). Only duplicate candidates can crowd such a leaf past
+        // LEAF_CAP; the `depth < k` guard must leave it as a fat leaf
+        // instead of recursing forever, and every copy still counts.
+        let candidates: Vec<Vec<u32>> = vec![vec![3]; LEAF_CAP + 4];
+        let tree = HashTree::build(&candidates, 1);
+        let txn: Vec<u32> = vec![1, 3, 5];
+        let counts = tree.count(std::iter::once(txn.as_slice()));
+        assert_eq!(counts, vec![1; LEAF_CAP + 4]);
+        // A transaction without the item matches no copy.
+        let counts = tree.count(std::iter::once([1u32, 5].as_slice()));
+        assert_eq!(counts, vec![0; LEAF_CAP + 4]);
+    }
+
+    /// Naive reference: for each candidate, test subset containment against
+    /// every transaction directly.
+    fn naive_counts(candidates: &[Vec<u32>], data: &focus_core::data::TransactionSet) -> Vec<u64> {
+        candidates
+            .iter()
+            .map(|cand| {
+                data.iter()
+                    .filter(|txn| cand.iter().all(|it| txn.binary_search(it).is_ok()))
+                    .count() as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_naive_subset_counting() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data = focus_core::data::TransactionSet::new(20);
+        for _ in 0..200 {
+            let t: Vec<u32> = (0..20).filter(|_| rng.gen::<f64>() < 0.3).collect();
+            data.push(t);
+        }
+        for k in 1..=3usize {
+            // Random sorted candidates of length k (deduplicated).
+            let mut candidates: Vec<Vec<u32>> = (0..40)
+                .map(|_| {
+                    let mut c: Vec<u32> = Vec::new();
+                    while c.len() < k {
+                        let item = rng.gen_range(0..20u32);
+                        if !c.contains(&item) {
+                            c.push(item);
+                        }
+                    }
+                    c.sort_unstable();
+                    c
+                })
+                .collect();
+            candidates.sort();
+            candidates.dedup();
+            let tree = HashTree::build(&candidates, k);
+            let got = tree.count(data.iter());
+            assert_eq!(got, naive_counts(&candidates, &data), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn count_set_matches_iterator_count_for_any_thread_count() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut data = focus_core::data::TransactionSet::new(12);
+        for _ in 0..500 {
+            let t: Vec<u32> = (0..12).filter(|_| rng.gen::<f64>() < 0.4).collect();
+            data.push(t);
+        }
+        let candidates: Vec<Vec<u32>> = (0..11u32).map(|b| vec![b, b + 1]).collect();
+        let tree = HashTree::build(&candidates, 2);
+        let seq = tree.count(data.iter());
+        for t in [1usize, 2, 4, 7] {
+            let par = tree.count_set(&data, Parallelism::Threads(t));
+            assert_eq!(par, seq, "threads = {t}");
         }
     }
 

@@ -14,6 +14,7 @@
 //! identical code path serves lits-models (elements = transactions),
 //! dt-models (elements = labelled tuples) and raw numeric statistics.
 
+use focus_exec::{derive_seed, map_indices, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,41 +42,58 @@ impl BootstrapResult {
 }
 
 /// Draws `reps` bootstrap replicates of a two-sample statistic under the
-/// null hypothesis that both samples come from the pooled distribution.
+/// null hypothesis that both samples come from the pooled distribution,
+/// at the process-wide default parallelism.
 ///
 /// For each replicate, two pseudo-samples of sizes `n1` and `n2` are drawn
-/// with replacement from `pool`, and `stat` is evaluated on them. The scratch
-/// vectors are reused across replicates so the per-replicate cost is the
-/// statistic itself.
-pub fn bootstrap_two_sample<T: Clone, F>(
+/// with replacement from `pool`, and `stat` is evaluated on them.
+pub fn bootstrap_two_sample<T, F>(
     pool: &[T],
     n1: usize,
     n2: usize,
     reps: usize,
     seed: u64,
-    mut stat: F,
+    stat: F,
 ) -> Vec<f64>
 where
-    F: FnMut(&[T], &[T]) -> f64,
+    T: Clone + Sync,
+    F: Fn(&[T], &[T]) -> f64 + Sync,
+{
+    bootstrap_two_sample_par(pool, n1, n2, reps, seed, Parallelism::Global, stat)
+}
+
+/// [`bootstrap_two_sample`] with an explicit [`Parallelism`] for the
+/// per-replicate fan-out.
+///
+/// Replicate `i` seeds its own `StdRng` from `derive_seed(seed, i)`, so
+/// replicate `i`'s random draws depend only on `(seed, i)` — never on the
+/// thread count — and the returned vector (in replicate order) is
+/// bit-identical whether it was computed on one thread or many.
+pub fn bootstrap_two_sample_par<T, F>(
+    pool: &[T],
+    n1: usize,
+    n2: usize,
+    reps: usize,
+    seed: u64,
+    par: Parallelism,
+    stat: F,
+) -> Vec<f64>
+where
+    T: Clone + Sync,
+    F: Fn(&[T], &[T]) -> f64 + Sync,
 {
     assert!(!pool.is_empty(), "bootstrap pool must be non-empty");
     assert!(n1 > 0 && n2 > 0, "resample sizes must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut s1: Vec<T> = Vec::with_capacity(n1);
-    let mut s2: Vec<T> = Vec::with_capacity(n2);
-    let mut out = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        s1.clear();
-        s2.clear();
-        for _ in 0..n1 {
-            s1.push(pool[rng.gen_range(0..pool.len())].clone());
-        }
-        for _ in 0..n2 {
-            s2.push(pool[rng.gen_range(0..pool.len())].clone());
-        }
-        out.push(stat(&s1, &s2));
-    }
-    out
+    map_indices(par, reps, |rep| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, rep as u64));
+        let s1: Vec<T> = (0..n1)
+            .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+            .collect();
+        let s2: Vec<T> = (0..n2)
+            .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+            .collect();
+        stat(&s1, &s2)
+    })
 }
 
 /// Computes the paper's "%sig" number: the percentage of null values that
@@ -96,7 +114,7 @@ pub fn significance_percent(observed: f64, null: &[f64]) -> f64 {
 /// This is the direct implementation of Section 3.4: `stat` should be the
 /// full model-induction + deviation pipeline (e.g. "mine frequent itemsets
 /// from both pseudo-datasets and compute `δ(f_a, g_sum)`").
-pub fn qualify<T: Clone, F>(
+pub fn qualify<T, F>(
     d1: &[T],
     d2: &[T],
     observed: f64,
@@ -105,7 +123,8 @@ pub fn qualify<T: Clone, F>(
     stat: F,
 ) -> BootstrapResult
 where
-    F: FnMut(&[T], &[T]) -> f64,
+    T: Clone + Sync,
+    F: Fn(&[T], &[T]) -> f64 + Sync,
 {
     let pool: Vec<T> = d1.iter().cloned().chain(d2.iter().cloned()).collect();
     let mut null = bootstrap_two_sample(&pool, d1.len(), d2.len(), reps, seed, stat);
@@ -132,6 +151,19 @@ mod tests {
         let r3 = bootstrap_two_sample(&pool, 30, 30, 50, 2, stat);
         assert_eq!(r1, r2);
         assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn null_distribution_is_thread_count_invariant() {
+        // The per-replicate seeding makes the null distribution (in
+        // replicate order) bit-identical for every worker-thread count.
+        let pool: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let stat = |a: &[f64], b: &[f64]| (mean(a) - mean(b)).abs();
+        let seq = bootstrap_two_sample_par(&pool, 40, 25, 33, 9, Parallelism::Sequential, stat);
+        for t in [2usize, 4, 7] {
+            let par = bootstrap_two_sample_par(&pool, 40, 25, 33, 9, Parallelism::Threads(t), stat);
+            assert_eq!(seq, par, "threads = {t}");
+        }
     }
 
     #[test]

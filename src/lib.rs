@@ -3,6 +3,8 @@
 //! Facade crate re-exporting the whole workspace. See the README for a tour.
 //!
 //! * [`core`] — the FOCUS framework itself (models, GCR, deviation).
+//! * [`exec`] — deterministic fork-join executor behind the parallel
+//!   dataset scans and bootstrap fan-out (`Parallelism`, `FOCUS_THREADS`).
 //! * [`stats`] — bootstrap, Wilcoxon, chi-squared machinery.
 //! * [`data`] — synthetic data generators (IBM Quest association +
 //!   Agrawal classification).
@@ -35,6 +37,7 @@
 pub use focus_cluster as cluster;
 pub use focus_core as core;
 pub use focus_data as data;
+pub use focus_exec as exec;
 pub use focus_mining as mining;
 pub use focus_stats as stats;
 pub use focus_tree as tree;

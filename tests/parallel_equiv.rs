@@ -1,0 +1,282 @@
+//! Parallel ⇔ sequential equivalence: the determinism contract of the
+//! `focus-exec` engine, enforced end-to-end.
+//!
+//! For random datasets and seeds, every parallelized pipeline — deviation
+//! measure scans for all three model classes, Apriori mining, hash-tree
+//! counting, and the bootstrap qualification fan-out — must produce
+//! **bit-identical** results for any worker-thread count. Floating-point
+//! results are compared via their IEEE-754 bit patterns, not a tolerance:
+//! the engine's chunk decomposition, deterministic merge order, and
+//! per-replicate seeding make exact equality achievable, so exact equality
+//! is what we demand.
+
+use focus::core::prelude::*;
+use focus::exec::Parallelism;
+use focus::mining::{Apriori, AprioriParams, HashTree};
+use focus::stats::bootstrap_two_sample_par;
+use focus::tree::{DecisionTree, TreeParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The thread counts every equivalence check sweeps (1 exercises the
+/// inline path; 7 exceeds this container's core count on purpose).
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Asserts two float slices are IEEE-754 bit-identical.
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} vs {y} differ in bits"
+        );
+    }
+}
+
+/// A random transaction dataset, deterministic in its parameters.
+fn random_transactions(n: usize, n_items: u32, density: f64, seed: u64) -> TransactionSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = TransactionSet::new(n_items);
+    for _ in 0..n {
+        let t: Vec<u32> = (0..n_items)
+            .filter(|_| rng.gen::<f64>() < density)
+            .collect();
+        data.push(t);
+    }
+    data
+}
+
+/// A random labelled one-attribute table with a class boundary.
+fn random_labeled(n: usize, boundary: f64, noise: f64, seed: u64) -> LabeledTable {
+    let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = LabeledTable::new(schema, 2);
+    for _ in 0..n {
+        let x: f64 = rng.gen::<f64>() * 100.0;
+        let mut label = u32::from(x < boundary);
+        if rng.gen::<f64>() < noise {
+            label = 1 - label;
+        }
+        t.push_row(&[Value::Num(x)], label);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// lits pipeline: mining and GCR-extension deviation are
+    /// thread-count-invariant, model and measure component alike.
+    #[test]
+    fn lits_pipeline_bit_identical(seed1 in 0u64..1_000_000, seed2 in 0u64..1_000_000,
+                                   n in 600usize..1600, density in 0.15f64..0.45) {
+        let d1 = random_transactions(n, 10, density, seed1);
+        let d2 = random_transactions(n + 13, 10, density * 0.8, seed2);
+        let params = AprioriParams::with_minsup(0.1).max_len(6);
+
+        let m1_seq = Apriori::new(params.parallelism(Parallelism::Sequential)).mine(&d1);
+        let m2_seq = Apriori::new(params.parallelism(Parallelism::Sequential)).mine(&d2);
+        let dev_seq = lits_deviation_par(
+            &m1_seq, &d1, &m2_seq, &d2, DiffFn::Absolute, AggFn::Sum,
+            Parallelism::Sequential,
+        );
+
+        for t in THREADS {
+            let par = Parallelism::Threads(t);
+            let m1 = Apriori::new(params.parallelism(par)).mine(&d1);
+            let m2 = Apriori::new(params.parallelism(par)).mine(&d2);
+            prop_assert_eq!(&m1, &m1_seq, "mined model 1, threads = {}", t);
+            prop_assert_eq!(&m2, &m2_seq, "mined model 2, threads = {}", t);
+            let dev = lits_deviation_par(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum, par);
+            prop_assert_eq!(dev.value.to_bits(), dev_seq.value.to_bits(),
+                            "deviation value, threads = {}", t);
+            assert_bits_eq(&dev.supports1, &dev_seq.supports1, "supports1");
+            assert_bits_eq(&dev.supports2, &dev_seq.supports2, "supports2");
+            assert_bits_eq(&dev.per_region, &dev_seq.per_region, "per_region");
+            prop_assert_eq!(&dev.gcr, &dev_seq.gcr);
+        }
+    }
+
+    /// dt pipeline: partition routing and the overlay deviation are
+    /// thread-count-invariant.
+    #[test]
+    fn dt_pipeline_bit_identical(seed1 in 0u64..1_000_000, seed2 in 0u64..1_000_000,
+                                 n in 600usize..1600, b1 in 20.0f64..80.0, b2 in 20.0f64..80.0) {
+        let d1 = random_labeled(n, b1, 0.05, seed1);
+        let d2 = random_labeled(n + 31, b2, 0.05, seed2);
+        let params = TreeParams::default().max_depth(4).min_leaf(10);
+        let m1 = DecisionTree::fit(&d1, params).to_model();
+        let m2 = DecisionTree::fit(&d2, params).to_model();
+
+        let counts_seq = count_partition_par(&d1, m1.leaves(), 2, Parallelism::Sequential);
+        let dev_seq = dt_deviation_par(
+            &m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum, Parallelism::Sequential,
+        );
+
+        for t in THREADS {
+            let par = Parallelism::Threads(t);
+            prop_assert_eq!(
+                &count_partition_par(&d1, m1.leaves(), 2, par), &counts_seq,
+                "partition counts, threads = {}", t
+            );
+            let dev = dt_deviation_par(&m1, &d1, &m2, &d2, DiffFn::Absolute, AggFn::Sum, par);
+            prop_assert_eq!(dev.value.to_bits(), dev_seq.value.to_bits(),
+                            "deviation value, threads = {}", t);
+            assert_bits_eq(&dev.measures1, &dev_seq.measures1, "measures1");
+            assert_bits_eq(&dev.measures2, &dev_seq.measures2, "measures2");
+            assert_bits_eq(&dev.per_region, &dev_seq.per_region, "per_region");
+        }
+    }
+
+    /// cluster pipeline: overlapping-box measure scans and the GCR
+    /// deviation are thread-count-invariant.
+    #[test]
+    fn cluster_pipeline_bit_identical(seed1 in 0u64..1_000_000, seed2 in 0u64..1_000_000,
+                                      n in 600usize..1600,
+                                      lo1 in 0.0f64..40.0, w1 in 10.0f64..50.0,
+                                      lo2 in 0.0f64..40.0, w2 in 10.0f64..50.0) {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let table_of = |seed: u64, rows: usize| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Table::new(Arc::clone(&schema));
+            for _ in 0..rows {
+                t.push_row(&[Value::Num(rng.gen::<f64>() * 100.0)]);
+            }
+            t
+        };
+        let d1 = table_of(seed1, n);
+        let d2 = table_of(seed2, n + 17);
+        let c1 = ClusterModel::new(
+            vec![BoxBuilder::new(&schema).range("x", lo1, lo1 + w1).build()],
+            vec![1.0],
+            n as u64,
+        );
+        let c2 = ClusterModel::new(
+            vec![BoxBuilder::new(&schema).range("x", lo2, lo2 + w2).build()],
+            vec![1.0],
+            (n + 17) as u64,
+        );
+
+        let dev_seq = cluster_deviation_par(
+            &c1, &d1, &c2, &d2, DiffFn::Absolute, AggFn::Sum, Parallelism::Sequential,
+        );
+        let counts_seq = count_boxes_par(&d1, c1.clusters(), Parallelism::Sequential);
+
+        for t in THREADS {
+            let par = Parallelism::Threads(t);
+            prop_assert_eq!(
+                &count_boxes_par(&d1, c1.clusters(), par), &counts_seq,
+                "box counts, threads = {}", t
+            );
+            let dev = cluster_deviation_par(&c1, &d1, &c2, &d2, DiffFn::Absolute, AggFn::Sum, par);
+            prop_assert_eq!(dev.value.to_bits(), dev_seq.value.to_bits(),
+                            "deviation value, threads = {}", t);
+            assert_bits_eq(&dev.measures1, &dev_seq.measures1, "measures1");
+            assert_bits_eq(&dev.measures2, &dev_seq.measures2, "measures2");
+            assert_bits_eq(&dev.per_region, &dev_seq.per_region, "per_region");
+        }
+    }
+
+    /// Bootstrap qualification: the per-replicate seeded fan-out makes the
+    /// full null distribution (and hence the significance) bit-identical
+    /// for any thread count — with the complete mine-and-deviate pipeline
+    /// inside every replicate.
+    #[test]
+    fn bootstrap_qualification_bit_identical(seed in 0u64..1_000_000,
+                                             data_seed in 0u64..1_000_000,
+                                             n in 30usize..90) {
+        let d1 = random_transactions(n, 8, 0.3, data_seed);
+        let d2 = random_transactions(n + 5, 8, 0.35, data_seed ^ 0xABCD);
+        let miner = Apriori::new(
+            AprioriParams::with_minsup(0.2).max_len(4).parallelism(Parallelism::Sequential),
+        );
+        let pipeline = |a: &TransactionSet, b: &TransactionSet| {
+            let ma = miner.mine(a);
+            let mb = miner.mine(b);
+            lits_deviation(&ma, a, &mb, b, DiffFn::Absolute, AggFn::Sum).value
+        };
+        let observed = pipeline(&d1, &d2);
+
+        let q_seq = qualify_transactions_par(
+            &d1, &d2, observed, 12, seed, Parallelism::Sequential, pipeline,
+        );
+        for t in THREADS {
+            let q = qualify_transactions_par(
+                &d1, &d2, observed, 12, seed, Parallelism::Threads(t), pipeline,
+            );
+            assert_bits_eq(&q.null_distribution, &q_seq.null_distribution, "null distribution");
+            prop_assert_eq!(q.significance_percent.to_bits(),
+                            q_seq.significance_percent.to_bits(),
+                            "significance, threads = {}", t);
+        }
+    }
+
+    /// The generic focus-stats bootstrap engine obeys the same contract.
+    #[test]
+    fn stats_bootstrap_bit_identical(seed in 0u64..1_000_000, n in 40usize..120) {
+        let pool: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let stat = |a: &[f64], b: &[f64]| {
+            let ma = a.iter().sum::<f64>() / a.len() as f64;
+            let mb = b.iter().sum::<f64>() / b.len() as f64;
+            (ma - mb).abs()
+        };
+        let seq = bootstrap_two_sample_par(&pool, n / 2, n / 3, 25, seed,
+                                           Parallelism::Sequential, stat);
+        for t in THREADS {
+            let par = bootstrap_two_sample_par(&pool, n / 2, n / 3, 25, seed,
+                                               Parallelism::Threads(t), stat);
+            assert_bits_eq(&par, &seq, "bootstrap null");
+        }
+    }
+
+    /// Hash-tree support counting over transaction chunks is
+    /// thread-count-invariant and agrees with the sequential iterator walk.
+    #[test]
+    fn hashtree_counting_bit_identical(seed in 0u64..1_000_000, n in 50usize..250) {
+        let data = random_transactions(n, 12, 0.35, seed);
+        let candidates: Vec<Vec<u32>> = (0..11u32).map(|b| vec![b, b + 1]).collect();
+        let tree = HashTree::build(&candidates, 2);
+        let seq = tree.count(data.iter());
+        for t in THREADS {
+            prop_assert_eq!(&tree.count_set(&data, Parallelism::Threads(t)), &seq,
+                            "hash-tree counts, threads = {}", t);
+        }
+    }
+}
+
+/// Directed (non-property) check on a dataset large enough that even the
+/// 7-thread sweep splits into seven real chunks (the property sizes above
+/// land in the 2–6 chunk range; 6000 rows / 256-row grain > 7).
+#[test]
+fn large_scan_splits_chunks_and_stays_identical() {
+    let data = random_transactions(6000, 15, 0.3, 99);
+    let sets: Vec<Itemset> = (0..14u32)
+        .map(|b| Itemset::from_slice(&[b, b + 1]))
+        .collect();
+    let seq = count_itemsets_par(&data, &sets, Parallelism::Sequential);
+    for t in THREADS {
+        assert_eq!(
+            count_itemsets_par(&data, &sets, Parallelism::Threads(t)),
+            seq,
+            "threads = {t}"
+        );
+    }
+    // Labeled side too: 6000 rows > SCAN_GRAIN guarantees ≥ 2 chunks.
+    let labeled = random_labeled(6000, 50.0, 0.1, 7);
+    let schema = labeled.table.schema();
+    let leaves = vec![
+        BoxBuilder::new(schema).lt("x", 50.0).build(),
+        BoxBuilder::new(schema).ge("x", 50.0).build(),
+    ];
+    let seq = count_partition_par(&labeled, &leaves, 2, Parallelism::Sequential);
+    for t in THREADS {
+        assert_eq!(
+            count_partition_par(&labeled, &leaves, 2, Parallelism::Threads(t)),
+            seq,
+            "threads = {t}"
+        );
+    }
+}

@@ -1,19 +1,24 @@
 //! Criterion bench B7: thread-count scaling of the parallel execution
 //! engine — the three chunked dataset scans (itemset counting, partition
-//! routing, box counting) and the bootstrap per-replicate fan-out, each at
-//! `--threads 1..=4`. Results are bit-identical across the sweep (enforced
-//! by `tests/parallel_equiv.rs`); only the wall clock should move.
+//! routing, box counting), the bootstrap per-replicate fan-out, and the
+//! model-induction hot paths (decision-tree fitting, k-means Lloyd
+//! iterations, monitor calibration), each at `--threads 1..=4`. Results
+//! are bit-identical across the sweep (enforced by
+//! `tests/parallel_equiv.rs`); only the wall clock should move.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use focus_cluster::{KMeans, KMeansParams};
 use focus_core::deviation::lits_deviation_par;
 use focus_core::diff::{AggFn, DiffFn};
 use focus_core::model::{count_boxes_par, count_itemsets_par, count_partition_par};
 use focus_core::qualify::qualify_transactions_par;
 use focus_core::region::BoxBuilder;
+use focus_core::stream::calibrate_threshold_par;
 use focus_data::assoc::{AssocGen, AssocGenParams};
 use focus_data::classify::{ClassifyFn, ClassifyGen};
 use focus_exec::Parallelism;
 use focus_mining::{Apriori, AprioriParams};
+use focus_tree::{DecisionTree, TreeParams};
 use std::hint::black_box;
 
 /// The thread counts the scaling sweep visits.
@@ -81,6 +86,65 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter(|| {
                 black_box(qualify_transactions_par(
                     &d1, &d2, observed, 8, 42, par, pipeline,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Model induction: greedy tree building (parallel split search +
+    // sibling-subtree forks) and k-means Lloyd iterations (parallel
+    // assignment + fixed-order centroid folds).
+    let mut group = c.benchmark_group("scaling_induction");
+    let km = KMeans::new(KMeansParams::new(8).seed(3).max_iters(25));
+    for t in THREADS {
+        let par = Parallelism::Threads(t);
+        group.bench_with_input(BenchmarkId::new("dt_fit", t), &par, |b, &par| {
+            b.iter(|| {
+                black_box(DecisionTree::fit_par(
+                    &labeled,
+                    TreeParams::default().max_depth(8).min_leaf(20),
+                    par,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kmeans_fit", t), &par, |b, &par| {
+            b.iter(|| black_box(km.fit_par(&labeled.table, par)))
+        });
+    }
+    group.finish();
+
+    // Monitor calibration: one full mine-and-deviate pipeline per
+    // replicate, replicates fanned out with per-replicate seeds.
+    let reference = gen.generate(2_000, 21);
+    let cal_pipeline = |a: &focus_core::data::TransactionSet,
+                        b: &focus_core::data::TransactionSet| {
+        let ma = miner.mine(a);
+        let mb = miner.mine(b);
+        lits_deviation_par(
+            &ma,
+            a,
+            &mb,
+            b,
+            DiffFn::Absolute,
+            AggFn::Sum,
+            Parallelism::Sequential,
+        )
+        .value
+    };
+    let mut group = c.benchmark_group("scaling_calibration");
+    for t in THREADS {
+        let par = Parallelism::Threads(t);
+        group.bench_with_input(BenchmarkId::new("calibrate", t), &par, |b, &par| {
+            b.iter(|| {
+                black_box(calibrate_threshold_par(
+                    &reference,
+                    500,
+                    0.95,
+                    12,
+                    9,
+                    par,
+                    &cal_pipeline,
                 ))
             })
         });

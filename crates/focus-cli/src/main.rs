@@ -13,8 +13,9 @@
 //! ```
 //!
 //! Every command additionally accepts `--threads N` (0 = one worker per
-//! core): dataset scans and the bootstrap fan-out run on that many threads
-//! with bit-identical results. `FOCUS_THREADS` is the env-var equivalent.
+//! core): dataset scans, model induction (decision-tree fitting included),
+//! and the bootstrap fan-out run on that many threads with bit-identical
+//! results. `FOCUS_THREADS` is the env-var equivalent.
 //!
 //! All datasets and models use the plain-text formats of
 //! `focus_data::io` / `focus_core::persist`.
@@ -49,9 +50,9 @@ fn main() -> ExitCode {
         }
     };
     // Global flag, honoured by every command: worker threads for dataset
-    // scans and bootstrap fan-out (0 = one per core). Results are
-    // bit-identical for any setting; without the flag the FOCUS_THREADS
-    // environment variable (or the core count) decides.
+    // scans, model induction, and bootstrap fan-out (0 = one per core).
+    // Results are bit-identical for any setting; without the flag the
+    // FOCUS_THREADS environment variable (or the core count) decides.
     match opt::<usize>(&flags, "threads", 0) {
         Ok(n) => {
             if flags.contains_key("threads") {
@@ -101,9 +102,10 @@ commands:
   deviate-dt --d1 <table> --d2 <table> [--max-depth D --min-leaf N]
 
 global flags:
-  --threads N   worker threads for scans and bootstrap fan-out (0 = one per
-                core; default: FOCUS_THREADS env var, else core count).
-                Results are bit-identical for every thread count.";
+  --threads N   worker threads for scans, model induction, and bootstrap
+                fan-out (0 = one per core; default: FOCUS_THREADS env var,
+                else core count). Results are bit-identical for every
+                thread count.";
 
 type Flags = HashMap<String, String>;
 

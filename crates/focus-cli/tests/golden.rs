@@ -1,0 +1,265 @@
+//! Golden-output snapshot tests for the focus-cli subcommands.
+//!
+//! The smoke suite checks that the pipelines *run*; this suite pins down
+//! exactly **what they report**. Every deviation, bound, significance
+//! percentage, mined support and rendered tree is compared verbatim
+//! against a checked-in snapshot, so a refactor that silently changes a
+//! reported number — a reordered float fold, a perturbed RNG stream, an
+//! off-by-one in a scan — fails here even if every structural invariant
+//! still holds.
+//!
+//! The snapshots also double as an end-to-end witness of the determinism
+//! contract: CI runs this suite under `FOCUS_THREADS ∈ {1, 4}`, and the
+//! same bytes must come out either way.
+//!
+//! To regenerate after an *intentional* output change:
+//! `UPDATE_GOLDEN=1 cargo test -p focus-cli --test golden`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_focus-cli")
+}
+
+fn run(args: &[&str]) -> Output {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("failed to spawn focus-cli");
+    assert!(
+        out.status.success(),
+        "focus-cli {:?} failed with {}\nstdout: {}\nstderr: {}",
+        args,
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is not UTF-8")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("focus-cli-golden-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().expect("non-UTF-8 temp path")
+}
+
+/// Compares `got` against the snapshot at `tests/golden/<name>.txt`,
+/// or rewrites the snapshot when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, got: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(
+        got, want,
+        "snapshot {name} diverged; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The full lits pipeline — gen → mine → deviate → bound → qualify — with
+/// every reported number snapshotted.
+#[test]
+fn lits_pipeline_golden() {
+    let dir = scratch("lits");
+    let d1 = dir.join("d1.txt");
+    let d2 = dir.join("d2.txt");
+    let m1 = dir.join("m1.model");
+    let m2 = dir.join("m2.model");
+
+    for (out, seed) in [(&d1, "2"), (&d2, "3")] {
+        run(&[
+            "gen-assoc",
+            "--out",
+            path_str(out),
+            "--n",
+            "400",
+            "--pats",
+            "50",
+            "--patlen",
+            "3",
+            "--pattern-seed",
+            "1",
+            "--seed",
+            seed,
+        ]);
+    }
+
+    // `mine` without --out prints the top itemsets with their supports.
+    let mined = run(&["mine", "--data", path_str(&d1), "--minsup", "0.05"]);
+    assert_golden("mine_top_itemsets", &stdout(&mined));
+
+    // Persist both models for `bound`.
+    for (d, m) in [(&d1, &m1), (&d2, &m2)] {
+        run(&[
+            "mine",
+            "--data",
+            path_str(d),
+            "--minsup",
+            "0.05",
+            "--out",
+            path_str(m),
+        ]);
+    }
+
+    for (name, f, g) in [
+        ("deviate_fa_sum", "fa", "sum"),
+        ("deviate_fa_max", "fa", "max"),
+        ("deviate_fs_sum", "fs", "sum"),
+    ] {
+        let dev = run(&[
+            "deviate",
+            "--d1",
+            path_str(&d1),
+            "--d2",
+            path_str(&d2),
+            "--minsup",
+            "0.05",
+            "--f",
+            f,
+            "--g",
+            g,
+        ]);
+        assert_golden(name, &stdout(&dev));
+    }
+
+    let bound = run(&["bound", "--m1", path_str(&m1), "--m2", path_str(&m2)]);
+    assert_golden("bound_fa_sum", &stdout(&bound));
+
+    let qual = run(&[
+        "qualify",
+        "--d1",
+        path_str(&d1),
+        "--d2",
+        path_str(&d2),
+        "--minsup",
+        "0.05",
+        "--reps",
+        "19",
+        "--seed",
+        "7",
+    ]);
+    assert_golden("qualify", &stdout(&qual));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The dt pipeline — gen-class → tree → deviate-dt — with the rendered
+/// tree and the reported deviation snapshotted.
+#[test]
+fn dt_pipeline_golden() {
+    let dir = scratch("dt");
+    let d1 = dir.join("d1.tbl");
+    let d2 = dir.join("d2.tbl");
+
+    for (out, seed) in [(&d1, "1"), (&d2, "2")] {
+        run(&[
+            "gen-class",
+            "--out",
+            path_str(out),
+            "--n",
+            "500",
+            "--function",
+            "F2",
+            "--seed",
+            seed,
+        ]);
+    }
+
+    // `tree --render` prints the fitted tree structure to stdout: exact
+    // split attributes and thresholds, leaf counts and predictions.
+    let tree = run(&[
+        "tree",
+        "--data",
+        path_str(&d1),
+        "--max-depth",
+        "4",
+        "--min-leaf",
+        "20",
+        "--render",
+    ]);
+    assert_golden("tree_render", &stdout(&tree));
+
+    let dev = run(&[
+        "deviate-dt",
+        "--d1",
+        path_str(&d1),
+        "--d2",
+        path_str(&d2),
+        "--max-depth",
+        "4",
+        "--min-leaf",
+        "20",
+    ]);
+    assert_golden("deviate_dt", &stdout(&dev));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The snapshots must be invariant under the thread count — the CLI-level
+/// expression of the bit-identical contract. (CI additionally runs the
+/// whole suite under FOCUS_THREADS ∈ {1, 4}.)
+#[test]
+fn golden_outputs_thread_invariant() {
+    let dir = scratch("threads");
+    let d1 = dir.join("d1.txt");
+    let d2 = dir.join("d2.txt");
+    for (out, seed) in [(&d1, "2"), (&d2, "3")] {
+        run(&[
+            "gen-assoc",
+            "--out",
+            path_str(out),
+            "--n",
+            "400",
+            "--pats",
+            "50",
+            "--patlen",
+            "3",
+            "--pattern-seed",
+            "1",
+            "--seed",
+            seed,
+        ]);
+    }
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "4", "7"] {
+        let dev = run(&[
+            "deviate",
+            "--d1",
+            path_str(&d1),
+            "--d2",
+            path_str(&d2),
+            "--minsup",
+            "0.05",
+            "--threads",
+            threads,
+        ]);
+        outputs.push(stdout(&dev));
+    }
+    // All four runs print identical bytes — and they match the snapshot
+    // recorded by the main pipeline test.
+    for o in &outputs[1..] {
+        assert_eq!(o, &outputs[0]);
+    }
+    assert_golden("deviate_fa_sum", &outputs[0]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,8 +4,13 @@
 use focus_core::data::{AttrType, Table, Value};
 use focus_core::model::ClusterModel;
 use focus_core::region::{AttrConstraint, BoxRegion};
+use focus_exec::{map_chunks_flat, map_reduce, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Minimum points per worker chunk for the Lloyd scans; also the fixed
+/// chunk size of the centroid/inertia float folds (see [`map_reduce`]).
+const LLOYD_GRAIN: usize = focus_exec::DEFAULT_GRAIN;
 
 /// Parameters for the k-means clusterer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,9 +40,11 @@ impl KMeansParams {
         self
     }
 
-    /// Sets the iteration cap.
+    /// Sets the iteration cap. `0` is well-defined: the fit returns the
+    /// k-means++ seeding with each point assigned to its nearest seed and
+    /// no Lloyd update applied.
     pub fn max_iters(mut self, n: usize) -> Self {
-        self.max_iters = n.max(1);
+        self.max_iters = n;
         self
     }
 }
@@ -69,9 +76,27 @@ impl KMeans {
         Self { params }
     }
 
-    /// Fits k-means to the numeric attributes of `data`.
+    /// Fits k-means to the numeric attributes of `data` at the
+    /// process-wide default parallelism (see [`KMeans::fit_par`]).
     pub fn fit(&self, data: &Table) -> KMeansResult {
-        assert!(!data.is_empty(), "cannot cluster an empty table");
+        self.fit_par(data, Parallelism::Global)
+    }
+
+    /// Fits k-means with the Lloyd iterations run on `par` worker threads.
+    ///
+    /// Each iteration parallelizes two scans, both **bit-identical** for
+    /// every thread count: the assignment step maps points to their nearest
+    /// centroid (per-point results, concatenated in chunk order — exact),
+    /// and the update step accumulates per-cluster coordinate sums with
+    /// [`map_reduce`], whose chunk decomposition is fixed by the point
+    /// count alone, so the floating-point fold order never depends on the
+    /// thread count. k-means++ seeding stays sequential (one RNG stream);
+    /// it is `O(k·n)` against the scans' `O(iters·k·n)`.
+    ///
+    /// An empty table yields a well-defined empty model (no centroids, no
+    /// assignments, zero inertia) rather than panicking, and
+    /// `max_iters == 0` returns the seeding with nearest-seed assignments.
+    pub fn fit_par(&self, data: &Table, par: Parallelism) -> KMeansResult {
         let numeric_attrs: Vec<usize> = (0..data.schema().len())
             .filter(|&i| matches!(data.schema().attr(i).ty, AttrType::Numeric))
             .collect();
@@ -80,7 +105,17 @@ impl KMeans {
             "k-means requires at least one numeric attribute"
         );
         let n = data.len();
+        if n == 0 {
+            return KMeansResult {
+                centroids: Vec::new(),
+                assignment: Vec::new(),
+                numeric_attrs,
+                inertia: 0.0,
+                iterations: 0,
+            };
+        }
         let k = self.params.k.min(n);
+        let d = numeric_attrs.len();
         let points: Vec<Vec<f64>> = (0..n)
             .map(|r| {
                 numeric_attrs
@@ -92,47 +127,72 @@ impl KMeans {
 
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut centroids = plus_plus_seed(&points, k, &mut rng);
-        let mut assignment = vec![0usize; n];
+        let mut assignment = assign(&points, &centroids, par);
         let mut iterations = 0;
         for it in 0..self.params.max_iters {
             iterations = it + 1;
-            // Assignment step.
-            let mut changed = false;
-            for (i, p) in points.iter().enumerate() {
-                let c = nearest(p, &centroids).0;
-                if assignment[i] != c {
-                    assignment[i] = c;
-                    changed = true;
+            if it > 0 {
+                // Re-assignment step.
+                let next = assign(&points, &centroids, par);
+                let changed = next != assignment;
+                assignment = next;
+                if !changed {
+                    break;
                 }
             }
-            if !changed && it > 0 {
-                break;
-            }
-            // Update step.
-            let d = numeric_attrs.len();
-            let mut sums = vec![vec![0.0f64; d]; k];
-            let mut counts = vec![0usize; k];
-            for (i, p) in points.iter().enumerate() {
-                counts[assignment[i]] += 1;
-                for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
-                    *s += x;
-                }
-            }
+            // Update step: per-cluster coordinate sums, folded in fixed
+            // chunk order so the totals are thread-count-invariant.
+            let assignment_ref = &assignment;
+            let points_ref = &points;
+            let (sums, counts) = map_reduce(
+                par,
+                n,
+                LLOYD_GRAIN,
+                |range| {
+                    let mut sums = vec![vec![0.0f64; d]; k];
+                    let mut counts = vec![0u64; k];
+                    for i in range {
+                        let c = assignment_ref[i];
+                        counts[c] += 1;
+                        for (s, &x) in sums[c].iter_mut().zip(&points_ref[i]) {
+                            *s += x;
+                        }
+                    }
+                    (sums, counts)
+                },
+                |(mut sa, mut ca), (sb, cb)| {
+                    for (c, (sum_b, count_b)) in sb.into_iter().zip(cb).enumerate() {
+                        ca[c] += count_b;
+                        for (a, b) in sa[c].iter_mut().zip(sum_b) {
+                            *a += b;
+                        }
+                    }
+                    (sa, ca)
+                },
+            )
+            .expect("n > 0");
             for c in 0..k {
                 if counts[c] > 0 {
-                    for s in &mut sums[c] {
-                        *s /= counts[c] as f64;
-                    }
-                    centroids[c] = sums[c].clone();
+                    centroids[c] = sums[c].iter().map(|&s| s / counts[c] as f64).collect();
                 }
                 // Empty clusters keep their old centroid.
             }
         }
-        let inertia = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| dist2(p, &centroids[assignment[i]]))
-            .sum();
+        let centroids_ref = &centroids;
+        let assignment_ref = &assignment;
+        let points_ref = &points;
+        let inertia = map_reduce(
+            par,
+            n,
+            LLOYD_GRAIN,
+            |range| {
+                range
+                    .map(|i| dist2(&points_ref[i], &centroids_ref[assignment_ref[i]]))
+                    .sum::<f64>()
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
         KMeansResult {
             centroids,
             assignment,
@@ -141,6 +201,17 @@ impl KMeans {
             iterations,
         }
     }
+}
+
+/// The Lloyd assignment step: nearest centroid per point, with the point
+/// range fanned out over `par` worker threads. Per-point results are
+/// independent and concatenate in chunk order — exact for any chunking.
+fn assign(points: &[Vec<f64>], centroids: &[Vec<f64>], par: Parallelism) -> Vec<usize> {
+    map_chunks_flat(par, points.len(), LLOYD_GRAIN, |range| {
+        range
+            .map(|i| nearest(&points[i], centroids).0)
+            .collect::<Vec<usize>>()
+    })
 }
 
 impl KMeansResult {
@@ -360,9 +431,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty table")]
-    fn rejects_empty_table() {
+    fn empty_table_fit_is_well_defined() {
+        // Regression: an empty table used to panic; it now yields an empty
+        // model (no centroids, no assignments, zero inertia).
         let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
-        KMeans::new(KMeansParams::new(2)).fit(&Table::new(schema));
+        let empty = Table::new(schema);
+        let r = KMeans::new(KMeansParams::new(2)).fit(&empty);
+        assert!(r.centroids.is_empty());
+        assert!(r.assignment.is_empty());
+        assert_eq!(r.inertia, 0.0);
+        assert_eq!(r.iterations, 0);
+        let model = r.to_model(&empty);
+        assert!(model.clusters().is_empty());
+        assert_eq!(model.n_rows(), 0);
+    }
+
+    #[test]
+    fn max_iters_zero_returns_seeding() {
+        // Regression: `max_iters(0)` used to be silently clamped to 1; it
+        // now returns the k-means++ seeds with nearest-seed assignments and
+        // no Lloyd update.
+        let data = two_blob_table(40, 25.0);
+        let r = KMeans::new(KMeansParams::new(2).seed(3).max_iters(0)).fit(&data);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.centroids.len(), 2);
+        assert_eq!(r.assignment.len(), data.len());
+        // Seeds are actual data points; every assignment is the nearest
+        // seed, so each point is at least as close to its centroid as to
+        // the other one.
+        for (i, &c) in r.assignment.iter().enumerate() {
+            let p: Vec<f64> = vec![data.row(i)[0].as_num(), data.row(i)[1].as_num()];
+            let own = dist2(&p, &r.centroids[c]);
+            let other = dist2(&p, &r.centroids[1 - c]);
+            assert!(own <= other, "point {i} not assigned to nearest seed");
+        }
+        assert!(r.inertia.is_finite());
+    }
+
+    #[test]
+    fn one_lloyd_iteration_runs_one_update() {
+        let data = two_blob_table(40, 25.0);
+        let zero = KMeans::new(KMeansParams::new(2).seed(3).max_iters(0)).fit(&data);
+        let one = KMeans::new(KMeansParams::new(2).seed(3).max_iters(1)).fit(&data);
+        assert_eq!(one.iterations, 1);
+        // One update step can only tighten the fit.
+        assert!(one.inertia <= zero.inertia + 1e-9);
     }
 }

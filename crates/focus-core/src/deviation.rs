@@ -16,8 +16,33 @@ use crate::diff::{AggFn, DiffFn};
 use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
 use crate::model::{count_boxes_par, count_itemsets_par, ClusterModel, DtModel, LitsModel};
 use crate::region::{BoxRegion, Itemset};
-use focus_exec::{map_chunks, merge_counts, Parallelism};
+use focus_exec::{map_chunks, map_chunks_flat, merge_counts, Parallelism};
 use std::collections::HashMap;
+
+/// Minimum regions per worker chunk for the per-region difference loops:
+/// one `f.eval` is a handful of flops, so only large GCRs are worth
+/// fanning out.
+const REGION_GRAIN: usize = 1024;
+
+/// Evaluates an independent per-region value over `0..n` on `par` worker
+/// threads, returning the values **in region order**.
+///
+/// Each region's value is computed by the same expression a sequential
+/// loop would use and per-chunk vectors concatenate in chunk order
+/// ([`map_chunks_flat`]), so the result is bit-identical for every thread
+/// count. Callers fold the vector sequentially afterwards (the aggregate
+/// `g`), which keeps the whole `f`-then-`g` aggregation
+/// thread-count-invariant: the parallel part is exact, the float fold sees
+/// the same values in the same order.
+pub(crate) fn eval_regions_par(
+    par: Parallelism,
+    n: usize,
+    f: impl Fn(usize) -> f64 + Sync,
+) -> Vec<f64> {
+    map_chunks_flat(par, n, REGION_GRAIN, |range| {
+        range.map(&f).collect::<Vec<f64>>()
+    })
+}
 
 // ---------------------------------------------------------------------------
 // δ1: identical structural components (Definition 3.5)
@@ -39,17 +64,31 @@ pub fn deviation_fixed(
     f: DiffFn,
     g: AggFn,
 ) -> f64 {
+    deviation_fixed_par(counts1, counts2, n1, n2, f, g, Parallelism::Global)
+}
+
+/// [`deviation_fixed`] with the per-region difference loop fanned out over
+/// `par` worker threads. Bit-identical to the sequential computation for
+/// any thread count: per-region values are exact and come back in region
+/// order; only the final `g` fold touches them, sequentially.
+pub fn deviation_fixed_par(
+    counts1: &[u64],
+    counts2: &[u64],
+    n1: u64,
+    n2: u64,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> f64 {
     assert_eq!(
         counts1.len(),
         counts2.len(),
         "identical structure required: measure vectors must align"
     );
-    g.eval(
-        counts1
-            .iter()
-            .zip(counts2)
-            .map(|(&a, &b)| f.eval(a as f64, b as f64, n1 as f64, n2 as f64)),
-    )
+    let per_region = eval_regions_par(par, counts1.len(), |i| {
+        f.eval(counts1[i] as f64, counts2[i] as f64, n1 as f64, n2 as f64)
+    });
+    g.eval(per_region)
 }
 
 /// As [`deviation_fixed`] but over already-normalized selectivities (the
@@ -173,11 +212,14 @@ pub fn lits_deviation_over_par(
     // Reuse supports already present in the models; scan only for the rest.
     let supports1 = extend_supports(regions, m1, d1, par);
     let supports2 = extend_supports(regions, m2, d2, par);
-    let per_region: Vec<f64> = supports1
-        .iter()
-        .zip(&supports2)
-        .map(|(&s1, &s2)| f.eval(s1 * n1 as f64, s2 * n2 as f64, n1 as f64, n2 as f64))
-        .collect();
+    let per_region = eval_regions_par(par, supports1.len(), |i| {
+        f.eval(
+            supports1[i] * n1 as f64,
+            supports2[i] * n2 as f64,
+            n1 as f64,
+            n2 as f64,
+        )
+    });
     LitsDeviation {
         value: g.eval(per_region.iter().copied()),
         gcr: regions.to_vec(),
@@ -310,23 +352,38 @@ fn dt_deviation_over_cells(
     let counts2 = count_cells(&cells, m1, m2, d2, par);
     let n1 = d1.len() as f64;
     let n2 = d2.len() as f64;
-    let mut per_region = vec![0.0f64; cells.len() * k];
-    let mut diffs: Vec<f64> = Vec::with_capacity(cells.len() * k);
-    for (i, cell) in cells.iter().enumerate() {
-        for c in 0..k {
-            // A cell whose region pins a class (a class-focussed ρ)
-            // contributes only that class's region.
-            if let Some(only) = cell.region.class {
-                if only as usize != c {
-                    continue;
+    // Per-(cell, class) differences, cells fanned out over worker threads.
+    // Each chunk emits its slice of `per_region` plus its participating
+    // diffs; both concatenate in chunk order, reproducing the sequential
+    // loop's vectors exactly for any thread count.
+    let (counts1_ref, counts2_ref, cells_ref) = (&counts1, &counts2, &cells);
+    let parts = map_chunks(par, cells.len(), REGION_GRAIN.div_ceil(k.max(1)), |range| {
+        let mut per_region = Vec::with_capacity(range.len() * k);
+        let mut diffs = Vec::with_capacity(range.len() * k);
+        for i in range {
+            for c in 0..k {
+                // A cell whose region pins a class (a class-focussed ρ)
+                // contributes only that class's region.
+                if let Some(only) = cells_ref[i].region.class {
+                    if only as usize != c {
+                        per_region.push(0.0);
+                        continue;
+                    }
                 }
+                let v1 = counts1_ref[i * k + c] as f64;
+                let v2 = counts2_ref[i * k + c] as f64;
+                let d = f.eval(v1, v2, n1, n2);
+                per_region.push(d);
+                diffs.push(d);
             }
-            let v1 = counts1[i * k + c] as f64;
-            let v2 = counts2[i * k + c] as f64;
-            let d = f.eval(v1, v2, n1, n2);
-            per_region[i * k + c] = d;
-            diffs.push(d);
         }
+        (per_region, diffs)
+    });
+    let mut per_region = Vec::with_capacity(cells.len() * k);
+    let mut diffs: Vec<f64> = Vec::with_capacity(cells.len() * k);
+    for (pr, df) in parts {
+        per_region.extend(pr);
+        diffs.extend(df);
     }
     let nmax1 = d1.len().max(1) as f64;
     let nmax2 = d2.len().max(1) as f64;
@@ -461,11 +518,9 @@ fn cluster_deviation_over(
     let counts2 = count_boxes_par(d2, gcr, par);
     let n1 = d1.len() as f64;
     let n2 = d2.len() as f64;
-    let per_region: Vec<f64> = counts1
-        .iter()
-        .zip(&counts2)
-        .map(|(&a, &b)| f.eval(a as f64, b as f64, n1, n2))
-        .collect();
+    let per_region = eval_regions_par(par, counts1.len(), |i| {
+        f.eval(counts1[i] as f64, counts2[i] as f64, n1, n2)
+    });
     ClusterDeviation {
         value: g.eval(per_region.iter().copied()),
         gcr: gcr.to_vec(),

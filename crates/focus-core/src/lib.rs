@@ -89,7 +89,7 @@ pub mod prelude {
     };
     pub use crate::deviation::{
         cluster_deviation, cluster_deviation_focussed, cluster_deviation_par, deviation_fixed,
-        dt_deviation, dt_deviation_focussed, dt_deviation_par, lits_deviation,
+        deviation_fixed_par, dt_deviation, dt_deviation_focussed, dt_deviation_par, lits_deviation,
         lits_deviation_focussed, lits_deviation_over, lits_deviation_over_par, lits_deviation_par,
         ClusterDeviation, DtDeviation, LitsDeviation,
     };
@@ -102,8 +102,8 @@ pub mod prelude {
         LitsModel,
     };
     pub use crate::monitor::{
-        chi_squared_statistic, chi_squared_test, me_via_deviation, misclassification_error,
-        predicted_dataset, ChiSquaredFit,
+        chi_squared_statistic, chi_squared_statistic_par, chi_squared_test, me_via_deviation,
+        misclassification_error, misclassification_error_par, predicted_dataset, ChiSquaredFit,
     };
     pub use crate::ops::{
         lits_difference, lits_intersection, lits_union, partition_difference,
@@ -117,6 +117,6 @@ pub mod prelude {
     };
     pub use crate::region::{AttrConstraint, BoxBuilder, BoxRegion, CatMask, Itemset};
     pub use crate::report::{dt_report, lits_report, ComparisonReport, ReportOptions};
-    pub use crate::stream::{BlockVerdict, ChangeMonitor};
+    pub use crate::stream::{calibrate_threshold_par, BlockVerdict, ChangeMonitor};
     pub use focus_exec::Parallelism;
 }

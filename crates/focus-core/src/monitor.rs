@@ -16,18 +16,33 @@
 use crate::data::LabeledTable;
 use crate::deviation::deviation_fixed;
 use crate::diff::{AggFn, DiffFn};
-use crate::model::{count_partition, DtModel};
+use crate::model::{count_partition, count_partition_par, DtModel};
+use focus_exec::{map_chunks, Parallelism};
+
+/// Minimum rows per worker chunk for the prediction scans.
+const SCAN_GRAIN: usize = focus_exec::DEFAULT_GRAIN;
 
 /// The misclassification error of a dt-model on a dataset: the fraction of
-/// rows whose true label differs from the model's majority-class prediction.
+/// rows whose true label differs from the model's majority-class
+/// prediction. Runs at the process-wide default parallelism.
 pub fn misclassification_error(model: &DtModel, data: &LabeledTable) -> f64 {
+    misclassification_error_par(model, data, Parallelism::Global)
+}
+
+/// [`misclassification_error`] with the prediction scan fanned out over
+/// `par` worker threads. Per-chunk error counts merge by `u64` addition,
+/// so the rate is bit-identical to a sequential scan for any thread count.
+pub fn misclassification_error_par(model: &DtModel, data: &LabeledTable, par: Parallelism) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    let wrong = data
-        .rows()
-        .filter(|(row, label)| model.predict(row) != *label)
-        .count();
+    let wrong: u64 = map_chunks(par, data.len(), SCAN_GRAIN, |range| {
+        range
+            .filter(|&r| model.predict(data.table.row(r)) != data.labels[r])
+            .count() as u64
+    })
+    .into_iter()
+    .sum();
     wrong as f64 / data.len() as f64
 }
 
@@ -65,18 +80,30 @@ pub fn me_via_deviation(model: &DtModel, data: &LabeledTable) -> f64 {
 /// counts from scanning `D2`. Cells with zero expected count contribute the
 /// constant `c` (0.5 is the customary choice).
 pub fn chi_squared_statistic(model: &DtModel, d2: &LabeledTable, c: f64) -> f64 {
+    chi_squared_statistic_par(model, d2, c, Parallelism::Global)
+}
+
+/// [`chi_squared_statistic`] with the measure scan and the per-cell
+/// aggregation fanned out over `par` worker threads. The per-cell `f_χ²`
+/// values come back in cell order and are summed sequentially, so the
+/// statistic is bit-identical to a sequential computation for any thread
+/// count.
+pub fn chi_squared_statistic_par(
+    model: &DtModel,
+    d2: &LabeledTable,
+    c: f64,
+    par: Parallelism,
+) -> f64 {
     let k = model.n_classes();
-    let observed = count_partition(d2, model.leaves(), k);
+    let observed = count_partition_par(d2, model.leaves(), k, par);
     let n1 = model.n_rows() as f64;
     let n2 = d2.len() as f64;
     let f = DiffFn::ChiSquared { c };
-    let mut total = 0.0;
-    for (i, &obs) in observed.iter().enumerate() {
+    let per_cell = crate::deviation::eval_regions_par(par, observed.len(), |i| {
         // Expected measure = model measure (selectivity w.r.t. D1) × n1.
-        let v1 = model.measures()[i] * n1;
-        total += f.eval(v1, obs as f64, n1, n2);
-    }
-    total
+        f.eval(model.measures()[i] * n1, observed[i] as f64, n1, n2)
+    });
+    per_cell.into_iter().sum()
 }
 
 /// Result of a chi-squared goodness-of-fit test against a dt-model.

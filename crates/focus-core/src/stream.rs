@@ -12,6 +12,7 @@
 //! to the new block (`rebaseline = true`), tracking slow concept drift.
 
 use crate::data::{resample_indices, TransactionSet};
+use focus_exec::{derive_seed, map_indices, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,10 +33,12 @@ pub struct BlockVerdict {
 ///
 /// Generic over the deviation pipeline `F: Fn(&TransactionSet,
 /// &TransactionSet) -> f64` — typically "mine both, compute
-/// `δ(f_a, g_sum)`".
+/// `δ(f_a, g_sum)`". The pipeline must be `Fn + Sync`: calibration runs
+/// one full pipeline per bootstrap replicate, and the replicates fan out
+/// over worker threads.
 pub struct ChangeMonitor<F>
 where
-    F: FnMut(&TransactionSet, &TransactionSet) -> f64,
+    F: Fn(&TransactionSet, &TransactionSet) -> f64 + Sync,
 {
     reference: TransactionSet,
     pipeline: F,
@@ -49,14 +52,17 @@ where
     threshold: f64,
     /// Re-baseline to the offending block after an alarm.
     rebaseline: bool,
+    /// Worker threads for the calibration fan-out.
+    parallelism: Parallelism,
     history: Vec<BlockVerdict>,
 }
 
 impl<F> ChangeMonitor<F>
 where
-    F: FnMut(&TransactionSet, &TransactionSet) -> f64,
+    F: Fn(&TransactionSet, &TransactionSet) -> f64 + Sync,
 {
-    /// Creates and calibrates a monitor.
+    /// Creates and calibrates a monitor at the process-wide default
+    /// parallelism.
     ///
     /// * `reference` — the baseline snapshot;
     /// * `block_size` — expected size of each monitored block;
@@ -70,7 +76,30 @@ where
         quantile: f64,
         reps: usize,
         seed: u64,
-        mut pipeline: F,
+        pipeline: F,
+    ) -> Self {
+        Self::new_par(
+            reference,
+            block_size,
+            quantile,
+            reps,
+            seed,
+            Parallelism::Global,
+            pipeline,
+        )
+    }
+
+    /// [`ChangeMonitor::new`] with an explicit [`Parallelism`] for the
+    /// calibration fan-out (also used by re-baseline recalibrations).
+    /// Thresholds are bit-identical for every setting.
+    pub fn new_par(
+        reference: TransactionSet,
+        block_size: usize,
+        quantile: f64,
+        reps: usize,
+        seed: u64,
+        parallelism: Parallelism,
+        pipeline: F,
     ) -> Self {
         assert!(!reference.is_empty(), "reference must be non-empty");
         assert!(
@@ -79,7 +108,15 @@ where
         );
         assert!(reps >= 10, "need at least 10 replicates to calibrate");
         assert!(block_size > 0);
-        let threshold = calibrate(&reference, block_size, quantile, reps, seed, &mut pipeline);
+        let threshold = calibrate_threshold_par(
+            &reference,
+            block_size,
+            quantile,
+            reps,
+            seed,
+            parallelism,
+            &pipeline,
+        );
         Self {
             reference,
             pipeline,
@@ -89,6 +126,7 @@ where
             seed,
             threshold,
             rebaseline: false,
+            parallelism,
             history: Vec::new(),
         }
     }
@@ -123,13 +161,14 @@ where
         self.history.push(verdict.clone());
         if drifted && self.rebaseline {
             self.reference = block.clone();
-            self.threshold = calibrate(
+            self.threshold = calibrate_threshold_par(
                 &self.reference,
                 self.block_size,
                 self.quantile,
                 self.reps,
                 self.seed ^ self.history.len() as u64,
-                &mut self.pipeline,
+                self.parallelism,
+                &self.pipeline,
             );
         }
         verdict
@@ -137,26 +176,37 @@ where
 }
 
 /// Bootstraps the null distribution "reference vs same-process block" and
-/// returns its `quantile` as the alarm threshold.
-fn calibrate<F>(
+/// returns its `quantile` as the alarm threshold, with the replicates
+/// fanned out over `par` worker threads.
+///
+/// Each replicate runs the full model-induction pipeline on a pseudo-block
+/// resampled from the reference, so the fan-out dominates calibration
+/// cost. Replicate `i` seeds its own `StdRng` from `derive_seed(seed, i)`
+/// (mirroring `bootstrap_two_sample`), so its random draws depend only on
+/// `(seed, i)` — never on the thread count — and the threshold is
+/// **bit-identical** however many workers ran the calibration.
+pub fn calibrate_threshold_par<F>(
     reference: &TransactionSet,
     block_size: usize,
     quantile: f64,
     reps: usize,
     seed: u64,
-    pipeline: &mut F,
+    par: Parallelism,
+    pipeline: &F,
 ) -> f64
 where
-    F: FnMut(&TransactionSet, &TransactionSet) -> f64,
+    F: Fn(&TransactionSet, &TransactionSet) -> f64 + Sync,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut null: Vec<f64> = (0..reps)
-        .map(|_| {
-            let idx = resample_indices(reference.len(), block_size, &mut rng);
-            let pseudo = reference.subset(&idx);
-            pipeline(reference, &pseudo)
-        })
-        .collect();
+    assert!(!reference.is_empty(), "reference must be non-empty");
+    assert!(reps >= 1, "need at least one replicate to calibrate");
+    assert!(block_size > 0, "block size must be positive");
+    assert!((0.0..1.0).contains(&quantile), "quantile must be in [0, 1)");
+    let mut null: Vec<f64> = map_indices(par, reps, |rep| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, rep as u64));
+        let idx = resample_indices(reference.len(), block_size, &mut rng);
+        let pseudo = reference.subset(&idx);
+        pipeline(reference, &pseudo)
+    });
     null.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation"));
     let pos = ((quantile * null.len() as f64).ceil() as usize).clamp(1, null.len()) - 1;
     null[pos]

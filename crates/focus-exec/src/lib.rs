@@ -218,6 +218,28 @@ where
     })
 }
 
+/// Runs `f` over a deterministic chunk decomposition of `0..len` and
+/// concatenates the per-chunk vectors **in chunk order**.
+///
+/// This is the one audited home of the concatenate-in-chunk-order step the
+/// determinism contract leans on: per-element results are exact (each
+/// element is computed by the same code a sequential loop would run) and
+/// the in-order concatenation reproduces the sequential output vector for
+/// every thread count. Use it for element-wise maps whose results feed a
+/// later sequential fold (per-region `f` differences, Lloyd assignments).
+pub fn map_chunks_flat<R, F>(par: Parallelism, len: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> Vec<R> + Sync,
+{
+    let parts = map_chunks(par, len, grain, f);
+    let mut out = Vec::with_capacity(len);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
 /// Runs `f(i)` for every `i in 0..n` and returns the results **in index
 /// order**, fanning the indices out over worker threads. Each index is an
 /// independent unit of work (grain 1) — the shape of bootstrap-resample
@@ -227,12 +249,73 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let nested = map_chunks(par, n, 1, |range| range.map(&f).collect::<Vec<R>>());
-    let mut out = Vec::with_capacity(n);
-    for part in nested {
-        out.extend(part);
+    map_chunks_flat(par, n, 1, |range| range.map(&f).collect::<Vec<R>>())
+}
+
+/// Chunked map + **fixed-order fold**: maps a deterministic chunk
+/// decomposition of `0..len` and folds the per-chunk results in chunk
+/// order on the calling thread. Returns `None` when `len == 0`.
+///
+/// Unlike [`map_chunks`], whose chunk count adapts to the thread count
+/// (fine for exact merges like `u64` addition, where regrouping cannot
+/// change the total), `map_reduce` fixes the decomposition as a pure
+/// function of `(len, grain)`: always `ceil(len / grain)` chunks,
+/// regardless of how many workers execute them. This is what makes
+/// **floating-point** folds thread-count-invariant: every thread count
+/// computes the same per-chunk partials and combines them in the same
+/// order, so the result is bit-identical whether one worker maps all the
+/// chunks or eight workers share them. The price is that a "sequential"
+/// run folds chunk partials too — callers adopt the chunked fold as *the*
+/// reference result rather than a straight-line accumulation.
+///
+/// Use this for sums of floats (k-means centroid accumulation, inertia);
+/// keep using [`map_chunks`] + [`merge_counts`] for counters.
+pub fn map_reduce<R, M, F>(par: Parallelism, len: usize, grain: usize, map: M, fold: F) -> Option<R>
+where
+    R: Send,
+    M: Fn(Range<usize>) -> R + Sync,
+    F: FnMut(R, R) -> R,
+{
+    if len == 0 {
+        return None;
     }
-    out
+    let ranges = chunk_ranges(len, len.div_ceil(grain.max(1)));
+    let parts = map_indices(par, ranges.len(), |i| map(ranges[i].clone()));
+    parts.into_iter().reduce(fold)
+}
+
+/// Runs two independent tasks, possibly in parallel, and returns both
+/// results — the fork-join shape of recursing over the two sibling
+/// subtrees of a decision-tree split.
+///
+/// With fewer than two threads available, or when called from inside a
+/// focus-exec worker (the inline-nesting guard — an outer fan-out already
+/// owns the parallelism budget), both tasks run inline on the calling
+/// thread. Otherwise `b` runs on a scoped worker while the calling thread
+/// runs `a`. Either way `(a, b)` come back in position, so results are
+/// identical regardless of the execution mode — each task's internal
+/// computation is untouched by where it ran.
+///
+/// The spawned side is **not** marked as a focus-exec worker: `join` is
+/// meant for recursive divide-and-conquer where the *caller* halves its
+/// thread budget at each fork (pass `Parallelism::Threads(budget)` with
+/// `budget / 2` to each side), so nested joins may keep forking until the
+/// budget runs out without oversubscribing the machine.
+pub fn join<RA, RB, FA, FB>(par: Parallelism, a: FA, b: FB) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+{
+    if IN_WORKER.get() || par.threads() < 2 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("focus-exec join task panicked"))
+    })
 }
 
 /// Merges per-chunk counter vectors by element-wise addition, in chunk
@@ -324,6 +407,18 @@ mod tests {
     }
 
     #[test]
+    fn map_chunks_flat_concatenates_in_chunk_order() {
+        let expected: Vec<usize> = (0..300).collect();
+        for t in [1usize, 2, 4, 7] {
+            let got = map_chunks_flat(Parallelism::Threads(t), 300, 16, |r| r.collect());
+            assert_eq!(got, expected, "threads = {t}");
+        }
+        assert!(
+            map_chunks_flat(Parallelism::Threads(4), 0, 16, |r| r.collect::<Vec<_>>()).is_empty()
+        );
+    }
+
+    #[test]
     fn map_indices_preserves_order_for_any_thread_count() {
         let expected: Vec<usize> = (0..57).map(|i| i * i).collect();
         for t in [1usize, 2, 4, 7, 16] {
@@ -377,6 +472,96 @@ mod tests {
         // Back on the calling thread, parallelism is available again.
         let after = map_chunks(Parallelism::Threads(2), 4000, 1, |r| r.len());
         assert_eq!(after.len(), 2);
+    }
+
+    #[test]
+    fn map_reduce_chunk_decomposition_ignores_thread_count() {
+        // Float folding: the fixed decomposition makes the fold order a
+        // pure function of (len, grain), so the sum is bit-identical for
+        // every thread count — including 1.
+        let data: Vec<f64> = (0..5000).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let sum = |par: Parallelism| {
+            map_reduce(
+                par,
+                data.len(),
+                64,
+                |r| r.map(|i| data[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let seq = sum(Parallelism::Sequential);
+        for t in [2usize, 3, 4, 7, 16] {
+            assert_eq!(
+                sum(Parallelism::Threads(t)).to_bits(),
+                seq.to_bits(),
+                "threads = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_reduce_empty_and_single_chunk() {
+        assert_eq!(
+            map_reduce(Parallelism::Threads(4), 0, 8, |r| r.len(), |a, b| a + b),
+            None
+        );
+        // len <= grain: one chunk, fold never runs.
+        assert_eq!(
+            map_reduce(Parallelism::Threads(4), 5, 8, |r| r.len(), |_, _| panic!()),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn join_returns_results_in_position() {
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+        ] {
+            let (a, b) = join(par, || "left", || 42u64);
+            assert_eq!((a, b), ("left", 42));
+        }
+    }
+
+    #[test]
+    fn join_nests_recursively() {
+        // A binary recursion over joins: sums 0..2^10 by halving, with the
+        // thread budget halved at each fork. Identical for any budget.
+        fn sum_range(lo: u64, hi: u64, budget: usize) -> u64 {
+            if hi - lo <= 32 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(
+                Parallelism::Threads(budget),
+                move || sum_range(lo, mid, budget.div_ceil(2)),
+                move || sum_range(mid, hi, budget / 2),
+            );
+            a + b
+        }
+        let expect: u64 = (0..1024).sum();
+        for budget in [1usize, 2, 4, 7] {
+            assert_eq!(sum_range(0, 1024, budget), expect, "budget = {budget}");
+        }
+    }
+
+    #[test]
+    fn join_runs_inline_inside_workers() {
+        // Inside a map_chunks worker the inline-nesting guard applies: join
+        // must not spawn (observable as the closure running on the same
+        // thread: thread ids match).
+        let outer = map_chunks(Parallelism::Threads(2), 2, 1, |_r| {
+            let caller = std::thread::current().id();
+            let (tid_a, tid_b) = join(
+                Parallelism::Threads(4),
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            );
+            tid_a == caller && tid_b == caller
+        });
+        assert!(outer.into_iter().all(|inline| inline));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use focus_core::data::{AttrType, LabeledTable, Value};
 use focus_core::region::CatMask;
+use focus_exec::{map_indices, Parallelism};
 
 /// Gini impurity of a class-count vector: `1 − Σ pᵢ²`.
 /// Zero for a pure node; maximal (`1 − 1/k`) for a uniform one.
@@ -82,23 +83,61 @@ pub fn best_split(
     let k = data.n_classes as usize;
     let mut best: Option<Candidate> = None;
     for attr in 0..data.table.schema().len() {
-        let cand = match &data.table.schema().attr(attr).ty {
-            AttrType::Numeric => best_numeric_split(data, rows, attr, min_leaf, k, scratch_sorted),
-            AttrType::Categorical { cardinality } => {
-                best_categorical_split(data, rows, attr, *cardinality, min_leaf, k)
-            }
-        };
-        if let Some(c) = cand {
-            let better = match &best {
-                None => true,
-                Some(b) => c.impurity < b.impurity,
-            };
-            if better {
-                best = Some(c);
-            }
-        }
+        let cand = eval_attr(data, rows, attr, min_leaf, k, scratch_sorted);
+        consider_in_order(&mut best, cand);
     }
     best
+}
+
+/// [`best_split`] with the per-attribute evaluations fanned out over `par`
+/// worker threads.
+///
+/// Each attribute's sweep is an independent unit of work whose result is a
+/// single candidate; the candidates come back in attribute order and are
+/// folded with the same strict `<` comparison the sequential loop uses, so
+/// the chosen split — ties included — is identical for every thread count.
+pub fn best_split_par(
+    data: &LabeledTable,
+    rows: &[usize],
+    min_leaf: usize,
+    par: Parallelism,
+) -> Option<Candidate> {
+    let k = data.n_classes as usize;
+    let candidates = map_indices(par, data.table.schema().len(), |attr| {
+        eval_attr(data, rows, attr, min_leaf, k, &mut Vec::new())
+    });
+    let mut best: Option<Candidate> = None;
+    for cand in candidates {
+        consider_in_order(&mut best, cand);
+    }
+    best
+}
+
+/// Evaluates one attribute's best split.
+fn eval_attr(
+    data: &LabeledTable,
+    rows: &[usize],
+    attr: usize,
+    min_leaf: usize,
+    k: usize,
+    scratch_sorted: &mut Vec<usize>,
+) -> Option<Candidate> {
+    match &data.table.schema().attr(attr).ty {
+        AttrType::Numeric => best_numeric_split(data, rows, attr, min_leaf, k, scratch_sorted),
+        AttrType::Categorical { cardinality } => {
+            best_categorical_split(data, rows, attr, *cardinality, min_leaf, k)
+        }
+    }
+}
+
+/// Keeps `cand` only when strictly better — the earlier attribute wins ties,
+/// exactly as the sequential attribute loop does.
+fn consider_in_order(best: &mut Option<Candidate>, cand: Option<Candidate>) {
+    if let Some(c) = cand {
+        if best.as_ref().is_none_or(|b| c.impurity < b.impurity) {
+            *best = Some(c);
+        }
+    }
 }
 
 /// Best threshold split on a numeric attribute: sort the rows by value,

@@ -1,10 +1,16 @@
 //! Tree construction, prediction, and export to FOCUS dt-models.
 
-use crate::split::{best_split, gini, SplitRule};
+use crate::split::{best_split, best_split_par, gini, SplitRule};
 use focus_core::data::{LabeledTable, Value};
 use focus_core::model::DtModel;
 use focus_core::region::{AttrConstraint, BoxRegion};
+use focus_exec::Parallelism;
 use std::sync::Arc;
+
+/// Minimum rows in a node before its sibling subtrees are worth forking to
+/// another thread: below this, split search is cheap enough that the spawn
+/// costs more than it saves.
+const PAR_SUBTREE_MIN_ROWS: usize = 2 * focus_exec::DEFAULT_GRAIN;
 
 /// Pre-pruning parameters for tree construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,80 +88,34 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
-    /// Fits a tree on a labelled table with the given parameters.
+    /// Fits a tree on a labelled table at the process-wide default
+    /// parallelism (see [`DecisionTree::fit_par`]).
     pub fn fit(data: &LabeledTable, params: TreeParams) -> Self {
+        Self::fit_par(data, params, Parallelism::Global)
+    }
+
+    /// Fits a tree with sibling subtrees recursed on `par` worker threads.
+    ///
+    /// Parallelism enters in two places, neither of which can change the
+    /// result: the greedy split search evaluates attributes concurrently
+    /// (each attribute's sweep is self-contained; candidates fold in
+    /// attribute order — see [`best_split_par`]), and after a split the two
+    /// sibling subtrees build concurrently via [`focus_exec::join`], each
+    /// fork halving the remaining thread budget. Subtrees assemble in
+    /// left-before-right preorder, reproducing the sequential node layout
+    /// exactly, so the fitted tree is **bit-identical** for every thread
+    /// count.
+    pub fn fit_par(data: &LabeledTable, params: TreeParams, par: Parallelism) -> Self {
         assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
-        let mut tree = Self {
-            nodes: Vec::new(),
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let mut scratch = Vec::new();
+        let nodes = build_subtree(data, rows, 0, &params, par.threads(), &mut scratch);
+        Self {
+            nodes,
             n_classes: data.n_classes,
             n_rows: data.len() as u64,
             schema: Arc::clone(data.table.schema()),
-        };
-        let rows: Vec<usize> = (0..data.len()).collect();
-        let mut scratch = Vec::new();
-        tree.build(data, rows, 0, &params, &mut scratch);
-        tree
-    }
-
-    /// Recursively builds the subtree for `rows`; returns its node index.
-    fn build(
-        &mut self,
-        data: &LabeledTable,
-        mut rows: Vec<usize>,
-        depth: usize,
-        params: &TreeParams,
-        scratch: &mut Vec<usize>,
-    ) -> usize {
-        let k = self.n_classes as usize;
-        let mut counts = vec![0u64; k];
-        for &r in &rows {
-            counts[data.labels[r] as usize] += 1;
         }
-        let make_leaf = |nodes: &mut Vec<Node>, counts: Vec<u64>| -> usize {
-            let prediction = counts
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-                .map(|(c, _)| c as u32)
-                .unwrap_or(0);
-            nodes.push(Node::Leaf { counts, prediction });
-            nodes.len() - 1
-        };
-
-        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
-        if pure || depth >= params.max_depth || rows.len() < params.min_split {
-            return make_leaf(&mut self.nodes, counts);
-        }
-        let Some(cand) = best_split(data, &rows, params.min_leaf, scratch) else {
-            return make_leaf(&mut self.nodes, counts);
-        };
-        if gini(&counts) - cand.impurity < params.min_gain {
-            return make_leaf(&mut self.nodes, counts);
-        }
-
-        // Partition rows in place.
-        let right_rows: Vec<usize> = rows
-            .iter()
-            .copied()
-            .filter(|&r| !cand.rule.goes_left(data.table.row(r)))
-            .collect();
-        rows.retain(|&r| cand.rule.goes_left(data.table.row(r)));
-
-        // Reserve this node's slot before recursing so children indices are
-        // stable.
-        let me = self.nodes.len();
-        self.nodes.push(Node::Leaf {
-            counts: Vec::new(),
-            prediction: 0,
-        });
-        let left = self.build(data, rows, depth + 1, params, scratch);
-        let right = self.build(data, right_rows, depth + 1, params, scratch);
-        self.nodes[me] = Node::Internal {
-            rule: cand.rule,
-            left,
-            right,
-        };
-        me
     }
 
     /// Number of classes.
@@ -250,6 +210,102 @@ impl DecisionTree {
             }
         }
     }
+}
+
+/// Builds the subtree over `rows` and returns its nodes in DFS preorder
+/// (node 0 is the subtree root; child indices are local to the returned
+/// vector). Sibling subtrees recurse in parallel while `budget >= 2` and
+/// the node is large enough to amortize a fork; the assembly order —
+/// root, left subtree, right subtree — is the same either way, so the
+/// layout matches a fully sequential build exactly.
+fn build_subtree(
+    data: &LabeledTable,
+    mut rows: Vec<usize>,
+    depth: usize,
+    params: &TreeParams,
+    budget: usize,
+    scratch: &mut Vec<usize>,
+) -> Vec<Node> {
+    let k = data.n_classes as usize;
+    let mut counts = vec![0u64; k];
+    for &r in &rows {
+        counts[data.labels[r] as usize] += 1;
+    }
+    let make_leaf = |counts: Vec<u64>| -> Vec<Node> {
+        let prediction = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c as u32)
+            .unwrap_or(0);
+        vec![Node::Leaf { counts, prediction }]
+    };
+
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+    if pure || depth >= params.max_depth || rows.len() < params.min_split {
+        return make_leaf(counts);
+    }
+    let cand = if budget >= 2 && rows.len() >= PAR_SUBTREE_MIN_ROWS {
+        best_split_par(data, &rows, params.min_leaf, Parallelism::Threads(budget))
+    } else {
+        best_split(data, &rows, params.min_leaf, scratch)
+    };
+    let Some(cand) = cand else {
+        return make_leaf(counts);
+    };
+    if gini(&counts) - cand.impurity < params.min_gain {
+        return make_leaf(counts);
+    }
+
+    // Partition rows in place.
+    let right_rows: Vec<usize> = rows
+        .iter()
+        .copied()
+        .filter(|&r| !cand.rule.goes_left(data.table.row(r)))
+        .collect();
+    rows.retain(|&r| cand.rule.goes_left(data.table.row(r)));
+
+    let (left_nodes, right_nodes) =
+        if budget >= 2 && rows.len() + right_rows.len() >= PAR_SUBTREE_MIN_ROWS {
+            // Fork: each side gets half the remaining budget; join's own
+            // inline-nesting guard keeps this from oversubscribing when the
+            // whole fit already runs inside a worker (e.g. a bootstrap
+            // replicate building trees).
+            let (lb, rb) = (budget.div_ceil(2), budget / 2);
+            focus_exec::join(
+                Parallelism::Threads(budget),
+                move || build_subtree(data, rows, depth + 1, params, lb, &mut Vec::new()),
+                move || build_subtree(data, right_rows, depth + 1, params, rb, &mut Vec::new()),
+            )
+        } else {
+            (
+                build_subtree(data, rows, depth + 1, params, budget, scratch),
+                build_subtree(data, right_rows, depth + 1, params, budget, scratch),
+            )
+        };
+
+    // Assemble in preorder: this node, then the left subtree, then the
+    // right — child indices shift by each block's offset.
+    let mut nodes = Vec::with_capacity(1 + left_nodes.len() + right_nodes.len());
+    nodes.push(Node::Internal {
+        rule: cand.rule,
+        left: 1,
+        right: 1 + left_nodes.len(),
+    });
+    let mut append = |block: Vec<Node>, offset: usize| {
+        nodes.extend(block.into_iter().map(|n| match n {
+            Node::Internal { rule, left, right } => Node::Internal {
+                rule,
+                left: left + offset,
+                right: right + offset,
+            },
+            leaf => leaf,
+        }));
+    };
+    let left_len = left_nodes.len();
+    append(left_nodes, 1);
+    append(right_nodes, 1 + left_len);
+    nodes
 }
 
 /// Splits a box region according to a rule, producing the left and right

@@ -3,13 +3,15 @@
 //!
 //! For random datasets and seeds, every parallelized pipeline — deviation
 //! measure scans for all three model classes, Apriori mining, hash-tree
-//! counting, and the bootstrap qualification fan-out — must produce
-//! **bit-identical** results for any worker-thread count. Floating-point
-//! results are compared via their IEEE-754 bit patterns, not a tolerance:
-//! the engine's chunk decomposition, deterministic merge order, and
-//! per-replicate seeding make exact equality achievable, so exact equality
-//! is what we demand.
+//! counting, decision-tree induction, k-means Lloyd iterations, monitor
+//! calibration, per-region `f`/`g` aggregation, and the bootstrap
+//! qualification fan-out — must produce **bit-identical** results for any
+//! worker-thread count. Floating-point results are compared via their
+//! IEEE-754 bit patterns, not a tolerance: the engine's chunk
+//! decomposition, deterministic merge order, and per-replicate seeding
+//! make exact equality achievable, so exact equality is what we demand.
 
+use focus::cluster::{KMeans, KMeansParams};
 use focus::core::prelude::*;
 use focus::exec::Parallelism;
 use focus::mining::{Apriori, AprioriParams, HashTree};
@@ -61,6 +63,27 @@ fn random_labeled(n: usize, boundary: f64, noise: f64, seed: u64) -> LabeledTabl
             label = 1 - label;
         }
         t.push_row(&[Value::Num(x)], label);
+    }
+    t
+}
+
+/// A random labelled table with a numeric and a categorical attribute —
+/// exercises both threshold and subset splits in the tree tests.
+fn random_labeled_2attr(n: usize, boundary: f64, noise: f64, seed: u64) -> LabeledTable {
+    let schema = Arc::new(Schema::new(vec![
+        Schema::numeric("x"),
+        Schema::categorical("c", 5),
+    ]));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = LabeledTable::new(schema, 2);
+    for _ in 0..n {
+        let x: f64 = rng.gen::<f64>() * 100.0;
+        let c: u32 = rng.gen_range(0..5);
+        let mut label = u32::from(x < boundary && c != 2);
+        if rng.gen::<f64>() < noise {
+            label = 1 - label;
+        }
+        t.push_row(&[Value::Num(x), Value::Cat(c)], label);
     }
     t
 }
@@ -229,6 +252,110 @@ proptest! {
             let par = bootstrap_two_sample_par(&pool, n / 2, n / 3, 25, seed,
                                                Parallelism::Threads(t), stat);
             assert_bits_eq(&par, &seq, "bootstrap null");
+        }
+    }
+
+    /// Decision-tree induction: parallel split search + sibling-subtree
+    /// recursion produce the exact tree (nodes, layout, thresholds) the
+    /// sequential build produces, and hence the exact exported model.
+    #[test]
+    fn dt_induction_bit_identical(seed in 0u64..1_000_000, n in 600usize..1600,
+                                  b in 20.0f64..80.0, noise in 0.0f64..0.2) {
+        let data = random_labeled_2attr(n, b, noise, seed);
+        let params = TreeParams::default().max_depth(6).min_leaf(5);
+        let seq = DecisionTree::fit_par(&data, params, Parallelism::Sequential);
+        let model_seq = seq.to_model();
+        for t in THREADS {
+            let tree = DecisionTree::fit_par(&data, params, Parallelism::Threads(t));
+            prop_assert_eq!(&tree, &seq, "fitted tree, threads = {}", t);
+            let model = tree.to_model();
+            assert_bits_eq(model.measures(), model_seq.measures(), "dt model measures");
+            prop_assert_eq!(model.leaves(), model_seq.leaves(), "dt model leaves");
+        }
+    }
+
+    /// k-means: Lloyd assignment chunks and the fixed-order centroid folds
+    /// make the full fit — centroids, assignment, inertia, iteration count
+    /// — thread-count-invariant.
+    #[test]
+    fn kmeans_fit_bit_identical(seed in 0u64..1_000_000, n in 600usize..1600,
+                                k in 1usize..6, gap in 5.0f64..50.0) {
+        let schema = Arc::new(Schema::new(vec![
+            Schema::numeric("x"),
+            Schema::numeric("y"),
+        ]));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Table::new(Arc::clone(&schema));
+        for i in 0..n {
+            let shift = (i % 3) as f64 * gap;
+            data.push_row(&[
+                Value::Num(shift + rng.gen::<f64>()),
+                Value::Num(shift + rng.gen::<f64>()),
+            ]);
+        }
+        let km = KMeans::new(KMeansParams::new(k).seed(seed ^ 0x5EED).max_iters(20));
+        let seq = km.fit_par(&data, Parallelism::Sequential);
+        for t in THREADS {
+            let par = km.fit_par(&data, Parallelism::Threads(t));
+            prop_assert_eq!(&par.assignment, &seq.assignment, "assignment, threads = {}", t);
+            prop_assert_eq!(par.iterations, seq.iterations, "iterations, threads = {}", t);
+            prop_assert_eq!(par.inertia.to_bits(), seq.inertia.to_bits(),
+                            "inertia, threads = {}", t);
+            for (c, (a, b)) in par.centroids.iter().zip(&seq.centroids).enumerate() {
+                assert_bits_eq(a, b, &format!("centroid {c}"));
+            }
+        }
+    }
+
+    /// ChangeMonitor calibration: the per-replicate seeded fan-out (one
+    /// full mine-and-deviate pipeline per replicate) yields a bit-identical
+    /// alarm threshold for any thread count.
+    #[test]
+    fn monitor_calibration_bit_identical(seed in 0u64..1_000_000,
+                                         data_seed in 0u64..1_000_000,
+                                         n in 200usize..500,
+                                         quantile in 0.5f64..0.99) {
+        let reference = random_transactions(n, 8, 0.3, data_seed);
+        let miner = Apriori::new(
+            AprioriParams::with_minsup(0.2).max_len(3).parallelism(Parallelism::Sequential),
+        );
+        let pipeline = |a: &TransactionSet, b: &TransactionSet| {
+            let ma = miner.mine(a);
+            let mb = miner.mine(b);
+            lits_deviation_par(&ma, a, &mb, b, DiffFn::Absolute, AggFn::Sum,
+                               Parallelism::Sequential).value
+        };
+        let seq = calibrate_threshold_par(
+            &reference, n / 4, quantile, 12, seed, Parallelism::Sequential, &pipeline,
+        );
+        for t in THREADS {
+            let thr = calibrate_threshold_par(
+                &reference, n / 4, quantile, 12, seed, Parallelism::Threads(t), &pipeline,
+            );
+            prop_assert_eq!(thr.to_bits(), seq.to_bits(), "threshold, threads = {}", t);
+        }
+    }
+
+    /// Per-region f/g aggregation over a fixed structure: the difference
+    /// loop fans out but values come back in region order, so every
+    /// (f, g) combination aggregates to the same bits.
+    #[test]
+    fn region_aggregation_bit_identical(seed in 0u64..1_000_000, len in 1usize..5000,
+                                        n1 in 0u64..10_000, n2 in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts1: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
+        let counts2: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
+        for f in [DiffFn::Absolute, DiffFn::Scaled, DiffFn::ChiSquared { c: 0.5 }] {
+            for g in [AggFn::Sum, AggFn::Max] {
+                let seq = deviation_fixed_par(&counts1, &counts2, n1, n2, f, g,
+                                              Parallelism::Sequential);
+                for t in THREADS {
+                    let par = deviation_fixed_par(&counts1, &counts2, n1, n2, f, g,
+                                                  Parallelism::Threads(t));
+                    prop_assert_eq!(par.to_bits(), seq.to_bits(),
+                                    "{:?}/{:?}, threads = {}", f, g, t);
+                }
+            }
         }
     }
 

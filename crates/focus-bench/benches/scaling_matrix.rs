@@ -1,0 +1,96 @@
+//! Criterion bench B8: thread-count scaling of the snapshot-collection
+//! deviation-matrix engine (Section 4.1.1's exploratory loop).
+//!
+//! Three screening regimes over the same 8-snapshot collection:
+//!
+//! * `bounds_only` — threshold `+∞`: phase 1 alone, the model-only δ*
+//!   sweep (the "Time for δ*" column of Figure 13);
+//! * `screened` — a mid-range threshold: realistic mixed workload, some
+//!   pairs pruned, some scanned;
+//! * `full_scan` — negative threshold: every pair pays the exact
+//!   two-dataset scan (the `δ` column).
+//!
+//! Results are bit-identical across the sweep (enforced by
+//! `tests/parallel_equiv.rs`); only the wall clock should move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use focus_core::data::TransactionSet;
+use focus_core::model::LitsModel;
+use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_exec::Parallelism;
+use focus_mining::{Apriori, AprioriParams};
+use focus_registry::{deviation_matrix_par, MatrixParams};
+use std::hint::black_box;
+
+/// The thread counts the scaling sweep visits.
+const THREADS: [usize; 4] = [1, 2, 3, 4];
+
+/// An 8-snapshot collection drawn from two generating processes, so the
+/// bound spectrum splits into near pairs (same process) and far pairs.
+fn collection() -> (Vec<LitsModel>, Vec<TransactionSet>, Vec<String>) {
+    let miner = Apriori::new(AprioriParams::with_minsup(0.02).max_len(10));
+    let mut datasets = Vec::new();
+    let mut names = Vec::new();
+    for i in 0..8u64 {
+        let pattern_seed = 1 + (i % 2) * 8;
+        let gen = AssocGen::new(AssocGenParams::paper(500, 4.0), pattern_seed);
+        datasets.push(gen.generate(4_000, 100 + i));
+        names.push(format!("snap-{i}"));
+    }
+    let models = datasets.iter().map(|d| miner.mine(d)).collect();
+    (models, datasets, names)
+}
+
+fn bench_scaling_matrix(c: &mut Criterion) {
+    let (models, datasets, names) = collection();
+
+    // A threshold between the intra- and inter-process bound levels, so
+    // the screened regime genuinely prunes: use the median pair bound.
+    let probe = deviation_matrix_par(
+        &models,
+        &datasets,
+        names.clone(),
+        &MatrixParams {
+            threshold: f64::INFINITY,
+            par: Parallelism::Sequential,
+            ..MatrixParams::default()
+        },
+    );
+    let mut bounds: Vec<f64> = (0..probe.len())
+        .flat_map(|i| ((i + 1)..probe.len()).map(move |j| (i, j)))
+        .map(|(i, j)| probe.bound(i, j))
+        .collect();
+    bounds.sort_by(f64::total_cmp);
+    let mid = bounds[bounds.len() / 2];
+
+    let mut group = c.benchmark_group("scaling_matrix");
+    group.sample_size(10);
+    for t in THREADS {
+        let par = Parallelism::Threads(t);
+        for (regime, threshold) in [
+            ("bounds_only", f64::INFINITY),
+            ("screened", mid),
+            ("full_scan", -1.0),
+        ] {
+            let params = MatrixParams {
+                threshold,
+                par,
+                ..MatrixParams::default()
+            };
+            group.bench_with_input(BenchmarkId::new(regime, t), &params, |b, params| {
+                b.iter(|| {
+                    black_box(deviation_matrix_par(
+                        &models,
+                        &datasets,
+                        names.clone(),
+                        params,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_matrix);
+criterion_main!(benches);

@@ -10,7 +10,19 @@
 //! focus-cli qualify    --d1 D1.txt --d2 D2.txt --minsup 0.01 [--reps 99 --seed 7]
 //! focus-cli tree       --data D1.tbl [--max-depth 10 --min-leaf 50] [--render]
 //! focus-cli deviate-dt --d1 D1.tbl --d2 D2.tbl
+//! focus-cli registry-add --dir REG --data D1.txt --name day-01 [--minsup 0.01]
+//! focus-cli matrix     --dir REG [--threshold t] [--f fa|fs] [--g sum|max]
+//! focus-cli embed      --dir REG [--k 2]
 //! ```
+//!
+//! The last three drive the Section 4.1.1 exploratory loop: a *registry*
+//! directory accumulates named snapshots (dataset + mined model), `matrix`
+//! computes every pairwise deviation with δ*-screening (exact scans only
+//! where the model-only bound exceeds `--threshold`; the rest are pruned),
+//! and `embed` places the whole collection in a k-dimensional space under
+//! the δ* metric. Screening is sound only for the default `--f fa`
+//! (Theorem 4.2 bounds the absolute difference alone), so with `--f fs`
+//! every pair is scanned regardless of the threshold.
 //!
 //! Every command additionally accepts `--threads N` (0 = one worker per
 //! core): dataset scans, model induction (decision-tree fitting included),
@@ -31,6 +43,7 @@ use focus_data::io::{
     read_labeled_table, read_transactions, write_labeled_table, write_transactions,
 };
 use focus_mining::{Apriori, AprioriParams};
+use focus_registry::{MatrixParams, Registry};
 use focus_tree::{DecisionTree, TreeParams};
 use std::collections::HashMap;
 use std::fs::File;
@@ -73,6 +86,9 @@ fn main() -> ExitCode {
         "qualify" => qualify(&flags),
         "tree" => tree(&flags),
         "deviate-dt" => deviate_dt(&flags),
+        "registry-add" => registry_add(&flags),
+        "matrix" => matrix(&flags),
+        "embed" => embed(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -100,6 +116,9 @@ commands:
   qualify    --d1 <txns> --d2 <txns> --minsup <f> [--reps N --seed S]
   tree       --data <table> [--max-depth D --min-leaf N] [--render]
   deviate-dt --d1 <table> --d2 <table> [--max-depth D --min-leaf N]
+  registry-add --dir <registry> --data <txns> --name <name> [--minsup <f>]
+  matrix     --dir <registry> [--threshold <t>] [--f fa|fs] [--g sum|max]
+  embed      --dir <registry> [--k <dims>]
 
 global flags:
   --threads N   worker threads for scans, model induction, and bootstrap
@@ -316,6 +335,86 @@ fn deviate_dt(flags: &Flags) -> Result<(), String> {
         m1.leaves().len(),
         m2.leaves().len()
     );
+    Ok(())
+}
+
+fn registry_add(flags: &Flags) -> Result<(), String> {
+    let dir = req(flags, "dir")?;
+    let name = req(flags, "name")?;
+    let minsup: f64 = opt(flags, "minsup", 0.01)?;
+    let data =
+        read_transactions(File::open(req(flags, "data")?).map_err(io_err)?).map_err(io_err)?;
+    let mut reg = Registry::open_or_create(dir).map_err(io_err)?;
+    let entry = reg.add(name, &data, minsup).map_err(io_err)?;
+    eprintln!(
+        "registered {:?} in {} ({} transactions, {} itemsets at minsup {})",
+        entry.name, dir, entry.n_transactions, entry.n_itemsets, entry.minsup
+    );
+    Ok(())
+}
+
+fn matrix(flags: &Flags) -> Result<(), String> {
+    let dir = req(flags, "dir")?;
+    let threshold: f64 = opt(flags, "threshold", 0.0)?;
+    let reg = Registry::open(dir).map_err(io_err)?;
+    let params = MatrixParams {
+        diff: diff_fn(flags)?,
+        agg: agg_fn(flags)?,
+        threshold,
+        ..MatrixParams::default()
+    };
+    let m = reg.matrix(&params).map_err(io_err)?;
+    println!(
+        "pairs {} scanned {} pruned {} threshold {:.6}",
+        m.n_pairs(),
+        m.scanned(),
+        m.pruned(),
+        m.threshold()
+    );
+    let names = m.names();
+    for i in 0..m.len() {
+        for j in (i + 1)..m.len() {
+            match m.exact(i, j) {
+                Some(e) => println!(
+                    "{} {} bound {:.6} exact {:.6}",
+                    names[i],
+                    names[j],
+                    m.bound(i, j),
+                    e
+                ),
+                None => println!(
+                    "{} {} bound {:.6} pruned",
+                    names[i],
+                    names[j],
+                    m.bound(i, j)
+                ),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn embed(flags: &Flags) -> Result<(), String> {
+    let dir = req(flags, "dir")?;
+    let k: usize = opt(flags, "k", 2)?;
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let reg = Registry::open(dir).map_err(io_err)?;
+    // The embedding needs only the δ* metric, i.e. only the models: prune
+    // every exact scan by screening at +∞.
+    let m = reg
+        .matrix(&MatrixParams {
+            threshold: f64::INFINITY,
+            ..MatrixParams::default()
+        })
+        .map_err(io_err)?;
+    let coords = m.embed(k);
+    for (name, c) in m.names().iter().zip(&coords) {
+        let cs: Vec<String> = c.iter().map(|x| format!("{x:.6}")).collect();
+        println!("{} {}", name, cs.join(" "));
+    }
+    println!("stress {:.6}", m.stress(&coords));
     Ok(())
 }
 

@@ -214,6 +214,89 @@ fn dt_pipeline_golden() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The registry workflow — registry-add × 4 → matrix (δ*-screened) →
+/// embed — with the full matrix report and the MDS coordinates
+/// snapshotted, and the matrix output swept across thread counts.
+///
+/// The four snapshots form two families (pattern seeds 1 and 9): the two
+/// intra-family pairs have δ* bounds far below the inter-family pairs, so
+/// `--threshold 500` must prune exactly those two exact scans.
+#[test]
+fn registry_pipeline_golden() {
+    let dir = scratch("registry");
+    let reg = dir.join("reg");
+
+    for (name, pattern_seed, seed) in [
+        ("snap-a", "1", "2"),
+        ("snap-b", "1", "3"),
+        ("snap-c", "9", "4"),
+        ("snap-d", "9", "5"),
+    ] {
+        let data = dir.join(format!("{name}.txt"));
+        run(&[
+            "gen-assoc",
+            "--out",
+            path_str(&data),
+            "--n",
+            "400",
+            "--pats",
+            "50",
+            "--patlen",
+            "3",
+            "--pattern-seed",
+            pattern_seed,
+            "--seed",
+            seed,
+        ]);
+        run(&[
+            "registry-add",
+            "--dir",
+            path_str(&reg),
+            "--data",
+            path_str(&data),
+            "--name",
+            name,
+            "--minsup",
+            "0.05",
+        ]);
+    }
+
+    // δ*-screened matrix: the two intra-family pairs are pruned, the four
+    // inter-family pairs get exact scans — and the report must come out
+    // bit-identical for every thread count.
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "4", "7"] {
+        let m = run(&[
+            "matrix",
+            "--dir",
+            path_str(&reg),
+            "--threshold",
+            "500",
+            "--threads",
+            threads,
+        ]);
+        outputs.push(stdout(&m));
+    }
+    for o in &outputs[1..] {
+        assert_eq!(o, &outputs[0], "matrix output must be thread-invariant");
+    }
+    assert_golden("registry_matrix", &outputs[0]);
+    assert!(
+        outputs[0].starts_with("pairs 6 scanned 4 pruned 2 "),
+        "screening must prune the two intra-family pairs: {}",
+        outputs[0]
+    );
+
+    // Unscreened control: threshold 0 scans every pair.
+    let full = run(&["matrix", "--dir", path_str(&reg)]);
+    assert_golden("registry_matrix_full", &stdout(&full));
+
+    let emb = run(&["embed", "--dir", path_str(&reg), "--k", "2"]);
+    assert_golden("registry_embed", &stdout(&emb));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The snapshots must be invariant under the thread count — the CLI-level
 /// expression of the bit-identical contract. (CI additionally runs the
 /// whole suite under FOCUS_THREADS ∈ {1, 4}.)

@@ -114,8 +114,15 @@ pub fn write_dt_model<W: Write>(model: &DtModel, schema: &Schema, w: W) -> std::
                 AttrConstraint::Interval { lo, hi } => write!(w, " I {lo} {hi}")?,
                 AttrConstraint::Cats(m) => {
                     write!(w, " C {}", m.cardinality())?;
-                    let codes: Vec<String> = m.iter().map(|x| x.to_string()).collect();
-                    write!(w, " {}", codes.join(","))?;
+                    if m.is_empty() {
+                        // An empty mask would otherwise emit zero tokens
+                        // and the reader would see the next field instead;
+                        // an explicit sentinel keeps the grammar LL(1).
+                        write!(w, " -")?;
+                    } else {
+                        let codes: Vec<String> = m.iter().map(|x| x.to_string()).collect();
+                        write!(w, " {}", codes.join(","))?;
+                    }
                 }
             }
         }
@@ -186,7 +193,10 @@ pub fn read_dt_model<R: Read>(r: R) -> std::io::Result<(DtModel, Arc<Schema>)> {
                 "C" => {
                     let card: u32 = parse_tok(&mut toks, "cardinality")?;
                     let codes_tok = toks.next().ok_or_else(|| bad("missing codes"))?;
-                    let codes: Vec<u32> = if codes_tok.is_empty() {
+                    // `-` is the empty-mask sentinel: `split_whitespace`
+                    // never yields an empty token, so an empty mask must be
+                    // spelled explicitly to round-trip.
+                    let codes: Vec<u32> = if codes_tok == "-" {
                         Vec::new()
                     } else {
                         codes_tok
@@ -194,6 +204,12 @@ pub fn read_dt_model<R: Read>(r: R) -> std::io::Result<(DtModel, Arc<Schema>)> {
                             .map(|t| t.parse().map_err(|e| bad(&format!("bad code: {e}"))))
                             .collect::<Result<_, _>>()?
                     };
+                    // Range-check before `CatMask::of`, whose insert is an
+                    // assert (programmer-error guard) — a malformed file
+                    // must fail with `InvalidData`, not a panic.
+                    if let Some(&code) = codes.iter().find(|&&c| c >= card) {
+                        return Err(bad(&format!("category code {code} out of range 0..{card}")));
+                    }
                     constraints.push(AttrConstraint::Cats(CatMask::of(card, &codes)));
                 }
                 other => return Err(bad(&format!("unknown constraint kind {other:?}"))),
@@ -340,6 +356,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_cat_mask_round_trips() {
+        // Regression: an empty `Cats` mask used to emit zero code tokens,
+        // so the reader consumed the *next* field as the code list and
+        // failed with "missing codes". The `-` sentinel fixes that.
+        let schema = Arc::new(Schema::new(vec![
+            Schema::categorical("color", 4),
+            Schema::numeric("x"),
+        ]));
+        let leaves = vec![
+            BoxRegion {
+                constraints: vec![
+                    AttrConstraint::Cats(CatMask::empty(4)),
+                    AttrConstraint::Interval {
+                        lo: f64::NEG_INFINITY,
+                        hi: 1.0,
+                    },
+                ],
+                class: None,
+            },
+            BoxRegion {
+                constraints: vec![
+                    AttrConstraint::Cats(CatMask::full(4)),
+                    AttrConstraint::Interval {
+                        lo: 1.0,
+                        hi: f64::INFINITY,
+                    },
+                ],
+                class: None,
+            },
+        ];
+        let model = DtModel::new(leaves, 2, vec![0.0, 0.0, 0.25, 0.75], 40);
+        let mut buf = Vec::new();
+        write_dt_model(&model, &schema, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains(" C 4 -"), "sentinel missing:\n{text}");
+        let (back, back_schema) = read_dt_model(buf.as_slice()).unwrap();
+        assert_eq!(model, back);
+        assert_eq!(*back_schema, *schema);
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(read_lits_model("nonsense".as_bytes()).is_err());
         assert!(read_dt_model("#dt-model classes x".as_bytes()).is_err());
@@ -347,5 +404,15 @@ mod tests {
             read_lits_model("#lits-model minsup 0.1 n 10\n1 2 0.5\n".as_bytes()).is_err(),
             "missing '|' separator must fail"
         );
+    }
+
+    #[test]
+    fn rejects_out_of_range_category_code_without_panicking() {
+        // Code 5 exceeds the declared cardinality 3: must be InvalidData,
+        // not the assert inside CatMask::insert.
+        let text = "#dt-model classes 2 n 10 leaves 1\n#cat color 3\nleaf C 3 0,5 | 0.5 0.5\n";
+        let err = read_dt_model(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("code 5"), "{err}");
     }
 }

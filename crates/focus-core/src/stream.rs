@@ -200,14 +200,30 @@ where
     assert!(!reference.is_empty(), "reference must be non-empty");
     assert!(reps >= 1, "need at least one replicate to calibrate");
     assert!(block_size > 0, "block size must be positive");
-    assert!((0.0..1.0).contains(&quantile), "quantile must be in [0, 1)");
-    let mut null: Vec<f64> = map_indices(par, reps, |rep| {
+    // Same contract as `ChangeMonitor::new_par`: an alarm threshold below
+    // the null median makes no statistical sense.
+    assert!(
+        (0.5..1.0).contains(&quantile),
+        "quantile must be in [0.5, 1)"
+    );
+    let null: Vec<f64> = map_indices(par, reps, |rep| {
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, rep as u64));
         let idx = resample_indices(reference.len(), block_size, &mut rng);
         let pseudo = reference.subset(&idx);
         pipeline(reference, &pseudo)
     });
-    null.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation"));
+    // `map_indices` returns replicates in index order, so a NaN's position
+    // *is* the replicate that produced it — name it instead of letting an
+    // opaque comparator panic surface from inside the sort.
+    if let Some(rep) = null.iter().position(|d| d.is_nan()) {
+        panic!(
+            "calibration replicate {rep} (seed {}) produced a NaN deviation; \
+             the pipeline must return finite values",
+            derive_seed(seed, rep as u64)
+        );
+    }
+    let mut null = null;
+    null.sort_by(f64::total_cmp);
     let pos = ((quantile * null.len() as f64).ceil() as usize).clamp(1, null.len()) - 1;
     null[pos]
 }
@@ -315,5 +331,37 @@ mod tests {
     fn rejects_bad_quantile() {
         let reference = block(1, 100, 0.5);
         ChangeMonitor::new(reference, 10, 1.5, 50, 7, freq_deviation);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0.5, 1)")]
+    fn calibration_shares_the_monitor_quantile_contract() {
+        // Regression: `calibrate_threshold_par` used to accept [0, 1)
+        // while the monitor constructor demanded [0.5, 1).
+        let reference = block(1, 100, 0.5);
+        calibrate_threshold_par(
+            &reference,
+            10,
+            0.2,
+            10,
+            7,
+            Parallelism::Sequential,
+            &freq_deviation,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration replicate 0")]
+    fn nan_pipeline_names_the_offending_replicate() {
+        let reference = block(1, 100, 0.5);
+        calibrate_threshold_par(
+            &reference,
+            10,
+            0.9,
+            10,
+            7,
+            Parallelism::Sequential,
+            &|_: &TransactionSet, _: &TransactionSet| f64::NAN,
+        );
     }
 }

@@ -50,12 +50,21 @@ pub fn read_transactions<R: Read>(r: R) -> std::io::Result<TransactionSet> {
         .parse()
         .map_err(|e| bad(&format!("bad #items value: {e}")))?;
     let mut out = TransactionSet::new(n_items);
-    for line in lines {
+    for (lineno, line) in lines.enumerate() {
         let line = line?;
         let items: Vec<u32> = line
             .split_whitespace()
             .map(|t| t.parse().map_err(|e| bad(&format!("bad item {t:?}: {e}"))))
             .collect::<Result<_, _>>()?;
+        // Validate before `TransactionSet::push`: its range check is an
+        // assert (a programmer-error guard), and a malformed *file* must
+        // surface as `InvalidData`, not a panic.
+        if let Some(&item) = items.iter().find(|&&i| i >= n_items) {
+            return Err(bad(&format!(
+                "line {}: item {item} out of range 0..{n_items}",
+                lineno + 2
+            )));
+        }
         out.push(items);
     }
     Ok(out)
@@ -135,10 +144,21 @@ pub fn read_labeled_table<R: Read>(r: R) -> std::io::Result<LabeledTable> {
                     f.parse()
                         .map_err(|e| bad(&format!("bad numeric {f:?}: {e}")))?,
                 ),
-                AttrType::Categorical { .. } => Value::Cat(
-                    f.parse()
-                        .map_err(|e| bad(&format!("bad category {f:?}: {e}")))?,
-                ),
+                AttrType::Categorical { cardinality } => {
+                    let code: u32 = f
+                        .parse()
+                        .map_err(|e| bad(&format!("bad category {f:?}: {e}")))?;
+                    // Range-check here: `push_row` guards the same invariant
+                    // with an assert, but a malformed file must fail with
+                    // `InvalidData`, not a panic.
+                    if code >= cardinality {
+                        return Err(bad(&format!(
+                            "category code {code} out of range 0..{cardinality} for attribute {:?}",
+                            a.name
+                        )));
+                    }
+                    Value::Cat(code)
+                }
             };
             row_buf.push(v);
         }
@@ -146,6 +166,9 @@ pub fn read_labeled_table<R: Read>(r: R) -> std::io::Result<LabeledTable> {
             .trim()
             .parse()
             .map_err(|e| bad(&format!("bad label: {e}")))?;
+        if label >= n_classes {
+            return Err(bad(&format!("label {label} out of range 0..{n_classes}")));
+        }
         out.push_row(&row_buf, label);
     }
     Ok(out)
@@ -231,6 +254,33 @@ mod tests {
     fn rejects_bad_row_arity() {
         let text = "#num x\n#classes 2\n1.0,2.0,0\n";
         assert!(read_labeled_table(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_item_without_panicking() {
+        // Regression: item ids beyond the declared universe used to flow
+        // straight into `TransactionSet::push` and trip its assert.
+        let err = read_transactions("#items 5\n1 2\n3 9\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 3") && msg.contains('9'),
+            "error must name the offending line and item: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_label_without_panicking() {
+        let err = read_labeled_table("#num x\n#classes 2\n1.0,5\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("label 5"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_category_without_panicking() {
+        let err = read_labeled_table("#cat color 3\n#classes 2\n7,0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("code 7"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # focus-registry — snapshot collections and screened deviation matrices
+//!
+//! Section 4.1.1 of the paper frames δ* as the engine of an *interactive
+//! exploratory loop*: an analyst keeps a whole collection of dataset
+//! snapshots (daily sales extracts, say), embeds them in a metric space
+//! using the model-only upper bound, and pays for an exact two-dataset
+//! scan only where the bound says the pair is interesting (the "Time for
+//! δ*" column of Figure 13). This crate packages that loop:
+//!
+//! * [`Registry`] — a directory of named snapshots: each one a persisted
+//!   transaction dataset plus its mined lits-model, indexed by a
+//!   line-oriented manifest (`focus_data::io` + `focus_core::persist`
+//!   formats, so every artifact stays diff-friendly plain text);
+//! * [`DeviationMatrix`] — all `N·(N−1)/2` pairwise deviations of a
+//!   collection, computed with **two-phase δ* screening**: phase one
+//!   evaluates the scan-free upper bound for every pair, phase two runs
+//!   the exact data-scan deviation only for pairs whose bound exceeds a
+//!   caller threshold. Pairs below the threshold are certifiably
+//!   uninteresting (`δ ≤ δ* ≤ threshold`), so pruning them is sound.
+//!
+//! Both phases fan out over `focus_exec::map_indices` and inherit the
+//! workspace-wide determinism contract: results are **bit-identical for
+//! any worker-thread count**.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod matrix;
+mod registry;
+#[cfg(test)]
+mod testutil;
+
+pub use matrix::{deviation_matrix, deviation_matrix_par, DeviationMatrix, MatrixParams};
+pub use registry::{Registry, SnapshotEntry};

@@ -1,0 +1,526 @@
+//! The batch pairwise deviation engine with two-phase δ* screening.
+//!
+//! Phase 1 evaluates [`lits_upper_bound`] for every unordered pair — a
+//! pure function of the two *models*, no dataset scans, effectively free
+//! (the "Time for δ*" column of Figure 13). Phase 2 runs the exact
+//! [`lits_deviation_par`] scan only for pairs whose bound exceeds the
+//! caller's threshold; by Theorem 4.2 (1) `δ(f_a, g) ≤ δ*`, so a pair
+//! whose bound is at or below the threshold is *certified* uninteresting
+//! and the scan is pruned without loss. The theorem covers only the
+//! absolute difference `f_a` between models mined at the *same* minsup:
+//! for any other [`DiffFn`], or a pair whose minsups differ, the screen
+//! is disabled and the pair is scanned.
+//!
+//! Both phases fan out over [`map_indices`] in pair-index order, so the
+//! whole matrix inherits the workspace determinism contract: bit-identical
+//! results for any worker-thread count.
+
+use focus_core::bound::lits_upper_bound;
+use focus_core::data::TransactionSet;
+use focus_core::deviation::lits_deviation_par;
+use focus_core::diff::{AggFn, DiffFn};
+use focus_core::embed::DistanceMatrix;
+use focus_core::model::LitsModel;
+use focus_exec::{map_indices, Parallelism};
+
+/// Parameters for [`deviation_matrix_par`].
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixParams {
+    /// Difference function for the exact scans (the bound is always the
+    /// `f_a` bound of Definition 4.1).
+    pub diff: DiffFn,
+    /// Aggregate `g ∈ {sum, max}`, used by both the bound and the scans.
+    pub agg: AggFn,
+    /// Screening threshold: pairs with `δ* ≤ threshold` skip the exact
+    /// scan. `0.0` (the default) scans every pair with a positive bound;
+    /// a negative threshold forces a scan of every pair.
+    ///
+    /// Screening only applies when `diff` is [`DiffFn::Absolute`] *and*
+    /// the pair's models share a minsup: Theorem 4.2 (1) bounds δ(f_a, g)
+    /// between same-minsup models and nothing else, so any other pair is
+    /// scanned regardless of the threshold (pruning there would silently
+    /// discard pairs the bound does not certify).
+    pub threshold: f64,
+    /// Worker threads for both fan-out phases.
+    pub par: Parallelism,
+}
+
+impl Default for MatrixParams {
+    fn default() -> Self {
+        Self {
+            diff: DiffFn::Absolute,
+            agg: AggFn::Sum,
+            threshold: 0.0,
+            par: Parallelism::Global,
+        }
+    }
+}
+
+/// The screened pairwise deviation matrix of a snapshot collection.
+///
+/// (No `PartialEq`: pruned cells are stored as NaN, so derived equality
+/// would be reflexively false — compare cells via the accessors instead.)
+#[derive(Debug, Clone)]
+pub struct DeviationMatrix {
+    names: Vec<String>,
+    n: usize,
+    /// Row-major symmetric δ* bounds; zero diagonal.
+    bounds: Vec<f64>,
+    /// Row-major exact deviations; NaN where the scan was pruned (see
+    /// [`DeviationMatrix::exact`] for the `Option` view).
+    exact: Vec<f64>,
+    threshold: f64,
+    scanned: usize,
+}
+
+/// Unordered pairs `(i, j)`, `i < j`, in lexicographic order — the one
+/// canonical pair enumeration both phases and all consumers share.
+fn pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// True if δ* dominates `δ(diff, g)` for this pair, i.e. the screen is
+/// sound. Two conditions, both from Theorem 4.2 (1):
+///
+/// * the difference function is the *absolute* `f_a` — a scaled or χ²
+///   deviation can exceed the f_a bound arbitrarily (a region with f_a
+///   contribution 0.05 contributes 2.0 under f_s);
+/// * the two models share a minsup — the domination argument replaces an
+///   itemset's unknown support with `0` because "unknown `< ms ≤` known";
+///   with minsups 0.6 vs 0.01, an itemset known at 0.05 in one model may
+///   have true support 0.55 in the other dataset, so the true difference
+///   (0.50) dwarfs the bound's contribution (0.05).
+///
+/// Pairs failing either condition always get their exact scan.
+fn bound_screens(diff: DiffFn, m1: &LitsModel, m2: &LitsModel) -> bool {
+    matches!(diff, DiffFn::Absolute) && m1.minsup() == m2.minsup()
+}
+
+/// Phase 1: the δ* bound for every unordered pair, in [`pairs`] order,
+/// fanned out over `par`. Model-only — no dataset scans.
+pub(crate) fn pair_bounds(models: &[LitsModel], agg: AggFn, par: Parallelism) -> Vec<f64> {
+    let pair_list = pairs(models.len());
+    map_indices(par, pair_list.len(), |p| {
+        let (i, j) = pair_list[p];
+        lits_upper_bound(&models[i], &models[j], agg)
+    })
+}
+
+/// The pair indices (into [`pairs`] order) whose exact scan survives
+/// screening under `params`: a pair is pruned only when the bound is
+/// certified to dominate ([`bound_screens`]) *and* falls at or below the
+/// threshold.
+fn surviving_pairs(models: &[LitsModel], bounds: &[f64], params: &MatrixParams) -> Vec<usize> {
+    let pair_list = pairs(models.len());
+    (0..bounds.len())
+        .filter(|&p| {
+            let (i, j) = pair_list[p];
+            !bound_screens(params.diff, &models[i], &models[j]) || bounds[p] > params.threshold
+        })
+        .collect()
+}
+
+/// Which collection members participate in at least one pair that
+/// survives screening — i.e. whose *datasets* phase 2 will scan. Lets
+/// callers that load datasets lazily (the registry) skip the IO for
+/// members whose every pair was pruned. `bounds` must come from
+/// [`pair_bounds`] over the same collection.
+pub(crate) fn screened_members(
+    models: &[LitsModel],
+    bounds: &[f64],
+    params: &MatrixParams,
+) -> Vec<bool> {
+    let pair_list = pairs(models.len());
+    let mut needed = vec![false; models.len()];
+    for p in surviving_pairs(models, bounds, params) {
+        let (i, j) = pair_list[p];
+        needed[i] = true;
+        needed[j] = true;
+    }
+    needed
+}
+
+/// [`deviation_matrix_par`] at the process-wide default parallelism and
+/// default parameters except the given threshold.
+pub fn deviation_matrix(
+    models: &[LitsModel],
+    datasets: &[TransactionSet],
+    names: Vec<String>,
+    threshold: f64,
+) -> DeviationMatrix {
+    deviation_matrix_par(
+        models,
+        datasets,
+        names,
+        &MatrixParams {
+            threshold,
+            ..MatrixParams::default()
+        },
+    )
+}
+
+/// Computes the δ*-screened pairwise deviation matrix of a collection.
+///
+/// `models[k]` and `datasets[k]` must describe the same snapshot `k`
+/// (named `names[k]`). Datasets whose every pair is pruned are never
+/// touched — callers may pass empty stand-ins for them (see
+/// [`Registry::matrix`](crate::Registry::matrix)).
+///
+/// Bit-identical for every worker-thread count: pair enumeration, chunk
+/// decomposition, and merge order are all pure functions of the input
+/// sizes, and the per-pair scans are themselves thread-count-invariant.
+pub fn deviation_matrix_par(
+    models: &[LitsModel],
+    datasets: &[TransactionSet],
+    names: Vec<String>,
+    params: &MatrixParams,
+) -> DeviationMatrix {
+    // Phase 1: model-only bounds for every pair. One pair is one work
+    // item; the bound needs no dataset scan, so this phase is cheap even
+    // for large collections.
+    let bounds = pair_bounds(models, params.agg, params.par);
+    deviation_matrix_with_bounds(models, datasets, names, params, bounds)
+}
+
+/// [`deviation_matrix_par`] with the phase-1 bounds already in hand (in
+/// [`pairs`] order) — lets the registry reuse the bounds it computed to
+/// decide which datasets to load instead of paying the sweep twice.
+pub(crate) fn deviation_matrix_with_bounds(
+    models: &[LitsModel],
+    datasets: &[TransactionSet],
+    names: Vec<String>,
+    params: &MatrixParams,
+    pair_bounds: Vec<f64>,
+) -> DeviationMatrix {
+    let n = models.len();
+    assert_eq!(n, datasets.len(), "one dataset per model");
+    assert_eq!(n, names.len(), "one name per model");
+    let pair_list = pairs(n);
+    assert_eq!(pair_list.len(), pair_bounds.len(), "one bound per pair");
+
+    // Screening: for f_a over same-minsup models the exact deviation
+    // never exceeds the bound (Theorem 4.2 (1)), so `δ* ≤ threshold`
+    // certifies the pair as uninteresting; any other difference function
+    // or a minsup mismatch voids the certificate and the pair survives.
+    let survivors = surviving_pairs(models, &pair_bounds, params);
+
+    // Phase 2: exact scans for the surviving pairs only. Each pair is one
+    // work item; nested scan parallelism inside a worker runs inline per
+    // the focus-exec nesting guard.
+    let exact_vals = map_indices(params.par, survivors.len(), |s| {
+        let (i, j) = pair_list[survivors[s]];
+        lits_deviation_par(
+            &models[i],
+            &datasets[i],
+            &models[j],
+            &datasets[j],
+            params.diff,
+            params.agg,
+            params.par,
+        )
+        .value
+    });
+
+    let mut bounds = vec![0.0; n * n];
+    let mut exact = vec![f64::NAN; n * n];
+    for (p, &(i, j)) in pair_list.iter().enumerate() {
+        bounds[i * n + j] = pair_bounds[p];
+        bounds[j * n + i] = pair_bounds[p];
+    }
+    for (s, &p) in survivors.iter().enumerate() {
+        let (i, j) = pair_list[p];
+        exact[i * n + j] = exact_vals[s];
+        exact[j * n + i] = exact_vals[s];
+    }
+    DeviationMatrix {
+        names,
+        n,
+        bounds,
+        exact,
+        threshold: params.threshold,
+        scanned: survivors.len(),
+    }
+}
+
+impl DeviationMatrix {
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Snapshot names, in collection order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The screening threshold the matrix was computed at.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of unordered pairs, `n·(n−1)/2`.
+    pub fn n_pairs(&self) -> usize {
+        self.n * self.n.saturating_sub(1) / 2
+    }
+
+    /// Number of pairs whose exact scan ran (bound above threshold).
+    pub fn scanned(&self) -> usize {
+        self.scanned
+    }
+
+    /// Number of pairs whose exact scan was pruned by the δ* screen.
+    pub fn pruned(&self) -> usize {
+        self.n_pairs() - self.scanned
+    }
+
+    /// The δ* upper bound for a pair (`0` on the diagonal).
+    pub fn bound(&self, i: usize, j: usize) -> f64 {
+        self.bounds[i * self.n + j]
+    }
+
+    /// The exact deviation for a pair, if its scan survived screening.
+    pub fn exact(&self, i: usize, j: usize) -> Option<f64> {
+        let v = self.exact[i * self.n + j];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// The best available deviation estimate for a pair: the exact value
+    /// where scanned, else the δ* bound (an upper bound on the truth).
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.exact(i, j).unwrap_or_else(|| self.bound(i, j))
+    }
+
+    /// The δ* bounds as a [`DistanceMatrix`] — δ* is a metric (Theorem
+    /// 4.2 (2–3)), the exact deviations in general are not, so the
+    /// embedding always uses the bounds.
+    pub fn distance_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_fn(self.n, |i, j| self.bound(i, j))
+    }
+
+    /// Classical MDS coordinates of the collection in `k` dimensions
+    /// under the δ* metric (Section 4.1.1's visual-comparison embedding).
+    pub fn embed(&self, k: usize) -> Vec<Vec<f64>> {
+        self.distance_matrix().embed(k)
+    }
+
+    /// Embedding stress of `coords` against the δ* metric.
+    pub fn stress(&self, coords: &[Vec<f64>]) -> f64 {
+        self.distance_matrix().stress(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_dataset;
+    use focus_mining::{Apriori, AprioriParams};
+
+    fn collection(
+        seeds_skews: &[(u64, f64)],
+    ) -> (Vec<LitsModel>, Vec<TransactionSet>, Vec<String>) {
+        let miner = Apriori::new(
+            AprioriParams::with_minsup(0.15)
+                .max_len(10)
+                .min_count_floor(2),
+        );
+        let datasets: Vec<TransactionSet> = seeds_skews
+            .iter()
+            .map(|&(s, k)| random_dataset(s, 300, k))
+            .collect();
+        let models = datasets.iter().map(|d| miner.mine(d)).collect();
+        let names = (0..datasets.len()).map(|i| format!("s{i}")).collect();
+        (models, datasets, names)
+    }
+
+    #[test]
+    fn screening_is_sound_and_complete() {
+        let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.1), (3, 0.9), (4, 1.0)]);
+        let full = deviation_matrix(&models, &datasets, names.clone(), -1.0);
+        assert_eq!(full.scanned(), 6);
+        assert_eq!(full.pruned(), 0);
+
+        // Pick a threshold strictly inside the observed bound range so the
+        // screen genuinely splits the pairs.
+        let mut bs: Vec<f64> = (0..4)
+            .flat_map(|i| ((i + 1)..4).map(move |j| (i, j)))
+            .map(|(i, j)| full.bound(i, j))
+            .collect();
+        bs.sort_by(f64::total_cmp);
+        let threshold = (bs[2] + bs[3]) / 2.0;
+        let screened = deviation_matrix(&models, &datasets, names, threshold);
+        assert!(screened.pruned() > 0 && screened.scanned() > 0);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                // Bounds are unaffected by screening.
+                assert_eq!(screened.bound(i, j).to_bits(), full.bound(i, j).to_bits());
+                match screened.exact(i, j) {
+                    // Scanned pairs: identical to the unscreened run, and
+                    // dominated by the bound (Theorem 4.2 (1)).
+                    Some(e) => {
+                        assert_eq!(e.to_bits(), full.exact(i, j).unwrap().to_bits());
+                        assert!(e <= screened.bound(i, j) + 1e-12);
+                        assert!(screened.bound(i, j) > threshold);
+                    }
+                    // Pruned pairs: certified below threshold.
+                    None => assert!(screened.bound(i, j) <= threshold),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_threshold_prunes_everything() {
+        let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.5), (3, 1.0)]);
+        let m = deviation_matrix(&models, &datasets, names, f64::INFINITY);
+        assert_eq!(m.scanned(), 0);
+        assert_eq!(m.pruned(), 3);
+        // `value` falls back to the bound for pruned pairs.
+        assert_eq!(m.value(0, 1).to_bits(), m.bound(0, 1).to_bits());
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let (models, datasets, names) = collection(&[(1, 0.0), (5, 0.4), (9, 0.8)]);
+        let m = deviation_matrix(&models, &datasets, names, -1.0);
+        for i in 0..3 {
+            assert_eq!(m.bound(i, i), 0.0);
+            assert_eq!(m.exact(i, i), None);
+            for j in 0..3 {
+                assert_eq!(m.bound(i, j).to_bits(), m.bound(j, i).to_bits());
+                assert_eq!(m.value(i, j).to_bits(), m.value(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_places_similar_snapshots_closer() {
+        // Two tight groups; the δ* embedding must separate them.
+        let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.0), (3, 1.0), (4, 1.0)]);
+        let m = deviation_matrix(&models, &datasets, names, f64::INFINITY);
+        let coords = m.embed(2);
+        let dist = |a: usize, b: usize| {
+            coords[a]
+                .iter()
+                .zip(&coords[b])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(dist(0, 1) < dist(0, 2), "{} vs {}", dist(0, 1), dist(0, 2));
+        assert!(dist(2, 3) < dist(2, 0), "{} vs {}", dist(2, 3), dist(2, 0));
+    }
+
+    #[test]
+    fn empty_and_singleton_collections() {
+        let m = deviation_matrix(&[], &[], Vec::new(), 0.0);
+        assert_eq!(m.n_pairs(), 0);
+        assert!(m.is_empty());
+        let (models, datasets, names) = collection(&[(1, 0.0)]);
+        let m = deviation_matrix(&models, &datasets, names, 0.0);
+        assert_eq!((m.n_pairs(), m.scanned(), m.pruned()), (0, 0, 0));
+        assert_eq!(m.embed(2).len(), 1);
+    }
+
+    #[test]
+    fn screened_members_marks_only_surviving_pairs() {
+        let (models, _, _) = collection(&[(1, 0.0), (2, 0.0), (3, 1.0)]);
+        let bounds = pair_bounds(&models, AggFn::Sum, Parallelism::Sequential);
+        let all = screened_members(&models, &bounds, &MatrixParams::default());
+        assert_eq!(all, vec![true, true, true]);
+        let none = screened_members(
+            &models,
+            &bounds,
+            &MatrixParams {
+                threshold: f64::INFINITY,
+                ..MatrixParams::default()
+            },
+        );
+        assert_eq!(none, vec![false, false, false]);
+    }
+
+    #[test]
+    fn screening_disabled_for_mixed_minsups() {
+        // Theorem 4.2's domination argument needs a shared minsup: with
+        // ms1 = 0.6 vs ms2 = 0.01, an itemset known only in model 2 may
+        // have a large (but sub-0.6) support in dataset 1, so the bound's
+        // per-itemset contribution understates the truth. Such a pair
+        // must never be pruned, whatever the threshold.
+        let datasets = vec![random_dataset(1, 300, 0.0), random_dataset(2, 300, 0.0)];
+        let mine = |d: &TransactionSet, ms: f64| {
+            Apriori::new(
+                AprioriParams::with_minsup(ms)
+                    .max_len(10)
+                    .min_count_floor(2),
+            )
+            .mine(d)
+        };
+        let models = vec![mine(&datasets[0], 0.6), mine(&datasets[1], 0.01)];
+        let names = vec!["hi-ms".to_string(), "lo-ms".to_string()];
+        let m = deviation_matrix_par(
+            &models,
+            &datasets,
+            names,
+            &MatrixParams {
+                threshold: f64::INFINITY,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        );
+        assert_eq!(m.pruned(), 0, "mixed-minsup pair must not be pruned");
+        assert!(m.exact(0, 1).is_some());
+        // Same-minsup control: the screen works again.
+        let models = vec![mine(&datasets[0], 0.2), mine(&datasets[1], 0.2)];
+        let m = deviation_matrix_par(
+            &models,
+            &datasets,
+            vec!["a".to_string(), "b".to_string()],
+            &MatrixParams {
+                threshold: f64::INFINITY,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        );
+        assert_eq!(m.pruned(), 1);
+    }
+
+    #[test]
+    fn screening_disabled_for_non_absolute_diffs() {
+        // δ* bounds only δ(f_a, g) (Theorem 4.2): under f_s the "bound"
+        // does not dominate, so even an infinite threshold must not prune
+        // — every pair gets its exact scan.
+        let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.0), (3, 1.0)]);
+        let m = deviation_matrix_par(
+            &models,
+            &datasets,
+            names,
+            &MatrixParams {
+                diff: DiffFn::Scaled,
+                threshold: f64::INFINITY,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        );
+        assert_eq!(m.pruned(), 0, "f_s screening would be unsound");
+        assert_eq!(m.scanned(), 3);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(m.exact(i, j).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! A directory of named dataset snapshots and their mined models.
+//!
+//! On disk a registry is a directory holding
+//!
+//! ```text
+//! registry.manifest        line-oriented index (see below)
+//! <name>.txns              the dataset  (focus_data::io format)
+//! <name>.lits              its lits-model (focus_core::persist format)
+//! ```
+//!
+//! with the manifest
+//!
+//! ```text
+//! #focus-registry v1
+//! snapshot <name> minsup <ms> n <transactions> itemsets <count>
+//! ```
+//!
+//! one line per snapshot, in insertion order. The manifest is append-only:
+//! adding a snapshot writes the two artifact files, then appends its line,
+//! so a torn write can at worst lose the line for artifacts that already
+//! exist — never index artifacts that don't.
+
+use crate::matrix::{DeviationMatrix, MatrixParams};
+use focus_core::data::TransactionSet;
+use focus_core::model::LitsModel;
+use focus_core::persist::{read_lits_model, write_lits_model};
+use focus_data::io::{read_transactions, write_transactions};
+use focus_mining::{Apriori, AprioriParams};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "registry.manifest";
+const HEADER: &str = "#focus-registry v1";
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// One manifest entry: a named snapshot and its summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Snapshot name (file-name safe: `[A-Za-z0-9._-]`, no leading dot).
+    pub name: String,
+    /// Minimum support the model was mined at.
+    pub minsup: f64,
+    /// Number of transactions in the dataset.
+    pub n_transactions: u64,
+    /// Number of frequent itemsets in the model.
+    pub n_itemsets: u64,
+}
+
+/// A collection of persisted snapshots rooted at a directory.
+#[derive(Debug)]
+pub struct Registry {
+    root: PathBuf,
+    entries: Vec<SnapshotEntry>,
+}
+
+/// A snapshot name must be usable verbatim as a file stem.
+fn check_name(name: &str) -> std::io::Result<()> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(bad(&format!(
+            "invalid snapshot name {name:?} (want [A-Za-z0-9._-]+, no leading dot)"
+        )))
+    }
+}
+
+impl Registry {
+    /// Opens an existing registry, reading its manifest.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        let text = std::fs::read_to_string(root.join(MANIFEST))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(HEADER) => {}
+            _ => return Err(bad("missing registry manifest header")),
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            // snapshot <name> minsup <ms> n <txns> itemsets <count>
+            if fields.len() != 8
+                || fields[0] != "snapshot"
+                || fields[2] != "minsup"
+                || fields[4] != "n"
+                || fields[6] != "itemsets"
+            {
+                return Err(bad(&format!("malformed manifest line {line:?}")));
+            }
+            check_name(fields[1])?;
+            let entry = SnapshotEntry {
+                name: fields[1].to_string(),
+                minsup: fields[3]
+                    .parse()
+                    .map_err(|e| bad(&format!("bad minsup in manifest: {e}")))?,
+                n_transactions: fields[5]
+                    .parse()
+                    .map_err(|e| bad(&format!("bad n in manifest: {e}")))?,
+                n_itemsets: fields[7]
+                    .parse()
+                    .map_err(|e| bad(&format!("bad itemset count in manifest: {e}")))?,
+            };
+            if entries.iter().any(|e: &SnapshotEntry| e.name == entry.name) {
+                return Err(bad(&format!(
+                    "duplicate snapshot {:?} in manifest",
+                    entry.name
+                )));
+            }
+            entries.push(entry);
+        }
+        Ok(Self { root, entries })
+    }
+
+    /// Opens the registry at `root`, creating an empty one (directory and
+    /// manifest) if none exists yet.
+    pub fn open_or_create(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        if root.join(MANIFEST).exists() {
+            return Self::open(root);
+        }
+        std::fs::create_dir_all(&root)?;
+        let mut f = File::create(root.join(MANIFEST))?;
+        writeln!(f, "{HEADER}")?;
+        Ok(Self {
+            root,
+            entries: Vec::new(),
+        })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Manifest entries in insertion order.
+    pub fn entries(&self) -> &[SnapshotEntry] {
+        &self.entries
+    }
+
+    /// Snapshot names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the registry holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if a snapshot with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    fn data_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.txns"))
+    }
+
+    fn model_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.lits"))
+    }
+
+    /// Adds a snapshot: mines its lits-model at `minsup` (same miner
+    /// configuration as the CLI `mine` subcommand), persists dataset and
+    /// model, and appends the manifest line. Fails on duplicate or invalid
+    /// names without touching the directory.
+    pub fn add(
+        &mut self,
+        name: &str,
+        data: &TransactionSet,
+        minsup: f64,
+    ) -> std::io::Result<&SnapshotEntry> {
+        // Reject bad/duplicate names *before* paying for the mine
+        // (`add_with_model` re-checks, but by then the work is done).
+        check_name(name)?;
+        if self.contains(name) {
+            return Err(bad(&format!("snapshot {name:?} already registered")));
+        }
+        let model = Apriori::new(
+            AprioriParams::with_minsup(minsup)
+                .max_len(10)
+                .min_count_floor(2),
+        )
+        .mine(data);
+        self.add_with_model(name, data, &model)
+    }
+
+    /// [`Registry::add`] with a pre-mined model (any minsup / miner).
+    pub fn add_with_model(
+        &mut self,
+        name: &str,
+        data: &TransactionSet,
+        model: &LitsModel,
+    ) -> std::io::Result<&SnapshotEntry> {
+        check_name(name)?;
+        if self.contains(name) {
+            return Err(bad(&format!("snapshot {name:?} already registered")));
+        }
+        write_transactions(data, File::create(self.data_path(name))?)?;
+        write_lits_model(model, File::create(self.model_path(name))?)?;
+        let entry = SnapshotEntry {
+            name: name.to_string(),
+            minsup: model.minsup(),
+            n_transactions: data.len() as u64,
+            n_itemsets: model.len() as u64,
+        };
+        let mut manifest = OpenOptions::new()
+            .append(true)
+            .open(self.root.join(MANIFEST))?;
+        writeln!(
+            manifest,
+            "snapshot {} minsup {} n {} itemsets {}",
+            entry.name, entry.minsup, entry.n_transactions, entry.n_itemsets
+        )?;
+        manifest.flush()?;
+        self.entries.push(entry);
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Loads one snapshot's model.
+    pub fn load_model(&self, name: &str) -> std::io::Result<LitsModel> {
+        if !self.contains(name) {
+            return Err(bad(&format!("unknown snapshot {name:?}")));
+        }
+        read_lits_model(File::open(self.model_path(name))?)
+    }
+
+    /// Loads one snapshot's dataset.
+    pub fn load_dataset(&self, name: &str) -> std::io::Result<TransactionSet> {
+        if !self.contains(name) {
+            return Err(bad(&format!("unknown snapshot {name:?}")));
+        }
+        read_transactions(File::open(self.data_path(name))?)
+    }
+
+    /// Loads every model, in manifest order.
+    pub fn load_models(&self) -> std::io::Result<Vec<LitsModel>> {
+        self.entries
+            .iter()
+            .map(|e| self.load_model(&e.name))
+            .collect()
+    }
+
+    /// Computes the δ*-screened pairwise deviation matrix of the whole
+    /// collection (see [`deviation_matrix_par`]). Models are loaded up
+    /// front; datasets are loaded only for pairs that survive screening,
+    /// so a high threshold never pays dataset IO at all.
+    pub fn matrix(&self, params: &MatrixParams) -> std::io::Result<DeviationMatrix> {
+        let models = self.load_models()?;
+        // The screening decision needs only the models: run the phase-1
+        // bound sweep once, load exactly the datasets that participate in
+        // a surviving pair (the others get cheap empty stand-ins phase
+        // two never touches), and hand the bounds to the engine so the
+        // sweep is not paid twice.
+        let bounds = crate::matrix::pair_bounds(&models, params.agg, params.par);
+        let needed = crate::matrix::screened_members(&models, &bounds, params);
+        let mut datasets = Vec::with_capacity(self.len());
+        for (entry, needed) in self.entries.iter().zip(&needed) {
+            datasets.push(if *needed {
+                self.load_dataset(&entry.name)?
+            } else {
+                TransactionSet::new(0)
+            });
+        }
+        let names: Vec<String> = self.entries.iter().map(|e| e.name.clone()).collect();
+        Ok(crate::matrix::deviation_matrix_with_bounds(
+            &models, &datasets, names, params, bounds,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_dataset;
+    use focus_exec::Parallelism;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("focus-registry-{tag}-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn add_persists_and_reopens() {
+        let dir = scratch("roundtrip");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        let d1 = random_dataset(1, 300, 0.0);
+        let d2 = random_dataset(2, 300, 1.0);
+        reg.add("day-01", &d1, 0.1).unwrap();
+        reg.add("day-02", &d2, 0.1).unwrap();
+        assert_eq!(reg.names(), vec!["day-01", "day-02"]);
+
+        // A fresh handle sees the same entries and identical artifacts.
+        let back = Registry::open(&dir).unwrap();
+        assert_eq!(back.entries(), reg.entries());
+        assert_eq!(back.load_dataset("day-01").unwrap(), d1);
+        let m1 = back.load_model("day-01").unwrap();
+        assert_eq!(m1.minsup(), 0.1);
+        assert!(!m1.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_names() {
+        let dir = scratch("names");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        let d = random_dataset(1, 100, 0.0);
+        reg.add("ok", &d, 0.2).unwrap();
+        assert!(reg.add("ok", &d, 0.2).is_err(), "duplicate must fail");
+        for bad_name in ["", "has space", "a/b", ".hidden", "semi;colon"] {
+            assert!(reg.add(bad_name, &d, 0.2).is_err(), "{bad_name:?}");
+        }
+        // Failed adds leave the registry unchanged.
+        assert_eq!(reg.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_requires_manifest() {
+        let dir = scratch("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Registry::open(&dir).is_err());
+        // A garbage manifest is InvalidData, not a panic.
+        std::fs::write(dir.join(MANIFEST), "not a manifest\n").unwrap();
+        let err = Registry::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_snapshot_is_an_error() {
+        let dir = scratch("unknown");
+        let reg = Registry::open_or_create(&dir).unwrap();
+        assert!(reg.load_model("nope").is_err());
+        assert!(reg.load_dataset("nope").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matrix_from_registry_prunes_and_scans() {
+        let dir = scratch("matrix");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        // Two similar snapshots and one far-away one: with a threshold
+        // between the intra- and inter-group bounds, exactly one pair is
+        // pruned.
+        reg.add("a", &random_dataset(1, 300, 0.0), 0.15).unwrap();
+        reg.add("b", &random_dataset(2, 300, 0.0), 0.15).unwrap();
+        reg.add("c", &random_dataset(3, 300, 1.0), 0.15).unwrap();
+        let mut params = MatrixParams {
+            par: Parallelism::Sequential,
+            ..MatrixParams::default()
+        };
+        let all = reg.matrix(&params).unwrap();
+        assert_eq!(all.n_pairs(), 3);
+        assert_eq!(all.pruned(), 0, "threshold 0 scans every positive pair");
+
+        params.threshold = all.bound(0, 1) + 1e-9;
+        let screened = reg.matrix(&params).unwrap();
+        assert!(screened.pruned() >= 1, "similar pair must be pruned");
+        assert!(screened.scanned() >= 1, "distant pair must be scanned");
+        // Screening never changes the values of surviving pairs.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                if screened.exact(i, j).is_some() {
+                    assert_eq!(
+                        screened.exact(i, j).unwrap().to_bits(),
+                        all.exact(i, j).unwrap().to_bits()
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

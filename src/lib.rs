@@ -9,6 +9,8 @@
 //! * [`data`] — synthetic data generators (IBM Quest association +
 //!   Agrawal classification).
 //! * [`mining`] — Apriori frequent-itemset mining (lits-models).
+//! * [`registry`] — snapshot collections on disk and the δ*-screened
+//!   pairwise deviation matrix (Section 4.1.1's exploratory loop).
 //! * [`tree`] — CART decision trees (dt-models).
 //! * [`cluster`] — k-means and BIRCH clustering (cluster-models).
 //!
@@ -39,5 +41,6 @@ pub use focus_core as core;
 pub use focus_data as data;
 pub use focus_exec as exec;
 pub use focus_mining as mining;
+pub use focus_registry as registry;
 pub use focus_stats as stats;
 pub use focus_tree as tree;

@@ -15,6 +15,7 @@ use focus::cluster::{KMeans, KMeansParams};
 use focus::core::prelude::*;
 use focus::exec::Parallelism;
 use focus::mining::{Apriori, AprioriParams, HashTree};
+use focus::registry::{deviation_matrix_par, MatrixParams};
 use focus::stats::bootstrap_two_sample_par;
 use focus::tree::{DecisionTree, TreeParams};
 use proptest::prelude::*;
@@ -405,5 +406,49 @@ fn large_scan_splits_chunks_and_stays_identical() {
             seq,
             "threads = {t}"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The δ*-screened deviation-matrix engine: both fan-out phases (pair
+    /// bounds, surviving exact scans) produce bit-identical matrices and
+    /// identical prune decisions for every worker-thread count.
+    #[test]
+    fn deviation_matrix_bit_identical(seed in 0u64..1_000_000,
+                                      n_snaps in 3usize..6,
+                                      threshold in 0.0f64..3.0) {
+        let miner = Apriori::new(
+            AprioriParams::with_minsup(0.25).max_len(4).parallelism(Parallelism::Sequential),
+        );
+        let datasets: Vec<TransactionSet> = (0..n_snaps)
+            .map(|i| random_transactions(150, 8, 0.2 + 0.1 * (i % 3) as f64, seed + i as u64))
+            .collect();
+        let models: Vec<_> = datasets.iter().map(|d| miner.mine(d)).collect();
+        let names: Vec<String> = (0..n_snaps).map(|i| format!("s{i}")).collect();
+
+        let params = |par| MatrixParams {
+            threshold,
+            par,
+            ..MatrixParams::default()
+        };
+        let seq = deviation_matrix_par(&models, &datasets, names.clone(), &params(Parallelism::Sequential));
+        for t in THREADS {
+            let par = deviation_matrix_par(&models, &datasets, names.clone(), &params(Parallelism::Threads(t)));
+            prop_assert_eq!(par.scanned(), seq.scanned(), "scanned, threads = {}", t);
+            prop_assert_eq!(par.pruned(), seq.pruned(), "pruned, threads = {}", t);
+            for i in 0..n_snaps {
+                for j in 0..n_snaps {
+                    prop_assert_eq!(par.bound(i, j).to_bits(), seq.bound(i, j).to_bits(),
+                                    "bound({}, {}), threads = {}", i, j, t);
+                    prop_assert_eq!(par.exact(i, j).map(f64::to_bits),
+                                    seq.exact(i, j).map(f64::to_bits),
+                                    "exact({}, {}), threads = {}", i, j, t);
+                    prop_assert_eq!(par.value(i, j).to_bits(), seq.value(i, j).to_bits(),
+                                    "value({}, {}), threads = {}", i, j, t);
+                }
+            }
+        }
     }
 }

@@ -5,6 +5,8 @@
 use focus::core::prelude::*;
 use focus::mining::{Apriori, AprioriParams};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn schema2() -> Arc<Schema> {
@@ -297,6 +299,74 @@ proptest! {
         let mut buf = Vec::new();
         write_lits_model(&model, &mut buf).unwrap();
         let back = read_lits_model(buf.as_slice()).unwrap();
+        prop_assert_eq!(model, back);
+    }
+
+    #[test]
+    fn dt_model_persistence_round_trips(
+        seed in 0u64..10_000,
+        n_attrs in 1usize..4,
+        n_leaves in 1usize..5,
+        k in 1u32..4,
+    ) {
+        // Seed-driven generation of an arbitrary dt-model over a mixed
+        // schema, deliberately covering the persistence edge cases: empty
+        // and full categorical masks and ±inf interval endpoints.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attrs = (0..n_attrs)
+            .map(|i| {
+                if rng.gen::<bool>() {
+                    Schema::numeric(&format!("x{i}"))
+                } else {
+                    Schema::categorical(&format!("c{i}"), rng.gen_range(2u32..6))
+                }
+            })
+            .collect();
+        let schema = Arc::new(Schema::new(attrs));
+        let leaves: Vec<BoxRegion> = (0..n_leaves)
+            .map(|_| BoxRegion {
+                constraints: schema
+                    .attrs()
+                    .iter()
+                    .map(|a| match &a.ty {
+                        AttrType::Numeric => AttrConstraint::Interval {
+                            lo: if rng.gen::<bool>() {
+                                f64::NEG_INFINITY
+                            } else {
+                                rng.gen_range(-50.0f64..0.0)
+                            },
+                            hi: if rng.gen::<bool>() {
+                                f64::INFINITY
+                            } else {
+                                rng.gen_range(0.0f64..50.0)
+                            },
+                        },
+                        AttrType::Categorical { cardinality } => {
+                            AttrConstraint::Cats(match rng.gen_range(0u32..3) {
+                                0 => CatMask::empty(*cardinality),
+                                1 => CatMask::full(*cardinality),
+                                _ => {
+                                    let codes: Vec<u32> = (0..*cardinality)
+                                        .filter(|_| rng.gen::<bool>())
+                                        .collect();
+                                    CatMask::of(*cardinality, &codes)
+                                }
+                            })
+                        }
+                    })
+                    .collect(),
+                class: None,
+            })
+            .collect();
+        let measures: Vec<f64> = (0..n_leaves * k as usize)
+            .map(|_| rng.gen::<f64>())
+            .collect();
+        let model = DtModel::new(leaves, k, measures, rng.gen_range(1u64..100_000));
+
+        let mut buf = Vec::new();
+        write_dt_model(&model, &schema, &mut buf).unwrap();
+        let (back, back_schema) = read_dt_model(buf.as_slice()).unwrap();
+        prop_assert_eq!(&*back_schema, &*schema);
         prop_assert_eq!(model, back);
     }
 

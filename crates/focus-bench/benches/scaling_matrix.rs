@@ -1,25 +1,33 @@
 //! Criterion bench B8: thread-count scaling of the snapshot-collection
-//! deviation-matrix engine (Section 4.1.1's exploratory loop).
+//! deviation-matrix engine (Section 4.1.1's exploratory loop), for both a
+//! screenable (lits) and a boundless (dt) family of the generic engine.
 //!
-//! Three screening regimes over the same 8-snapshot collection:
+//! Three screening regimes over the same 8-snapshot lits collection:
 //!
 //! * `bounds_only` — threshold `+∞`: phase 1 alone, the model-only δ*
 //!   sweep (the "Time for δ*" column of Figure 13);
 //! * `screened` — a mid-range threshold: realistic mixed workload, some
 //!   pairs pruned, some scanned;
-//! * `full_scan` — negative threshold: every pair pays the exact
-//!   two-dataset scan (the `δ` column).
+//! * `full_scan` — `--top` set to the pair count: every pair pays the
+//!   exact two-dataset scan (the `δ` column).
+//!
+//! The `dt` group runs the same engine over decision-tree snapshots —
+//! no model-only bound exists there, so every pair is an exact overlay
+//! scan and the group exercises the generic engine's boundless path.
 //!
 //! Results are bit-identical across the sweep (enforced by
 //! `tests/parallel_equiv.rs`); only the wall clock should move.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use focus_core::data::TransactionSet;
-use focus_core::model::LitsModel;
+use focus_core::data::{LabeledTable, TransactionSet};
+use focus_core::family::{DtFamily, LitsFamily};
+use focus_core::model::{DtModel, LitsModel};
 use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_data::classify::{ClassifyFn, ClassifyGen};
 use focus_exec::Parallelism;
 use focus_mining::{Apriori, AprioriParams};
 use focus_registry::{deviation_matrix_par, MatrixParams};
+use focus_tree::{DecisionTree, TreeParams};
 use std::hint::black_box;
 
 /// The thread counts the scaling sweep visits.
@@ -41,12 +49,33 @@ fn collection() -> (Vec<LitsModel>, Vec<TransactionSet>, Vec<String>) {
     (models, datasets, names)
 }
 
+/// A 6-snapshot dt collection over two Agrawal functions, fitted trees.
+fn dt_collection() -> (Vec<DtModel>, Vec<LabeledTable>, Vec<String>) {
+    let params = TreeParams::default().max_depth(6).min_leaf(20);
+    let mut datasets = Vec::new();
+    let mut names = Vec::new();
+    for i in 0..6u64 {
+        let function = if i % 2 == 0 {
+            ClassifyFn::F2
+        } else {
+            ClassifyFn::F5
+        };
+        datasets.push(ClassifyGen::new(function).generate(4_000, 200 + i));
+        names.push(format!("dt-{i}"));
+    }
+    let models = datasets
+        .iter()
+        .map(|d| DecisionTree::fit(d, params).to_model())
+        .collect();
+    (models, datasets, names)
+}
+
 fn bench_scaling_matrix(c: &mut Criterion) {
     let (models, datasets, names) = collection();
 
     // A threshold between the intra- and inter-process bound levels, so
     // the screened regime genuinely prunes: use the median pair bound.
-    let probe = deviation_matrix_par(
+    let probe = deviation_matrix_par::<LitsFamily>(
         &models,
         &datasets,
         names.clone(),
@@ -55,7 +84,9 @@ fn bench_scaling_matrix(c: &mut Criterion) {
             par: Parallelism::Sequential,
             ..MatrixParams::default()
         },
-    );
+    )
+    .expect("valid params");
+    let n_pairs = probe.n_pairs();
     let mut bounds: Vec<f64> = (0..probe.len())
         .flat_map(|i| ((i + 1)..probe.len()).map(move |j| (i, j)))
         .map(|(i, j)| probe.bound(i, j))
@@ -67,27 +98,57 @@ fn bench_scaling_matrix(c: &mut Criterion) {
     group.sample_size(10);
     for t in THREADS {
         let par = Parallelism::Threads(t);
-        for (regime, threshold) in [
-            ("bounds_only", f64::INFINITY),
-            ("screened", mid),
-            ("full_scan", -1.0),
+        for (regime, threshold, top) in [
+            ("bounds_only", f64::INFINITY, None),
+            ("screened", mid, None),
+            ("full_scan", 0.0, Some(n_pairs)),
         ] {
             let params = MatrixParams {
                 threshold,
+                top,
                 par,
                 ..MatrixParams::default()
             };
             group.bench_with_input(BenchmarkId::new(regime, t), &params, |b, params| {
                 b.iter(|| {
-                    black_box(deviation_matrix_par(
-                        &models,
-                        &datasets,
-                        names.clone(),
-                        params,
-                    ))
+                    black_box(
+                        deviation_matrix_par::<LitsFamily>(
+                            &models,
+                            &datasets,
+                            names.clone(),
+                            params,
+                        )
+                        .expect("valid params"),
+                    )
                 })
             });
         }
+    }
+    group.finish();
+
+    // The boundless path of the generic engine: dt snapshots, every pair
+    // an exact overlay scan.
+    let (dt_models, dt_datasets, dt_names) = dt_collection();
+    let mut group = c.benchmark_group("scaling_matrix_dt");
+    group.sample_size(10);
+    for t in THREADS {
+        let params = MatrixParams {
+            par: Parallelism::Threads(t),
+            ..MatrixParams::default()
+        };
+        group.bench_with_input(BenchmarkId::new("full_scan", t), &params, |b, params| {
+            b.iter(|| {
+                black_box(
+                    deviation_matrix_par::<DtFamily>(
+                        &dt_models,
+                        &dt_datasets,
+                        dt_names.clone(),
+                        params,
+                    )
+                    .expect("valid params"),
+                )
+            })
+        });
     }
     group.finish();
 }

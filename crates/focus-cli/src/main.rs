@@ -10,19 +10,25 @@
 //! focus-cli qualify    --d1 D1.txt --d2 D2.txt --minsup 0.01 [--reps 99 --seed 7]
 //! focus-cli tree       --data D1.tbl [--max-depth 10 --min-leaf 50] [--render]
 //! focus-cli deviate-dt --d1 D1.tbl --d2 D2.tbl
-//! focus-cli registry-add --dir REG --data D1.txt --name day-01 [--minsup 0.01]
-//! focus-cli matrix     --dir REG [--threshold t] [--f fa|fs] [--g sum|max]
-//! focus-cli embed      --dir REG [--k 2]
+//! focus-cli registry-add --dir REG --data D1.txt --name day-01 [--kind lits|dt|cluster] [--minsup 0.01]
+//! focus-cli matrix     --dir REG [--kind k] [--threshold t | --top K] [--f fa|fs] [--g sum|max]
+//! focus-cli embed      --dir REG [--kind k] [--k 2]
 //! ```
 //!
 //! The last three drive the Section 4.1.1 exploratory loop: a *registry*
-//! directory accumulates named snapshots (dataset + mined model), `matrix`
-//! computes every pairwise deviation with δ*-screening (exact scans only
-//! where the model-only bound exceeds `--threshold`; the rest are pruned),
-//! and `embed` places the whole collection in a k-dimensional space under
-//! the δ* metric. Screening is sound only for the default `--f fa`
-//! (Theorem 4.2 bounds the absolute difference alone), so with `--f fs`
-//! every pair is scanned regardless of the threshold.
+//! directory accumulates named snapshots (dataset + induced model) of any
+//! model family — `--kind lits` mines frequent itemsets from transaction
+//! data, `--kind dt` fits a decision tree to a labelled table, `--kind
+//! cluster` runs k-means over a plain table. `matrix` computes every
+//! pairwise deviation of one family's snapshots with δ*-screening (exact
+//! scans only where the model-only bound exceeds `--threshold`, or, with
+//! `--top K`, for the K largest bounds; the rest are pruned), and `embed`
+//! places the collection in a k-dimensional space. Screening is sound only
+//! for lits snapshots under the default `--f fa` (Theorem 4.2 bounds the
+//! absolute difference alone), so with `--f fs` — and for dt/cluster
+//! snapshots, which have no model-only bound — every pair is scanned
+//! regardless of the threshold, and the embedding falls back from the δ*
+//! metric to the exact deviations.
 //!
 //! Every command additionally accepts `--threads N` (0 = one worker per
 //! core): dataset scans, model induction (decision-tree fitting included),
@@ -32,9 +38,11 @@
 //! All datasets and models use the plain-text formats of
 //! `focus_data::io` / `focus_core::persist`.
 
+use focus_cluster::{KMeans, KMeansParams};
 use focus_core::bound::lits_upper_bound;
 use focus_core::deviation::{dt_deviation, lits_deviation};
 use focus_core::diff::{AggFn, DiffFn};
+use focus_core::family::{ClusterFamily, DtFamily, LitsFamily};
 use focus_core::persist::{read_lits_model, write_lits_model};
 use focus_core::qualify::qualify_transactions;
 use focus_data::assoc::{AssocGen, AssocGenParams};
@@ -43,7 +51,7 @@ use focus_data::io::{
     read_labeled_table, read_transactions, write_labeled_table, write_transactions,
 };
 use focus_mining::{Apriori, AprioriParams};
-use focus_registry::{MatrixParams, Registry};
+use focus_registry::{MatrixParams, Registry, SnapshotKind};
 use focus_tree::{DecisionTree, TreeParams};
 use std::collections::HashMap;
 use std::fs::File;
@@ -116,9 +124,14 @@ commands:
   qualify    --d1 <txns> --d2 <txns> --minsup <f> [--reps N --seed S]
   tree       --data <table> [--max-depth D --min-leaf N] [--render]
   deviate-dt --d1 <table> --d2 <table> [--max-depth D --min-leaf N]
-  registry-add --dir <registry> --data <txns> --name <name> [--minsup <f>]
-  matrix     --dir <registry> [--threshold <t>] [--f fa|fs] [--g sum|max]
-  embed      --dir <registry> [--k <dims>]
+  registry-add --dir <registry> --data <file> --name <name>
+             [--kind lits|dt|cluster]  (default lits)
+             [--minsup <f>]                      lits: mining threshold
+             [--max-depth D --min-leaf N]        dt: tree induction
+             [--clusters K --seed S]             cluster: k-means
+  matrix     --dir <registry> [--kind k] [--threshold <t> | --top <K>]
+             [--f fa|fs] [--g sum|max]
+  embed      --dir <registry> [--kind k] [--k <dims>]
 
 global flags:
   --threads N   worker threads for scans, model induction, and bootstrap
@@ -338,17 +351,80 @@ fn deviate_dt(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_kind(
+    flags: &Flags,
+    default: Option<SnapshotKind>,
+) -> Result<Option<SnapshotKind>, String> {
+    match flags.get("kind") {
+        None => Ok(default),
+        Some(s) => SnapshotKind::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("--kind must be lits, dt or cluster, got {s:?}")),
+    }
+}
+
+/// The snapshot family a `matrix`/`embed` run operates on: the `--kind`
+/// flag if given, else the registry's single kind — a mixed registry
+/// without `--kind` is ambiguous and errors.
+fn registry_kind(reg: &Registry, flags: &Flags) -> Result<SnapshotKind, String> {
+    if let Some(kind) = parse_kind(flags, None)? {
+        return Ok(kind);
+    }
+    let kinds = reg.kinds();
+    match kinds.as_slice() {
+        [] => Err("registry holds no snapshots".to_string()),
+        [one] => Ok(*one),
+        many => Err(format!(
+            "registry holds multiple snapshot kinds ({}); pick one with --kind",
+            many.iter()
+                .map(|k| k.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+}
+
 fn registry_add(flags: &Flags) -> Result<(), String> {
     let dir = req(flags, "dir")?;
     let name = req(flags, "name")?;
-    let minsup: f64 = opt(flags, "minsup", 0.01)?;
-    let data =
-        read_transactions(File::open(req(flags, "data")?).map_err(io_err)?).map_err(io_err)?;
+    let data_path = req(flags, "data")?;
+    let kind = parse_kind(flags, Some(SnapshotKind::Lits))?.expect("defaulted");
     let mut reg = Registry::open_or_create(dir).map_err(io_err)?;
-    let entry = reg.add(name, &data, minsup).map_err(io_err)?;
+    let entry = match kind {
+        SnapshotKind::Lits => {
+            let minsup: f64 = opt(flags, "minsup", 0.01)?;
+            let data = read_transactions(File::open(data_path).map_err(io_err)?).map_err(io_err)?;
+            reg.add(name, &data, minsup).map_err(io_err)?
+        }
+        SnapshotKind::Dt => {
+            let data =
+                read_labeled_table(File::open(data_path).map_err(io_err)?).map_err(io_err)?;
+            let model = DecisionTree::fit(&data, tree_params(flags, data.len())?).to_model();
+            reg.add_snapshot::<DtFamily>(name, &data, &model)
+                .map_err(io_err)?
+        }
+        SnapshotKind::Cluster => {
+            let data = focus_data::io::read_table(File::open(data_path).map_err(io_err)?)
+                .map_err(io_err)?;
+            let k: usize = opt(flags, "clusters", 3)?;
+            if k == 0 {
+                return Err("--clusters must be at least 1".to_string());
+            }
+            let seed: u64 = opt(flags, "seed", 0)?;
+            let model = KMeans::new(KMeansParams::new(k).seed(seed))
+                .fit(&data)
+                .to_model(&data);
+            reg.add_snapshot::<ClusterFamily>(name, &data, &model)
+                .map_err(io_err)?
+        }
+    };
+    let minsup_note = match entry.minsup {
+        Some(ms) => format!(" at minsup {ms}"),
+        None => String::new(),
+    };
     eprintln!(
-        "registered {:?} in {} ({} transactions, {} itemsets at minsup {})",
-        entry.name, dir, entry.n_transactions, entry.n_itemsets, entry.minsup
+        "registered {:?} in {} (kind {}, {} rows, {} regions{})",
+        entry.name, dir, entry.kind, entry.n_rows, entry.n_regions, minsup_note
     );
     Ok(())
 }
@@ -356,38 +432,70 @@ fn registry_add(flags: &Flags) -> Result<(), String> {
 fn matrix(flags: &Flags) -> Result<(), String> {
     let dir = req(flags, "dir")?;
     let threshold: f64 = opt(flags, "threshold", 0.0)?;
+    let top: Option<usize> = match flags.get("top") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("--top: {e}"))?),
+    };
+    if top.is_some() && flags.contains_key("threshold") {
+        return Err("--top replaces --threshold; pass only one".to_string());
+    }
     let reg = Registry::open(dir).map_err(io_err)?;
+    let kind = registry_kind(&reg, flags)?;
+    if top.is_some() && kind != SnapshotKind::Lits {
+        return Err(format!(
+            "--top needs a model-only bound to rank pairs, and {kind} snapshots have none \
+             (every pair is scanned exactly; drop --top)"
+        ));
+    }
     let params = MatrixParams {
         diff: diff_fn(flags)?,
         agg: agg_fn(flags)?,
         threshold,
+        top,
         ..MatrixParams::default()
     };
-    let m = reg.matrix(&params).map_err(io_err)?;
-    println!(
-        "pairs {} scanned {} pruned {} threshold {:.6}",
-        m.n_pairs(),
-        m.scanned(),
-        m.pruned(),
-        m.threshold()
-    );
+    let m = match kind {
+        SnapshotKind::Lits => reg.matrix_of::<LitsFamily>(&params),
+        SnapshotKind::Dt => reg.matrix_of::<DtFamily>(&params),
+        SnapshotKind::Cluster => reg.matrix_of::<ClusterFamily>(&params),
+    }
+    .map_err(io_err)?;
+    match top {
+        Some(k) => println!(
+            "pairs {} scanned {} pruned {} top {}",
+            m.n_pairs(),
+            m.scanned(),
+            m.pruned(),
+            k
+        ),
+        None => println!(
+            "pairs {} scanned {} pruned {} threshold {:.6}",
+            m.n_pairs(),
+            m.scanned(),
+            m.pruned(),
+            m.threshold()
+        ),
+    }
     let names = m.names();
     for i in 0..m.len() {
         for j in (i + 1)..m.len() {
-            match m.exact(i, j) {
-                Some(e) => println!(
+            match (m.has_bounds(), m.exact(i, j)) {
+                (true, Some(e)) => println!(
                     "{} {} bound {:.6} exact {:.6}",
                     names[i],
                     names[j],
                     m.bound(i, j),
                     e
                 ),
-                None => println!(
+                (true, None) => println!(
                     "{} {} bound {:.6} pruned",
                     names[i],
                     names[j],
                     m.bound(i, j)
                 ),
+                // Boundless families (dt, cluster) scan every pair.
+                (false, Some(e)) => println!("{} {} exact {:.6}", names[i], names[j], e),
+                (false, None) => unreachable!("boundless matrices are complete"),
             }
         }
     }
@@ -397,19 +505,21 @@ fn matrix(flags: &Flags) -> Result<(), String> {
 fn embed(flags: &Flags) -> Result<(), String> {
     let dir = req(flags, "dir")?;
     let k: usize = opt(flags, "k", 2)?;
-    if k == 0 {
-        return Err("--k must be at least 1".to_string());
-    }
     let reg = Registry::open(dir).map_err(io_err)?;
-    // The embedding needs only the δ* metric, i.e. only the models: prune
-    // every exact scan by screening at +∞.
-    let m = reg
-        .matrix(&MatrixParams {
-            threshold: f64::INFINITY,
-            ..MatrixParams::default()
-        })
-        .map_err(io_err)?;
-    let coords = m.embed(k);
+    // For lits the embedding needs only the δ* metric, i.e. only the
+    // models: prune every exact scan by screening at +∞. Families without
+    // a bound scan everything and embed the exact deviations.
+    let params = MatrixParams {
+        threshold: f64::INFINITY,
+        ..MatrixParams::default()
+    };
+    let m = match registry_kind(&reg, flags)? {
+        SnapshotKind::Lits => reg.matrix_of::<LitsFamily>(&params),
+        SnapshotKind::Dt => reg.matrix_of::<DtFamily>(&params),
+        SnapshotKind::Cluster => reg.matrix_of::<ClusterFamily>(&params),
+    }
+    .map_err(io_err)?;
+    let coords = m.embed(k).map_err(|e| e.to_string())?;
     for (name, c) in m.names().iter().zip(&coords) {
         let cs: Vec<String> = c.iter().map(|x| format!("{x:.6}")).collect();
         println!("{} {}", name, cs.join(" "));

@@ -297,6 +297,90 @@ fn registry_pipeline_golden() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The dt-family registry workflow — gen-class → registry-add --kind dt
+/// × 4 → matrix → embed — with the full matrix report and the MDS
+/// coordinates snapshotted, and the matrix output swept across thread
+/// counts.
+///
+/// Decision-tree snapshots have no model-only δ* bound, so the matrix
+/// must scan every pair (`pruned 0` whatever the threshold) and report
+/// plain `exact` values; the embedding runs over those exact deviations.
+#[test]
+fn registry_dt_pipeline_golden() {
+    let dir = scratch("registry-dt");
+    let reg = dir.join("reg");
+
+    // Two snapshots per Agrawal function: F2-generated days cluster
+    // together, F5-generated days sit far away.
+    for (name, function, seed) in [
+        ("day-a", "F2", "2"),
+        ("day-b", "F2", "3"),
+        ("day-c", "F5", "4"),
+        ("day-d", "F5", "5"),
+    ] {
+        let data = dir.join(format!("{name}.tbl"));
+        run(&[
+            "gen-class",
+            "--out",
+            path_str(&data),
+            "--n",
+            "400",
+            "--function",
+            function,
+            "--seed",
+            seed,
+        ]);
+        run(&[
+            "registry-add",
+            "--dir",
+            path_str(&reg),
+            "--data",
+            path_str(&data),
+            "--name",
+            name,
+            "--kind",
+            "dt",
+            "--max-depth",
+            "4",
+            "--min-leaf",
+            "20",
+        ]);
+    }
+
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "4", "7"] {
+        let m = run(&["matrix", "--dir", path_str(&reg), "--threads", threads]);
+        outputs.push(stdout(&m));
+    }
+    for o in &outputs[1..] {
+        assert_eq!(o, &outputs[0], "dt matrix output must be thread-invariant");
+    }
+    assert_golden("registry_matrix_dt", &outputs[0]);
+    assert!(
+        outputs[0].starts_with("pairs 6 scanned 6 pruned 0 "),
+        "dt snapshots have no bound, so nothing can be pruned: {}",
+        outputs[0]
+    );
+
+    let mut embeds = Vec::new();
+    for threads in ["1", "4"] {
+        let e = run(&[
+            "embed",
+            "--dir",
+            path_str(&reg),
+            "--k",
+            "2",
+            "--threads",
+            threads,
+        ]);
+        embeds.push(stdout(&e));
+    }
+    assert_eq!(embeds[0], embeds[1], "dt embed must be thread-invariant");
+    assert_golden("registry_embed_dt", &embeds[0]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The snapshots must be invariant under the thread count — the CLI-level
 /// expression of the bit-identical contract. (CI additionally runs the
 /// whole suite under FOCUS_THREADS ∈ {1, 4}.)

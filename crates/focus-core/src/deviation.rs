@@ -8,16 +8,26 @@
 //! 3. apply the difference function `f` per region and the aggregate `g`
 //!    over all regions.
 //!
+//! The paper defines those three steps once, over any model class with the
+//! 2-component and meet-semilattice properties — and so does this module:
+//! the **generic engine** ([`deviate`], [`deviate_par`],
+//! [`deviate_focussed`], [`deviate_over`]) is written against the
+//! [`ModelFamily`] trait, and the per-family entry points
+//! (`lits_deviation*`, `dt_deviation*`, `cluster_deviation*`) are thin
+//! wrappers that instantiate it with [`LitsFamily`], [`DtFamily`] or
+//! [`ClusterFamily`] and repackage the result into the family's
+//! domain-specific report type.
+//!
 //! Focussed deviation first intersects every GCR region with the focussing
 //! region `ρ` and computes the same aggregate over the intersections.
 
 use crate::data::{LabeledTable, TransactionSet};
 use crate::diff::{AggFn, DiffFn};
-use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
-use crate::model::{count_boxes_par, count_itemsets_par, ClusterModel, DtModel, LitsModel};
+use crate::family::{ClusterFamily, DtFamily, LitsFamily, ModelFamily, Side};
+use crate::gcr::OverlayCell;
+use crate::model::{ClusterModel, DtModel, LitsModel};
 use crate::region::{BoxRegion, Itemset};
-use focus_exec::{map_chunks, map_chunks_flat, merge_counts, Parallelism};
-use std::collections::HashMap;
+use focus_exec::{map_chunks_flat, Parallelism};
 
 /// Minimum regions per worker chunk for the per-region difference loops:
 /// one `f.eval` is a handful of flops, so only large GCRs are worth
@@ -110,6 +120,132 @@ pub fn deviation_fixed_selectivities(
 }
 
 // ---------------------------------------------------------------------------
+// The generic engine (Definition 3.6, any model family)
+// ---------------------------------------------------------------------------
+
+/// Full result of a generic deviation computation: the GCR, the canonical
+/// per-region measures of both sides, and the per-region differences. The
+/// per-family wrappers repackage this into their domain report types
+/// ([`LitsDeviation`], [`DtDeviation`], [`ClusterDeviation`]).
+#[derive(Debug, Clone)]
+pub struct FamilyDeviation<F: ModelFamily> {
+    /// The deviation value `δ(f,g)(M1, M2)`.
+    pub value: f64,
+    /// The GCR structural component.
+    pub gcr: F::Gcr,
+    /// Canonical measures of every evaluation region w.r.t. `D1` (support
+    /// fractions for lits, absolute counts for dt/cluster).
+    pub raw1: Vec<f64>,
+    /// Canonical measures w.r.t. `D2`.
+    pub raw2: Vec<f64>,
+    /// Per-region difference `f(v1, v2, n1, n2)`; `0` for regions that do
+    /// not participate (e.g. the other classes of a class-focussed cell).
+    pub per_region: Vec<f64>,
+}
+
+/// Deviation between two models of any family (Definition 3.6) at the
+/// process-wide default parallelism.
+pub fn deviate<F: ModelFamily>(
+    m1: &F::Model,
+    d1: &F::Dataset,
+    m2: &F::Model,
+    d2: &F::Dataset,
+    f: DiffFn,
+    g: AggFn,
+) -> FamilyDeviation<F> {
+    deviate_par::<F>(m1, d1, m2, d2, f, g, Parallelism::Global)
+}
+
+/// [`deviate`] with an explicit [`Parallelism`] for the measure scans and
+/// the per-region difference loop. Bit-identical to the sequential
+/// computation for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn deviate_par<F: ModelFamily>(
+    m1: &F::Model,
+    d1: &F::Dataset,
+    m2: &F::Model,
+    d2: &F::Dataset,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> FamilyDeviation<F> {
+    deviate_over::<F>(F::gcr(m1, m2), m1, d1, m2, d2, f, g, par)
+}
+
+/// Focussed deviation `δρ` (Definition 5.2): the GCR is intersected with
+/// the focussing region before measures are extended.
+#[allow(clippy::too_many_arguments)]
+pub fn deviate_focussed<F: ModelFamily>(
+    m1: &F::Model,
+    d1: &F::Dataset,
+    m2: &F::Model,
+    d2: &F::Dataset,
+    focus: &F::Focus,
+    f: DiffFn,
+    g: AggFn,
+) -> FamilyDeviation<F> {
+    let gcr = F::restrict(F::gcr(m1, m2), focus);
+    deviate_over::<F>(gcr, m1, d1, m2, d2, f, g, Parallelism::Global)
+}
+
+/// The region-evaluation loop every family shares — the single place the
+/// `f`-then-`g` aggregation of Definition 3.6 is spelled out:
+///
+/// 1. measure every GCR evaluation region against both datasets (one scan
+///    each, via [`ModelFamily::measures`]);
+/// 2. apply `f` per region, fanned out in region order;
+/// 3. fold the participating regions' differences with `g`, sequentially.
+///
+/// Callers that construct their own region sets (the structural operators
+/// of Section 5, the focussed entry points) pass the GCR in explicitly.
+#[allow(clippy::too_many_arguments)]
+pub fn deviate_over<F: ModelFamily>(
+    gcr: F::Gcr,
+    m1: &F::Model,
+    d1: &F::Dataset,
+    m2: &F::Model,
+    d2: &F::Dataset,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> FamilyDeviation<F> {
+    let n1 = F::data_len(d1);
+    let n2 = F::data_len(d2);
+    let raw1 = F::measures(&gcr, m1, m2, d1, Side::Left, par);
+    let raw2 = F::measures(&gcr, m1, m2, d2, Side::Right, par);
+    debug_assert_eq!(raw1.len(), F::n_regions(&gcr));
+    debug_assert_eq!(raw2.len(), F::n_regions(&gcr));
+    let (n1f, n2f) = (n1 as f64, n2 as f64);
+    let (raw1_ref, raw2_ref, gcr_ref) = (&raw1, &raw2, &gcr);
+    let per_region = eval_regions_par(par, raw1.len(), |i| {
+        if F::participates(gcr_ref, i) {
+            f.eval(
+                F::abs_measure(raw1_ref[i], n1),
+                F::abs_measure(raw2_ref[i], n2),
+                n1f,
+                n2f,
+            )
+        } else {
+            0.0
+        }
+    });
+    let value = g.eval(
+        per_region
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| F::participates(&gcr, i))
+            .map(|(_, &d)| d),
+    );
+    FamilyDeviation {
+        value,
+        gcr,
+        raw1,
+        raw2,
+        per_region,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // lits-models
 // ---------------------------------------------------------------------------
 
@@ -127,6 +263,18 @@ pub struct LitsDeviation {
     pub supports2: Vec<f64>,
     /// Per-region difference `f(v1, v2, n1, n2)`, parallel to `gcr`.
     pub per_region: Vec<f64>,
+}
+
+impl From<FamilyDeviation<LitsFamily>> for LitsDeviation {
+    fn from(dev: FamilyDeviation<LitsFamily>) -> Self {
+        LitsDeviation {
+            value: dev.value,
+            gcr: dev.gcr,
+            supports1: dev.raw1,
+            supports2: dev.raw2,
+            per_region: dev.per_region,
+        }
+    }
 }
 
 /// Deviation between two lits-models (Definition 3.6, Section 4.1): extends
@@ -155,8 +303,7 @@ pub fn lits_deviation_par(
     g: AggFn,
     par: Parallelism,
 ) -> LitsDeviation {
-    let gcr = gcr_lits(m1.itemsets(), m2.itemsets());
-    lits_deviation_over_par(&gcr, m1, d1, m2, d2, f, g, par)
+    deviate_par::<LitsFamily>(m1, d1, m2, d2, f, g, par).into()
 }
 
 /// Focussed lits-model deviation (Definition 5.2, Section 5.1): only the
@@ -171,12 +318,7 @@ pub fn lits_deviation_focussed(
     f: DiffFn,
     g: AggFn,
 ) -> LitsDeviation {
-    debug_assert!(universe.windows(2).all(|w| w[0] < w[1]), "sorted universe");
-    let gcr: Vec<Itemset> = gcr_lits(m1.itemsets(), m2.itemsets())
-        .into_iter()
-        .filter(|s| s.within_universe(universe))
-        .collect();
-    lits_deviation_over(&gcr, m1, d1, m2, d2, f, g)
+    deviate_focussed::<LitsFamily>(m1, d1, m2, d2, universe, f, g).into()
 }
 
 /// Deviation over an explicit region list (used by both entry points and by
@@ -207,54 +349,7 @@ pub fn lits_deviation_over_par(
     g: AggFn,
     par: Parallelism,
 ) -> LitsDeviation {
-    let n1 = d1.len() as u64;
-    let n2 = d2.len() as u64;
-    // Reuse supports already present in the models; scan only for the rest.
-    let supports1 = extend_supports(regions, m1, d1, par);
-    let supports2 = extend_supports(regions, m2, d2, par);
-    let per_region = eval_regions_par(par, supports1.len(), |i| {
-        f.eval(
-            supports1[i] * n1 as f64,
-            supports2[i] * n2 as f64,
-            n1 as f64,
-            n2 as f64,
-        )
-    });
-    LitsDeviation {
-        value: g.eval(per_region.iter().copied()),
-        gcr: regions.to_vec(),
-        supports1,
-        supports2,
-        per_region,
-    }
-}
-
-/// The measure-extension step: supports of `regions` w.r.t. `data`, reusing
-/// the supports recorded in `model` where available so only the itemsets
-/// missing from the model's structure trigger counting work.
-fn extend_supports(
-    regions: &[Itemset],
-    model: &LitsModel,
-    data: &TransactionSet,
-    par: Parallelism,
-) -> Vec<f64> {
-    let mut supports = vec![0.0f64; regions.len()];
-    let mut missing: Vec<usize> = Vec::new();
-    for (i, s) in regions.iter().enumerate() {
-        match model.support_of(s) {
-            Some(sup) => supports[i] = sup,
-            None => missing.push(i),
-        }
-    }
-    if !missing.is_empty() {
-        let to_count: Vec<Itemset> = missing.iter().map(|&i| regions[i].clone()).collect();
-        let counts = count_itemsets_par(data, &to_count, par);
-        let n = data.len().max(1) as f64;
-        for (slot, &c) in missing.iter().zip(&counts) {
-            supports[*slot] = c as f64 / n;
-        }
-    }
-    supports
+    deviate_over::<LitsFamily>(regions.to_vec(), m1, d1, m2, d2, f, g, par).into()
 }
 
 // ---------------------------------------------------------------------------
@@ -277,6 +372,21 @@ pub struct DtDeviation {
     pub measures2: Vec<f64>,
     /// Row-major `[cell][class]` per-region differences.
     pub per_region: Vec<f64>,
+}
+
+impl DtDeviation {
+    fn from_generic(dev: FamilyDeviation<DtFamily>, n1: u64, n2: u64) -> Self {
+        let nmax1 = n1.max(1) as f64;
+        let nmax2 = n2.max(1) as f64;
+        DtDeviation {
+            value: dev.value,
+            n_classes: dev.gcr.n_classes,
+            measures1: dev.raw1.iter().map(|&v| v / nmax1).collect(),
+            measures2: dev.raw2.iter().map(|&v| v / nmax2).collect(),
+            per_region: dev.per_region,
+            cells: dev.gcr.cells,
+        }
+    }
 }
 
 /// Deviation between two dt-models (Definition 3.6, Section 4.2): overlays
@@ -305,9 +415,8 @@ pub fn dt_deviation_par(
     g: AggFn,
     par: Parallelism,
 ) -> DtDeviation {
-    assert_eq!(m1.n_classes(), m2.n_classes(), "class sets must agree");
-    let cells = gcr_partition(m1.leaves(), m2.leaves());
-    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g, par)
+    let dev = deviate_par::<DtFamily>(m1, d1, m2, d2, f, g, par);
+    DtDeviation::from_generic(dev, d1.len() as u64, d2.len() as u64)
 }
 
 /// Focussed dt-model deviation (Definition 5.2): every GCR cell is first
@@ -322,122 +431,8 @@ pub fn dt_deviation_focussed(
     f: DiffFn,
     g: AggFn,
 ) -> DtDeviation {
-    assert_eq!(m1.n_classes(), m2.n_classes(), "class sets must agree");
-    let cells: Vec<OverlayCell> = gcr_partition(m1.leaves(), m2.leaves())
-        .into_iter()
-        .filter_map(|c| {
-            c.region.intersect(focus).map(|region| OverlayCell {
-                region,
-                left: c.left,
-                right: c.right,
-            })
-        })
-        .collect();
-    dt_deviation_over_cells(cells, m1, d1, m2, d2, f, g, Parallelism::Global)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dt_deviation_over_cells(
-    cells: Vec<OverlayCell>,
-    m1: &DtModel,
-    d1: &LabeledTable,
-    m2: &DtModel,
-    d2: &LabeledTable,
-    f: DiffFn,
-    g: AggFn,
-    par: Parallelism,
-) -> DtDeviation {
-    let k = m1.n_classes() as usize;
-    let counts1 = count_cells(&cells, m1, m2, d1, par);
-    let counts2 = count_cells(&cells, m1, m2, d2, par);
-    let n1 = d1.len() as f64;
-    let n2 = d2.len() as f64;
-    // Per-(cell, class) differences, cells fanned out over worker threads.
-    // Each chunk emits its slice of `per_region` plus its participating
-    // diffs; both concatenate in chunk order, reproducing the sequential
-    // loop's vectors exactly for any thread count.
-    let (counts1_ref, counts2_ref, cells_ref) = (&counts1, &counts2, &cells);
-    let parts = map_chunks(par, cells.len(), REGION_GRAIN.div_ceil(k.max(1)), |range| {
-        let mut per_region = Vec::with_capacity(range.len() * k);
-        let mut diffs = Vec::with_capacity(range.len() * k);
-        for i in range {
-            for c in 0..k {
-                // A cell whose region pins a class (a class-focussed ρ)
-                // contributes only that class's region.
-                if let Some(only) = cells_ref[i].region.class {
-                    if only as usize != c {
-                        per_region.push(0.0);
-                        continue;
-                    }
-                }
-                let v1 = counts1_ref[i * k + c] as f64;
-                let v2 = counts2_ref[i * k + c] as f64;
-                let d = f.eval(v1, v2, n1, n2);
-                per_region.push(d);
-                diffs.push(d);
-            }
-        }
-        (per_region, diffs)
-    });
-    let mut per_region = Vec::with_capacity(cells.len() * k);
-    let mut diffs: Vec<f64> = Vec::with_capacity(cells.len() * k);
-    for (pr, df) in parts {
-        per_region.extend(pr);
-        diffs.extend(df);
-    }
-    let nmax1 = d1.len().max(1) as f64;
-    let nmax2 = d2.len().max(1) as f64;
-    DtDeviation {
-        value: g.eval(diffs),
-        n_classes: m1.n_classes(),
-        measures1: counts1.iter().map(|&v| v as f64 / nmax1).collect(),
-        measures2: counts2.iter().map(|&v| v as f64 / nmax2).collect(),
-        per_region,
-        cells,
-    }
-}
-
-/// Routes each row of `data` through both original partitions to its GCR
-/// cell and tallies per-class counts. `O(rows · (L1 + L2))` instead of
-/// `O(rows · |GCR|)`. Row chunks fan out over `par` worker threads; the
-/// per-chunk tallies merge by `u64` addition, bit-identical to a sequential
-/// scan.
-fn count_cells(
-    cells: &[OverlayCell],
-    m1: &DtModel,
-    m2: &DtModel,
-    data: &LabeledTable,
-    par: Parallelism,
-) -> Vec<u64> {
-    let k = m1.n_classes() as usize;
-    let mut by_pair: HashMap<(usize, usize), usize> = HashMap::with_capacity(cells.len());
-    for (idx, c) in cells.iter().enumerate() {
-        by_pair.insert((c.left, c.right), idx);
-    }
-    let by_pair = &by_pair;
-    let parts = map_chunks(par, data.len(), crate::model::SCAN_GRAIN, |range| {
-        let mut counts = vec![0u64; cells.len() * k];
-        for r in range {
-            let row = data.table.row(r);
-            let label = data.labels[r];
-            let (Some(i), Some(j)) = (m1.locate(row), m2.locate(row)) else {
-                continue;
-            };
-            if let Some(&idx) = by_pair.get(&(i, j)) {
-                // Focussed cells may be smaller than leaf ∩ leaf (they were
-                // intersected with ρ), so re-check geometric membership; for
-                // plain GCR cells this check is trivially true.
-                if cells[idx].region.contains_labeled(row, label) {
-                    counts[idx * k + label as usize] += 1;
-                }
-            }
-        }
-        counts
-    });
-    if parts.is_empty() {
-        return vec![0u64; cells.len() * k];
-    }
-    merge_counts(parts)
+    let dev = deviate_focussed::<DtFamily>(m1, d1, m2, d2, focus, f, g);
+    DtDeviation::from_generic(dev, d1.len() as u64, d2.len() as u64)
 }
 
 // ---------------------------------------------------------------------------
@@ -459,9 +454,23 @@ pub struct ClusterDeviation {
     pub per_region: Vec<f64>,
 }
 
+impl ClusterDeviation {
+    fn from_generic(dev: FamilyDeviation<ClusterFamily>, n1: u64, n2: u64) -> Self {
+        let nmax1 = (n1 as f64).max(1.0);
+        let nmax2 = (n2 as f64).max(1.0);
+        ClusterDeviation {
+            value: dev.value,
+            gcr: dev.gcr,
+            measures1: dev.raw1.iter().map(|&v| v / nmax1).collect(),
+            measures2: dev.raw2.iter().map(|&v| v / nmax2).collect(),
+            per_region: dev.per_region,
+        }
+    }
+}
+
 /// Deviation between two cluster-models. The GCR is the box overlay with
-/// remainders (see [`gcr_boxes`]); both datasets are scanned once to measure
-/// every GCR region.
+/// remainders (see [`crate::gcr::gcr_boxes`]); both datasets are scanned
+/// once to measure every GCR region.
 pub fn cluster_deviation(
     m1: &ClusterModel,
     d1: &crate::data::Table,
@@ -485,8 +494,8 @@ pub fn cluster_deviation_par(
     g: AggFn,
     par: Parallelism,
 ) -> ClusterDeviation {
-    let gcr = gcr_boxes(m1.clusters(), m2.clusters());
-    cluster_deviation_over(&gcr, d1, d2, f, g, par)
+    let dev = deviate_par::<ClusterFamily>(m1, d1, m2, d2, f, g, par);
+    ClusterDeviation::from_generic(dev, d1.len() as u64, d2.len() as u64)
 }
 
 /// Focussed cluster-model deviation: GCR regions intersected with `ρ`.
@@ -499,37 +508,9 @@ pub fn cluster_deviation_focussed(
     f: DiffFn,
     g: AggFn,
 ) -> ClusterDeviation {
-    let gcr: Vec<BoxRegion> = gcr_boxes(m1.clusters(), m2.clusters())
-        .into_iter()
-        .filter_map(|r| r.intersect(focus))
-        .collect();
-    cluster_deviation_over(&gcr, d1, d2, f, g, Parallelism::Global)
+    let dev = deviate_focussed::<ClusterFamily>(m1, d1, m2, d2, focus, f, g);
+    ClusterDeviation::from_generic(dev, d1.len() as u64, d2.len() as u64)
 }
-
-fn cluster_deviation_over(
-    gcr: &[BoxRegion],
-    d1: &crate::data::Table,
-    d2: &crate::data::Table,
-    f: DiffFn,
-    g: AggFn,
-    par: Parallelism,
-) -> ClusterDeviation {
-    let counts1 = count_boxes_par(d1, gcr, par);
-    let counts2 = count_boxes_par(d2, gcr, par);
-    let n1 = d1.len() as f64;
-    let n2 = d2.len() as f64;
-    let per_region = eval_regions_par(par, counts1.len(), |i| {
-        f.eval(counts1[i] as f64, counts2[i] as f64, n1, n2)
-    });
-    ClusterDeviation {
-        value: g.eval(per_region.iter().copied()),
-        gcr: gcr.to_vec(),
-        measures1: counts1.iter().map(|&v| v as f64 / n1.max(1.0)).collect(),
-        measures2: counts2.iter().map(|&v| v as f64 / n2.max(1.0)).collect(),
-        per_region,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

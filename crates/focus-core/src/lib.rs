@@ -71,6 +71,7 @@ pub mod data;
 pub mod deviation;
 pub mod diff;
 pub mod embed;
+pub mod family;
 pub mod gcr;
 pub mod model;
 pub mod monitor;
@@ -88,13 +89,15 @@ pub mod prelude {
         AttrType, Attribute, LabeledTable, Schema, Table, TransactionSet, Value,
     };
     pub use crate::deviation::{
-        cluster_deviation, cluster_deviation_focussed, cluster_deviation_par, deviation_fixed,
-        deviation_fixed_par, dt_deviation, dt_deviation_focussed, dt_deviation_par, lits_deviation,
+        cluster_deviation, cluster_deviation_focussed, cluster_deviation_par, deviate,
+        deviate_focussed, deviate_over, deviate_par, deviation_fixed, deviation_fixed_par,
+        dt_deviation, dt_deviation_focussed, dt_deviation_par, lits_deviation,
         lits_deviation_focussed, lits_deviation_over, lits_deviation_over_par, lits_deviation_par,
-        ClusterDeviation, DtDeviation, LitsDeviation,
+        ClusterDeviation, DtDeviation, FamilyDeviation, LitsDeviation,
     };
     pub use crate::diff::{AggFn, DiffFn};
     pub use crate::embed::DistanceMatrix;
+    pub use crate::family::{ClusterFamily, DtFamily, DtGcr, LitsFamily, ModelFamily, Side};
     pub use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
     pub use crate::model::{
         count_boxes, count_boxes_par, count_itemsets, count_itemsets_par, count_partition,
@@ -110,7 +113,10 @@ pub mod prelude {
         partition_intersection, partition_union, rank, select_bottom_n, select_min, select_top,
         select_top_n, Ranked,
     };
-    pub use crate::persist::{read_dt_model, read_lits_model, write_dt_model, write_lits_model};
+    pub use crate::persist::{
+        read_cluster_model, read_dt_model, read_lits_model, write_cluster_model, write_dt_model,
+        write_lits_model,
+    };
     pub use crate::qualify::{
         qualify_chi_squared, qualify_chi_squared_par, qualify_tables, qualify_tables_par,
         qualify_transactions, qualify_transactions_par,

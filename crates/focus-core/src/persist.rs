@@ -1,4 +1,5 @@
-//! Model persistence: plain-text serialization of lits- and dt-models.
+//! Model persistence: plain-text serialization of lits-, dt- and
+//! cluster-models.
 //!
 //! A mined model is a first-class artifact in FOCUS workflows — the δ*
 //! screening of Section 4.1.1 operates on models *without* their datasets,
@@ -11,11 +12,12 @@
 //! ```
 //!
 //! dt-models serialize their schema, leaf boxes (one constraint per
-//! attribute) and the per-(leaf, class) measures. Floats round-trip exactly
-//! via Rust's shortest representation.
+//! attribute) and the per-(leaf, class) measures; cluster-models use the
+//! same schema and box-constraint grammar with one selectivity per
+//! cluster. Floats round-trip exactly via Rust's shortest representation.
 
 use crate::data::{AttrType, Schema, Value};
-use crate::model::{DtModel, LitsModel};
+use crate::model::{ClusterModel, DtModel, LitsModel};
 use crate::region::{AttrConstraint, BoxRegion, CatMask, Itemset};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::sync::Arc;
@@ -109,23 +111,7 @@ pub fn write_dt_model<W: Write>(model: &DtModel, schema: &Schema, w: W) -> std::
     }
     for (li, leaf) in model.leaves().iter().enumerate() {
         write!(w, "leaf")?;
-        for c in &leaf.constraints {
-            match c {
-                AttrConstraint::Interval { lo, hi } => write!(w, " I {lo} {hi}")?,
-                AttrConstraint::Cats(m) => {
-                    write!(w, " C {}", m.cardinality())?;
-                    if m.is_empty() {
-                        // An empty mask would otherwise emit zero tokens
-                        // and the reader would see the next field instead;
-                        // an explicit sentinel keeps the grammar LL(1).
-                        write!(w, " -")?;
-                    } else {
-                        let codes: Vec<String> = m.iter().map(|x| x.to_string()).collect();
-                        write!(w, " {}", codes.join(","))?;
-                    }
-                }
-            }
-        }
+        write_constraints(&mut w, &leaf.constraints)?;
         write!(w, " |")?;
         for c in 0..model.n_classes() {
             write!(w, " {}", model.measure(li, c))?;
@@ -153,8 +139,52 @@ pub fn read_dt_model<R: Read>(r: R) -> std::io::Result<(DtModel, Arc<Schema>)> {
         .map_err(|e| bad(&format!("bad classes: {e}")))?;
     let n_rows: u64 = fields[2].parse().map_err(|e| bad(&format!("bad n: {e}")))?;
 
+    let (schema, region_lines) = read_schema_and_regions(lines, "leaf")?;
+
+    let mut leaves = Vec::new();
+    let mut measures = Vec::new();
+    for line in region_lines {
+        let (region, meas) = read_region_line(&line, "leaf", &schema)?;
+        leaves.push(region);
+        measures.extend(meas);
+    }
+    if measures.len() != leaves.len() * k as usize {
+        return Err(bad("measure count does not match leaves × classes"));
+    }
+    Ok((DtModel::new(leaves, k, measures, n_rows), schema))
+}
+
+/// Writes one box's constraints in the shared `I lo hi` / `C card codes`
+/// grammar (used by both dt leaves and cluster regions).
+fn write_constraints<W: Write>(w: &mut W, constraints: &[AttrConstraint]) -> std::io::Result<()> {
+    for c in constraints {
+        match c {
+            AttrConstraint::Interval { lo, hi } => write!(w, " I {lo} {hi}")?,
+            AttrConstraint::Cats(m) => {
+                write!(w, " C {}", m.cardinality())?;
+                if m.is_empty() {
+                    // An empty mask would otherwise emit zero tokens
+                    // and the reader would see the next field instead;
+                    // an explicit sentinel keeps the grammar LL(1).
+                    write!(w, " -")?;
+                } else {
+                    let codes: Vec<String> = m.iter().map(|x| x.to_string()).collect();
+                    write!(w, " {}", codes.join(","))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Splits a model file's remaining lines into schema attribute headers and
+/// the region lines starting with `region_kw`.
+fn read_schema_and_regions(
+    lines: impl Iterator<Item = std::io::Result<String>>,
+    region_kw: &str,
+) -> std::io::Result<(Arc<Schema>, Vec<String>)> {
     let mut attrs = Vec::new();
-    let mut leaf_lines: Vec<String> = Vec::new();
+    let mut region_lines: Vec<String> = Vec::new();
     for line in lines {
         let line = line?;
         if let Some(rest) = line.strip_prefix("#num ") {
@@ -168,71 +198,149 @@ pub fn read_dt_model<R: Read>(r: R) -> std::io::Result<(DtModel, Arc<Schema>)> {
                 .parse()
                 .map_err(|e| bad(&format!("bad cardinality: {e}")))?;
             attrs.push(Schema::categorical(name, card));
-        } else if line.starts_with("leaf") {
-            leaf_lines.push(line);
+        } else if line.starts_with(region_kw) {
+            region_lines.push(line);
         }
     }
-    let schema = Arc::new(Schema::new(attrs));
+    Ok((Arc::new(Schema::new(attrs)), region_lines))
+}
 
-    let mut leaves = Vec::new();
-    let mut measures = Vec::new();
-    for line in leaf_lines {
-        let (geom, meas) = line
-            .split_once('|')
-            .ok_or_else(|| bad("leaf line missing '|'"))?;
-        let mut toks = geom.split_whitespace();
-        toks.next(); // "leaf"
-        let mut constraints = Vec::with_capacity(schema.len());
-        while let Some(kind) = toks.next() {
-            match kind {
-                "I" => {
-                    let lo: f64 = parse_tok(&mut toks, "interval lo")?;
-                    let hi: f64 = parse_tok(&mut toks, "interval hi")?;
-                    constraints.push(AttrConstraint::Interval { lo, hi });
-                }
-                "C" => {
-                    let card: u32 = parse_tok(&mut toks, "cardinality")?;
-                    let codes_tok = toks.next().ok_or_else(|| bad("missing codes"))?;
-                    // `-` is the empty-mask sentinel: `split_whitespace`
-                    // never yields an empty token, so an empty mask must be
-                    // spelled explicitly to round-trip.
-                    let codes: Vec<u32> = if codes_tok == "-" {
-                        Vec::new()
-                    } else {
-                        codes_tok
-                            .split(',')
-                            .map(|t| t.parse().map_err(|e| bad(&format!("bad code: {e}"))))
-                            .collect::<Result<_, _>>()?
-                    };
-                    // Range-check before `CatMask::of`, whose insert is an
-                    // assert (programmer-error guard) — a malformed file
-                    // must fail with `InvalidData`, not a panic.
-                    if let Some(&code) = codes.iter().find(|&&c| c >= card) {
-                        return Err(bad(&format!("category code {code} out of range 0..{card}")));
-                    }
-                    constraints.push(AttrConstraint::Cats(CatMask::of(card, &codes)));
-                }
-                other => return Err(bad(&format!("unknown constraint kind {other:?}"))),
+/// Parses one `<kw> <constraints> | <floats>` region line against `schema`,
+/// returning the (class-free) box and the float list after the separator.
+fn read_region_line(
+    line: &str,
+    region_kw: &str,
+    schema: &Schema,
+) -> std::io::Result<(BoxRegion, Vec<f64>)> {
+    let (geom, meas) = line
+        .split_once('|')
+        .ok_or_else(|| bad(&format!("{region_kw} line missing '|'")))?;
+    let mut toks = geom.split_whitespace();
+    toks.next(); // the region keyword itself
+    let mut constraints = Vec::with_capacity(schema.len());
+    while let Some(kind) = toks.next() {
+        match kind {
+            "I" => {
+                let lo: f64 = parse_tok(&mut toks, "interval lo")?;
+                let hi: f64 = parse_tok(&mut toks, "interval hi")?;
+                constraints.push(AttrConstraint::Interval { lo, hi });
             }
+            "C" => {
+                let card: u32 = parse_tok(&mut toks, "cardinality")?;
+                let codes_tok = toks.next().ok_or_else(|| bad("missing codes"))?;
+                // `-` is the empty-mask sentinel: `split_whitespace`
+                // never yields an empty token, so an empty mask must be
+                // spelled explicitly to round-trip.
+                let codes: Vec<u32> = if codes_tok == "-" {
+                    Vec::new()
+                } else {
+                    codes_tok
+                        .split(',')
+                        .map(|t| t.parse().map_err(|e| bad(&format!("bad code: {e}"))))
+                        .collect::<Result<_, _>>()?
+                };
+                // Range-check before `CatMask::of`, whose insert is an
+                // assert (programmer-error guard) — a malformed file
+                // must fail with `InvalidData`, not a panic.
+                if let Some(&code) = codes.iter().find(|&&c| c >= card) {
+                    return Err(bad(&format!("category code {code} out of range 0..{card}")));
+                }
+                constraints.push(AttrConstraint::Cats(CatMask::of(card, &codes)));
+            }
+            other => return Err(bad(&format!("unknown constraint kind {other:?}"))),
         }
-        if constraints.len() != schema.len() {
-            return Err(bad("leaf constraint count does not match schema"));
-        }
-        leaves.push(BoxRegion {
+    }
+    if constraints.len() != schema.len() {
+        return Err(bad(&format!(
+            "{region_kw} constraint count does not match schema"
+        )));
+    }
+    let floats = meas
+        .split_whitespace()
+        .map(|tok| {
+            tok.parse::<f64>()
+                .map_err(|e| bad(&format!("bad measure: {e}")))
+        })
+        .collect::<Result<Vec<f64>, _>>()?;
+    Ok((
+        BoxRegion {
             constraints,
             class: None,
-        });
-        for tok in meas.split_whitespace() {
-            measures.push(
-                tok.parse::<f64>()
-                    .map_err(|e| bad(&format!("bad measure: {e}")))?,
-            );
+        },
+        floats,
+    ))
+}
+
+/// Writes a cluster-model (schema + cluster boxes + one selectivity per
+/// cluster). Cluster regions must be class-free — a class-carrying region
+/// is rejected with `InvalidInput` rather than silently dropped.
+pub fn write_cluster_model<W: Write>(
+    model: &ClusterModel,
+    schema: &Schema,
+    w: W,
+) -> std::io::Result<()> {
+    if model.clusters().iter().any(|c| c.class.is_some()) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cluster regions must be class-free to persist",
+        ));
+    }
+    let mut w = BufWriter::new(w);
+    writeln!(
+        w,
+        "#cluster-model n {} clusters {}",
+        model.n_rows(),
+        model.clusters().len()
+    )?;
+    for a in schema.attrs() {
+        match &a.ty {
+            AttrType::Numeric => writeln!(w, "#num {}", a.name)?,
+            AttrType::Categorical { cardinality } => {
+                writeln!(w, "#cat {} {}", a.name, cardinality)?
+            }
         }
     }
-    if measures.len() != leaves.len() * k as usize {
-        return Err(bad("measure count does not match leaves × classes"));
+    for (ci, cluster) in model.clusters().iter().enumerate() {
+        write!(w, "cluster")?;
+        write_constraints(&mut w, &cluster.constraints)?;
+        writeln!(w, " | {}", model.measures()[ci])?;
     }
-    Ok((DtModel::new(leaves, k, measures, n_rows), schema))
+    w.flush()
+}
+
+/// Reads a cluster-model written by [`write_cluster_model`]; returns the
+/// model and its schema.
+pub fn read_cluster_model<R: Read>(r: R) -> std::io::Result<(ClusterModel, Arc<Schema>)> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines.next().ok_or_else(|| bad("empty model file"))??;
+    let rest = header
+        .strip_prefix("#cluster-model n ")
+        .ok_or_else(|| bad("missing cluster-model header"))?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // n <rows> clusters <c>  →  [rows, "clusters", c]
+    if fields.len() != 3 || fields[1] != "clusters" {
+        return Err(bad("malformed cluster-model header"));
+    }
+    let n_rows: u64 = fields[0].parse().map_err(|e| bad(&format!("bad n: {e}")))?;
+    let n_clusters: u64 = fields[2]
+        .parse()
+        .map_err(|e| bad(&format!("bad cluster count: {e}")))?;
+
+    let (schema, region_lines) = read_schema_and_regions(lines, "cluster")?;
+    let mut clusters = Vec::new();
+    let mut measures = Vec::new();
+    for line in region_lines {
+        let (region, meas) = read_region_line(&line, "cluster", &schema)?;
+        if meas.len() != 1 {
+            return Err(bad("cluster line must carry exactly one selectivity"));
+        }
+        clusters.push(region);
+        measures.push(meas[0]);
+    }
+    if clusters.len() as u64 != n_clusters {
+        return Err(bad("cluster count does not match header"));
+    }
+    Ok((ClusterModel::new(clusters, measures, n_rows), schema))
 }
 
 fn parse_tok<'a, T: std::str::FromStr>(
@@ -394,6 +502,71 @@ mod tests {
         let (back, back_schema) = read_dt_model(buf.as_slice()).unwrap();
         assert_eq!(model, back);
         assert_eq!(*back_schema, *schema);
+    }
+
+    #[test]
+    fn cluster_model_round_trip_mixed_schema() {
+        let schema = Arc::new(Schema::new(vec![
+            Schema::numeric("x"),
+            Schema::categorical("color", 4),
+        ]));
+        let clusters = vec![
+            BoxRegion {
+                constraints: vec![
+                    AttrConstraint::Interval {
+                        lo: f64::NEG_INFINITY,
+                        hi: 2.5,
+                    },
+                    AttrConstraint::Cats(CatMask::of(4, &[0, 3])),
+                ],
+                class: None,
+            },
+            BoxRegion {
+                constraints: vec![
+                    AttrConstraint::Interval { lo: 2.5, hi: 2.5 },
+                    AttrConstraint::Cats(CatMask::empty(4)),
+                ],
+                class: None,
+            },
+        ];
+        let model = ClusterModel::new(clusters, vec![0.75, 0.0], 120);
+        let mut buf = Vec::new();
+        write_cluster_model(&model, &schema, &mut buf).unwrap();
+        let (back, back_schema) = read_cluster_model(buf.as_slice()).unwrap();
+        assert_eq!(model, back);
+        assert_eq!(*back_schema, *schema);
+    }
+
+    #[test]
+    fn empty_cluster_model_round_trips() {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let model = ClusterModel::new(Vec::new(), Vec::new(), 0);
+        let mut buf = Vec::new();
+        write_cluster_model(&model, &schema, &mut buf).unwrap();
+        let (back, back_schema) = read_cluster_model(buf.as_slice()).unwrap();
+        assert_eq!(model, back);
+        assert_eq!(*back_schema, *schema);
+    }
+
+    #[test]
+    fn cluster_model_rejects_classful_regions() {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let region = BoxBuilder::new(&schema).lt("x", 1.0).class(0).build();
+        let model = ClusterModel::new(vec![region], vec![1.0], 10);
+        let err = write_cluster_model(&model, &schema, Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn cluster_model_rejects_garbage() {
+        assert!(read_cluster_model("nonsense".as_bytes()).is_err());
+        assert!(read_cluster_model("#cluster-model n 5 clusters x".as_bytes()).is_err());
+        // Header/body cluster-count mismatch.
+        let text = "#cluster-model n 5 clusters 2\n#num x\ncluster I 0 1 | 0.5\n";
+        assert!(read_cluster_model(text.as_bytes()).is_err());
+        // Two selectivities on one cluster line.
+        let text = "#cluster-model n 5 clusters 1\n#num x\ncluster I 0 1 | 0.5 0.5\n";
+        assert!(read_cluster_model(text.as_bytes()).is_err());
     }
 
     #[test]

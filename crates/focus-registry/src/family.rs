@@ -1,0 +1,226 @@
+//! The [`SnapshotFamily`] trait: how each model family's snapshots live on
+//! disk.
+//!
+//! [`focus_core::family::ModelFamily`] captures the *mathematics* a family
+//! must provide (GCR, measure extension, the optional δ* bound); this
+//! trait adds the *plumbing* a [`Registry`](crate::Registry) needs — which
+//! plain-text formats persist the family's datasets and models, which file
+//! extensions its artifacts use, and which summary statistics its manifest
+//! line records. All three of the paper's families implement it, so one
+//! generic registry handles lits-, dt- and cluster-snapshots alike.
+
+use focus_core::data::{LabeledTable, Schema, Table, TransactionSet};
+use focus_core::family::{ClusterFamily, DtFamily, LitsFamily, ModelFamily};
+use focus_core::persist::{
+    read_cluster_model, read_dt_model, read_lits_model, write_cluster_model, write_dt_model,
+    write_lits_model,
+};
+use focus_data::io::{
+    read_labeled_table, read_table, read_transactions, write_labeled_table, write_table,
+    write_transactions,
+};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// The model family a snapshot belongs to, as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotKind {
+    /// Frequent-itemset models over transaction data.
+    Lits,
+    /// Decision-tree models over labelled tables.
+    Dt,
+    /// Cluster models over plain tables.
+    Cluster,
+}
+
+impl SnapshotKind {
+    /// The manifest/CLI spelling of the kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SnapshotKind::Lits => "lits",
+            SnapshotKind::Dt => "dt",
+            SnapshotKind::Cluster => "cluster",
+        }
+    }
+
+    /// Parses a manifest/CLI spelling.
+    pub fn parse(s: &str) -> Option<SnapshotKind> {
+        match s {
+            "lits" => Some(SnapshotKind::Lits),
+            "dt" => Some(SnapshotKind::Dt),
+            "cluster" => Some(SnapshotKind::Cluster),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A [`ModelFamily`] whose snapshots a [`Registry`](crate::Registry) can
+/// persist and reload.
+pub trait SnapshotFamily: ModelFamily {
+    /// The manifest kind tag of this family's snapshots.
+    const KIND: SnapshotKind;
+    /// File extension of persisted datasets.
+    const DATA_EXT: &'static str;
+    /// File extension of persisted models.
+    const MODEL_EXT: &'static str;
+
+    /// Writes a dataset in the family's plain-text format.
+    fn write_dataset(data: &Self::Dataset, w: impl Write) -> std::io::Result<()>;
+    /// Reads a dataset written by [`SnapshotFamily::write_dataset`].
+    fn read_dataset(r: impl Read) -> std::io::Result<Self::Dataset>;
+    /// Writes a model; `data` supplies the schema where the model does not
+    /// carry one itself (dt and cluster).
+    fn write_model(model: &Self::Model, data: &Self::Dataset, w: impl Write)
+        -> std::io::Result<()>;
+    /// Reads a model written by [`SnapshotFamily::write_model`].
+    fn read_model(r: impl Read) -> std::io::Result<Self::Model>;
+
+    /// The minsup recorded in the manifest (`Some` for lits only).
+    fn model_minsup(model: &Self::Model) -> Option<f64>;
+    /// Number of structural regions recorded in the manifest (itemsets,
+    /// leaves, clusters).
+    fn model_regions(model: &Self::Model) -> u64;
+    /// An empty stand-in dataset for members whose every pair was pruned —
+    /// phase 2 never touches it, so the registry can skip the dataset IO.
+    fn empty_dataset() -> Self::Dataset;
+}
+
+impl SnapshotFamily for LitsFamily {
+    const KIND: SnapshotKind = SnapshotKind::Lits;
+    const DATA_EXT: &'static str = "txns";
+    const MODEL_EXT: &'static str = "lits";
+
+    fn write_dataset(data: &TransactionSet, w: impl Write) -> std::io::Result<()> {
+        write_transactions(data, w)
+    }
+
+    fn read_dataset(r: impl Read) -> std::io::Result<TransactionSet> {
+        read_transactions(r)
+    }
+
+    fn write_model(
+        model: &Self::Model,
+        _data: &TransactionSet,
+        w: impl Write,
+    ) -> std::io::Result<()> {
+        write_lits_model(model, w)
+    }
+
+    fn read_model(r: impl Read) -> std::io::Result<Self::Model> {
+        read_lits_model(r)
+    }
+
+    fn model_minsup(model: &Self::Model) -> Option<f64> {
+        Some(model.minsup())
+    }
+
+    fn model_regions(model: &Self::Model) -> u64 {
+        model.len() as u64
+    }
+
+    fn empty_dataset() -> TransactionSet {
+        TransactionSet::new(0)
+    }
+}
+
+impl SnapshotFamily for DtFamily {
+    const KIND: SnapshotKind = SnapshotKind::Dt;
+    const DATA_EXT: &'static str = "tbl";
+    const MODEL_EXT: &'static str = "dt";
+
+    fn write_dataset(data: &LabeledTable, w: impl Write) -> std::io::Result<()> {
+        write_labeled_table(data, w)
+    }
+
+    fn read_dataset(r: impl Read) -> std::io::Result<LabeledTable> {
+        read_labeled_table(r)
+    }
+
+    fn write_model(model: &Self::Model, data: &LabeledTable, w: impl Write) -> std::io::Result<()> {
+        write_dt_model(model, data.table.schema(), w)
+    }
+
+    fn read_model(r: impl Read) -> std::io::Result<Self::Model> {
+        read_dt_model(r).map(|(model, _schema)| model)
+    }
+
+    fn model_minsup(_model: &Self::Model) -> Option<f64> {
+        None
+    }
+
+    fn model_regions(model: &Self::Model) -> u64 {
+        model.leaves().len() as u64
+    }
+
+    fn empty_dataset() -> LabeledTable {
+        LabeledTable::new(Arc::new(Schema::new(Vec::new())), 1)
+    }
+}
+
+impl SnapshotFamily for ClusterFamily {
+    const KIND: SnapshotKind = SnapshotKind::Cluster;
+    const DATA_EXT: &'static str = "rows";
+    const MODEL_EXT: &'static str = "clu";
+
+    fn write_dataset(data: &Table, w: impl Write) -> std::io::Result<()> {
+        write_table(data, w)
+    }
+
+    fn read_dataset(r: impl Read) -> std::io::Result<Table> {
+        read_table(r)
+    }
+
+    fn write_model(model: &Self::Model, data: &Table, w: impl Write) -> std::io::Result<()> {
+        write_cluster_model(model, data.schema(), w)
+    }
+
+    fn read_model(r: impl Read) -> std::io::Result<Self::Model> {
+        read_cluster_model(r).map(|(model, _schema)| model)
+    }
+
+    fn model_minsup(_model: &Self::Model) -> Option<f64> {
+        None
+    }
+
+    fn model_regions(model: &Self::Model) -> u64 {
+        model.clusters().len() as u64
+    }
+
+    fn empty_dataset() -> Table {
+        Table::new(Arc::new(Schema::new(Vec::new())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_spellings_round_trip() {
+        for kind in [SnapshotKind::Lits, SnapshotKind::Dt, SnapshotKind::Cluster] {
+            assert_eq!(SnapshotKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.as_str());
+        }
+        assert_eq!(SnapshotKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn family_artifact_extensions_are_distinct() {
+        let exts = [
+            <LitsFamily as SnapshotFamily>::DATA_EXT,
+            <LitsFamily as SnapshotFamily>::MODEL_EXT,
+            <DtFamily as SnapshotFamily>::DATA_EXT,
+            <DtFamily as SnapshotFamily>::MODEL_EXT,
+            <ClusterFamily as SnapshotFamily>::DATA_EXT,
+            <ClusterFamily as SnapshotFamily>::MODEL_EXT,
+        ];
+        let unique: std::collections::HashSet<&str> = exts.iter().copied().collect();
+        assert_eq!(unique.len(), exts.len(), "extensions must not collide");
+    }
+}

@@ -21,14 +21,25 @@
 //! Both phases fan out over `focus_exec::map_indices` and inherit the
 //! workspace-wide determinism contract: results are **bit-identical for
 //! any worker-thread count**.
+//!
+//! Everything is **multi-family**: snapshots are kind-tagged
+//! ([`SnapshotKind`]), persistence routes through the [`SnapshotFamily`]
+//! trait, and the matrix engine is generic over
+//! [`focus_core::family::ModelFamily`] — lits pairs screen on the δ*
+//! bound, dt and cluster pairs (no model-only bound today) always get
+//! exact scans.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod family;
 mod matrix;
 mod registry;
 #[cfg(test)]
 mod testutil;
 
-pub use matrix::{deviation_matrix, deviation_matrix_par, DeviationMatrix, MatrixParams};
+pub use family::{SnapshotFamily, SnapshotKind};
+pub use matrix::{
+    deviation_matrix, deviation_matrix_par, DeviationMatrix, MatrixError, MatrixParams,
+};
 pub use registry::{Registry, SnapshotEntry};

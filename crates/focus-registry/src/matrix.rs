@@ -1,46 +1,115 @@
-//! The batch pairwise deviation engine with two-phase δ* screening.
+//! The batch pairwise deviation engine with two-phase δ* screening,
+//! generic over any [`ModelFamily`].
 //!
-//! Phase 1 evaluates [`lits_upper_bound`] for every unordered pair — a
-//! pure function of the two *models*, no dataset scans, effectively free
-//! (the "Time for δ*" column of Figure 13). Phase 2 runs the exact
-//! [`lits_deviation_par`] scan only for pairs whose bound exceeds the
-//! caller's threshold; by Theorem 4.2 (1) `δ(f_a, g) ≤ δ*`, so a pair
-//! whose bound is at or below the threshold is *certified* uninteresting
-//! and the scan is pruned without loss. The theorem covers only the
-//! absolute difference `f_a` between models mined at the *same* minsup:
-//! for any other [`DiffFn`], or a pair whose minsups differ, the screen
-//! is disabled and the pair is scanned.
+//! Phase 1 evaluates the family's model-only upper bound
+//! ([`ModelFamily::upper_bound`]) for every unordered pair — a pure
+//! function of the two *models*, no dataset scans, effectively free (the
+//! "Time for δ*" column of Figure 13). Phase 2 runs the exact data-scan
+//! deviation ([`focus_core::deviation::deviate_par`]) only for pairs whose
+//! bound exceeds the caller's threshold (or, in `--top K` mode, for the K
+//! pairs with the largest bounds); by Theorem 4.2 (1) `δ(f_a, g) ≤ δ*`, so
+//! a pair whose bound falls below the cut is *certified* uninteresting and
+//! the scan is pruned without loss.
+//!
+//! Screening auto-disables exactly where the bound does not dominate
+//! ([`ModelFamily::bound_dominates`]): for the lits family that means any
+//! non-`f_a` difference function or a mixed-minsup pair; the dt and
+//! cluster families define no model-only bound at all, so every one of
+//! their pairs gets an exact scan and the matrix is complete.
 //!
 //! Both phases fan out over [`map_indices`] in pair-index order, so the
 //! whole matrix inherits the workspace determinism contract: bit-identical
 //! results for any worker-thread count.
 
-use focus_core::bound::lits_upper_bound;
 use focus_core::data::TransactionSet;
-use focus_core::deviation::lits_deviation_par;
+use focus_core::deviation::deviate_par;
 use focus_core::diff::{AggFn, DiffFn};
 use focus_core::embed::DistanceMatrix;
+use focus_core::family::{LitsFamily, ModelFamily};
 use focus_core::model::LitsModel;
 use focus_exec::{map_indices, Parallelism};
+
+/// A named, recoverable failure of the matrix engine: invalid screening
+/// parameters or an impossible embedding request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// The screening threshold was NaN or negative. A NaN threshold makes
+    /// every `bound > threshold` comparison false-ish in surprising ways
+    /// and a negative one silently disables pruning — both are almost
+    /// certainly caller bugs, so they are rejected by name instead.
+    InvalidThreshold(f64),
+    /// `embed(k)` was asked for at least as many dimensions as there are
+    /// snapshots: classical MDS of `n` points spans at most `n − 1`
+    /// dimensions, so the extra coordinates would be meaningless zeros.
+    EmbedDims {
+        /// Requested dimension count.
+        k: usize,
+        /// Number of snapshots in the collection.
+        n: usize,
+    },
+    /// Incremental matrix maintenance was asked to use `--top K`
+    /// screening: the top-K cut is a *global* ranking over all pairs, so
+    /// adding one snapshot can evict previously-scanned pairs and the
+    /// result would no longer match a fresh computation. Use a threshold.
+    IncrementalNeedsThreshold,
+    /// The base matrix handed to incremental maintenance does not match
+    /// the registry's current collection or the requested parameters
+    /// (wrong names, size, threshold, or difference/aggregate function).
+    BaseMismatch(String),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::InvalidThreshold(t) => write!(
+                f,
+                "invalid screening threshold {t}: must be a non-negative number"
+            ),
+            MatrixError::EmbedDims { k, n } => write!(
+                f,
+                "cannot embed {n} snapshot(s) in {k} dimensions: k must satisfy 1 <= k < n"
+            ),
+            MatrixError::IncrementalNeedsThreshold => write!(
+                f,
+                "incremental matrix maintenance requires threshold screening, not --top"
+            ),
+            MatrixError::BaseMismatch(msg) => write!(f, "base matrix mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<MatrixError> for std::io::Error {
+    fn from(e: MatrixError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+    }
+}
 
 /// Parameters for [`deviation_matrix_par`].
 #[derive(Debug, Clone, Copy)]
 pub struct MatrixParams {
-    /// Difference function for the exact scans (the bound is always the
-    /// `f_a` bound of Definition 4.1).
+    /// Difference function for the exact scans (the bound, where the
+    /// family defines one, is always the `f_a` bound of Definition 4.1).
     pub diff: DiffFn,
     /// Aggregate `g ∈ {sum, max}`, used by both the bound and the scans.
     pub agg: AggFn,
     /// Screening threshold: pairs with `δ* ≤ threshold` skip the exact
-    /// scan. `0.0` (the default) scans every pair with a positive bound;
-    /// a negative threshold forces a scan of every pair.
+    /// scan. `0.0` (the default) scans every pair with a positive bound.
+    /// Must be non-negative and not NaN ([`MatrixParams::validate`]).
     ///
-    /// Screening only applies when `diff` is [`DiffFn::Absolute`] *and*
-    /// the pair's models share a minsup: Theorem 4.2 (1) bounds δ(f_a, g)
-    /// between same-minsup models and nothing else, so any other pair is
-    /// scanned regardless of the threshold (pruning there would silently
-    /// discard pairs the bound does not certify).
+    /// Screening only applies to pairs whose bound *dominates* the chosen
+    /// deviation ([`ModelFamily::bound_dominates`] — for lits: `f_a` and a
+    /// shared minsup); every other pair is scanned regardless, since
+    /// pruning there would silently discard pairs the bound does not
+    /// certify. Families without a bound scan every pair.
     pub threshold: f64,
+    /// `--top K` screening: when `Some(k)`, the `k` screenable pairs with
+    /// the *largest* bounds get exact scans (ties broken by pair index)
+    /// and the rest are pruned — `threshold` is not consulted for the cut
+    /// (it is still validated). Pairs whose bound does not dominate are
+    /// scanned as always.
+    pub top: Option<usize>,
     /// Worker threads for both fan-out phases.
     pub par: Parallelism,
 }
@@ -51,8 +120,21 @@ impl Default for MatrixParams {
             diff: DiffFn::Absolute,
             agg: AggFn::Sum,
             threshold: 0.0,
+            top: None,
             par: Parallelism::Global,
         }
+    }
+}
+
+impl MatrixParams {
+    /// Rejects screening parameters that would otherwise fail silently: a
+    /// NaN or negative threshold no longer *disables* pruning — it is an
+    /// error by name.
+    pub fn validate(&self) -> Result<(), MatrixError> {
+        if self.threshold.is_nan() || self.threshold < 0.0 {
+            return Err(MatrixError::InvalidThreshold(self.threshold));
+        }
+        Ok(())
     }
 }
 
@@ -64,13 +146,30 @@ impl Default for MatrixParams {
 pub struct DeviationMatrix {
     names: Vec<String>,
     n: usize,
-    /// Row-major symmetric δ* bounds; zero diagonal.
-    bounds: Vec<f64>,
+    /// Row-major symmetric δ* bounds (zero diagonal); `None` when the
+    /// family defines no model-only bound.
+    bounds: Option<Vec<f64>>,
     /// Row-major exact deviations; NaN where the scan was pruned (see
     /// [`DeviationMatrix::exact`] for the `Option` view).
     exact: Vec<f64>,
     threshold: f64,
+    diff: DiffFn,
+    agg: AggFn,
     scanned: usize,
+}
+
+/// Whether two difference functions are provably the same measure.
+/// `Custom` pairs answer `false` even for the same function pointer —
+/// pointer identity is not a reliable equality witness, and the only
+/// consumer (incremental maintenance) must refuse rather than guess.
+pub(crate) fn same_diff(a: DiffFn, b: DiffFn) -> bool {
+    match (a, b) {
+        (DiffFn::Absolute, DiffFn::Absolute) | (DiffFn::Scaled, DiffFn::Scaled) => true,
+        (DiffFn::ChiSquared { c: ca }, DiffFn::ChiSquared { c: cb }) => {
+            ca.to_bits() == cb.to_bits()
+        }
+        _ => false,
+    }
 }
 
 /// Unordered pairs `(i, j)`, `i < j`, in lexicographic order — the one
@@ -85,45 +184,58 @@ fn pairs(n: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// True if δ* dominates `δ(diff, g)` for this pair, i.e. the screen is
-/// sound. Two conditions, both from Theorem 4.2 (1):
-///
-/// * the difference function is the *absolute* `f_a` — a scaled or χ²
-///   deviation can exceed the f_a bound arbitrarily (a region with f_a
-///   contribution 0.05 contributes 2.0 under f_s);
-/// * the two models share a minsup — the domination argument replaces an
-///   itemset's unknown support with `0` because "unknown `< ms ≤` known";
-///   with minsups 0.6 vs 0.01, an itemset known at 0.05 in one model may
-///   have true support 0.55 in the other dataset, so the true difference
-///   (0.50) dwarfs the bound's contribution (0.05).
-///
-/// Pairs failing either condition always get their exact scan.
-fn bound_screens(diff: DiffFn, m1: &LitsModel, m2: &LitsModel) -> bool {
-    matches!(diff, DiffFn::Absolute) && m1.minsup() == m2.minsup()
-}
-
 /// Phase 1: the δ* bound for every unordered pair, in [`pairs`] order,
-/// fanned out over `par`. Model-only — no dataset scans.
-pub(crate) fn pair_bounds(models: &[LitsModel], agg: AggFn, par: Parallelism) -> Vec<f64> {
+/// fanned out over `par`. Model-only — no dataset scans. `None` when the
+/// family defines no bound (nothing to screen on).
+pub(crate) fn pair_bounds<F: ModelFamily>(
+    models: &[F::Model],
+    agg: AggFn,
+    par: Parallelism,
+) -> Option<Vec<f64>> {
+    if !F::HAS_BOUND {
+        return None;
+    }
     let pair_list = pairs(models.len());
-    map_indices(par, pair_list.len(), |p| {
+    Some(map_indices(par, pair_list.len(), |p| {
         let (i, j) = pair_list[p];
-        lits_upper_bound(&models[i], &models[j], agg)
-    })
+        F::upper_bound(&models[i], &models[j], agg).expect("HAS_BOUND families always bound")
+    }))
 }
 
 /// The pair indices (into [`pairs`] order) whose exact scan survives
-/// screening under `params`: a pair is pruned only when the bound is
-/// certified to dominate ([`bound_screens`]) *and* falls at or below the
-/// threshold.
-fn surviving_pairs(models: &[LitsModel], bounds: &[f64], params: &MatrixParams) -> Vec<usize> {
+/// screening under `params`. A pair can be pruned only when its bound is
+/// certified to dominate ([`ModelFamily::bound_dominates`]); among those,
+/// either the threshold cut or the top-K cut applies. With no bounds at
+/// all, every pair survives.
+fn surviving_pairs<F: ModelFamily>(
+    models: &[F::Model],
+    bounds: Option<&[f64]>,
+    params: &MatrixParams,
+) -> Vec<usize> {
     let pair_list = pairs(models.len());
-    (0..bounds.len())
-        .filter(|&p| {
-            let (i, j) = pair_list[p];
-            !bound_screens(params.diff, &models[i], &models[j]) || bounds[p] > params.threshold
-        })
-        .collect()
+    let Some(bounds) = bounds else {
+        return (0..pair_list.len()).collect();
+    };
+    let dominated: Vec<bool> = pair_list
+        .iter()
+        .map(|&(i, j)| F::bound_dominates(params.diff, &models[i], &models[j]))
+        .collect();
+    match params.top {
+        None => (0..bounds.len())
+            .filter(|&p| !dominated[p] || bounds[p] > params.threshold)
+            .collect(),
+        Some(k) => {
+            // Rank the screenable pairs by bound, largest first; ties break
+            // to the lower pair index so the cut is deterministic.
+            let mut ranked: Vec<usize> = (0..bounds.len()).filter(|&p| dominated[p]).collect();
+            ranked.sort_by(|&a, &b| bounds[b].total_cmp(&bounds[a]).then(a.cmp(&b)));
+            ranked.truncate(k);
+            let keep: std::collections::HashSet<usize> = ranked.into_iter().collect();
+            (0..bounds.len())
+                .filter(|&p| !dominated[p] || keep.contains(&p))
+                .collect()
+        }
+    }
 }
 
 /// Which collection members participate in at least one pair that
@@ -131,14 +243,14 @@ fn surviving_pairs(models: &[LitsModel], bounds: &[f64], params: &MatrixParams) 
 /// callers that load datasets lazily (the registry) skip the IO for
 /// members whose every pair was pruned. `bounds` must come from
 /// [`pair_bounds`] over the same collection.
-pub(crate) fn screened_members(
-    models: &[LitsModel],
-    bounds: &[f64],
+pub(crate) fn screened_members<F: ModelFamily>(
+    models: &[F::Model],
+    bounds: Option<&[f64]>,
     params: &MatrixParams,
 ) -> Vec<bool> {
     let pair_list = pairs(models.len());
     let mut needed = vec![false; models.len()];
-    for p in surviving_pairs(models, bounds, params) {
+    for p in surviving_pairs::<F>(models, bounds, params) {
         let (i, j) = pair_list[p];
         needed[i] = true;
         needed[j] = true;
@@ -146,15 +258,15 @@ pub(crate) fn screened_members(
     needed
 }
 
-/// [`deviation_matrix_par`] at the process-wide default parallelism and
-/// default parameters except the given threshold.
+/// [`deviation_matrix_par`] for the lits family at the process-wide
+/// default parallelism and default parameters except the given threshold.
 pub fn deviation_matrix(
     models: &[LitsModel],
     datasets: &[TransactionSet],
     names: Vec<String>,
     threshold: f64,
-) -> DeviationMatrix {
-    deviation_matrix_par(
+) -> Result<DeviationMatrix, MatrixError> {
+    deviation_matrix_par::<LitsFamily>(
         models,
         datasets,
         names,
@@ -165,7 +277,8 @@ pub fn deviation_matrix(
     )
 }
 
-/// Computes the δ*-screened pairwise deviation matrix of a collection.
+/// Computes the screened pairwise deviation matrix of a collection of any
+/// model family.
 ///
 /// `models[k]` and `datasets[k]` must describe the same snapshot `k`
 /// (named `names[k]`). Datasets whose every pair is pruned are never
@@ -175,47 +288,53 @@ pub fn deviation_matrix(
 /// Bit-identical for every worker-thread count: pair enumeration, chunk
 /// decomposition, and merge order are all pure functions of the input
 /// sizes, and the per-pair scans are themselves thread-count-invariant.
-pub fn deviation_matrix_par(
-    models: &[LitsModel],
-    datasets: &[TransactionSet],
+pub fn deviation_matrix_par<F: ModelFamily>(
+    models: &[F::Model],
+    datasets: &[F::Dataset],
     names: Vec<String>,
     params: &MatrixParams,
-) -> DeviationMatrix {
+) -> Result<DeviationMatrix, MatrixError> {
+    params.validate()?;
     // Phase 1: model-only bounds for every pair. One pair is one work
     // item; the bound needs no dataset scan, so this phase is cheap even
     // for large collections.
-    let bounds = pair_bounds(models, params.agg, params.par);
-    deviation_matrix_with_bounds(models, datasets, names, params, bounds)
+    let bounds = pair_bounds::<F>(models, params.agg, params.par);
+    Ok(deviation_matrix_with_bounds::<F>(
+        models, datasets, names, params, bounds,
+    ))
 }
 
 /// [`deviation_matrix_par`] with the phase-1 bounds already in hand (in
 /// [`pairs`] order) — lets the registry reuse the bounds it computed to
 /// decide which datasets to load instead of paying the sweep twice.
-pub(crate) fn deviation_matrix_with_bounds(
-    models: &[LitsModel],
-    datasets: &[TransactionSet],
+/// `params` must already be validated.
+pub(crate) fn deviation_matrix_with_bounds<F: ModelFamily>(
+    models: &[F::Model],
+    datasets: &[F::Dataset],
     names: Vec<String>,
     params: &MatrixParams,
-    pair_bounds: Vec<f64>,
+    pair_bounds: Option<Vec<f64>>,
 ) -> DeviationMatrix {
     let n = models.len();
     assert_eq!(n, datasets.len(), "one dataset per model");
     assert_eq!(n, names.len(), "one name per model");
     let pair_list = pairs(n);
-    assert_eq!(pair_list.len(), pair_bounds.len(), "one bound per pair");
+    if let Some(b) = &pair_bounds {
+        assert_eq!(pair_list.len(), b.len(), "one bound per pair");
+    }
 
-    // Screening: for f_a over same-minsup models the exact deviation
-    // never exceeds the bound (Theorem 4.2 (1)), so `δ* ≤ threshold`
-    // certifies the pair as uninteresting; any other difference function
-    // or a minsup mismatch voids the certificate and the pair survives.
-    let survivors = surviving_pairs(models, &pair_bounds, params);
+    // Screening: where the bound dominates the chosen deviation
+    // (Theorem 4.2 (1) for lits), falling below the cut certifies the
+    // pair as uninteresting; everywhere else the certificate is void and
+    // the pair survives.
+    let survivors = surviving_pairs::<F>(models, pair_bounds.as_deref(), params);
 
     // Phase 2: exact scans for the surviving pairs only. Each pair is one
     // work item; nested scan parallelism inside a worker runs inline per
     // the focus-exec nesting guard.
     let exact_vals = map_indices(params.par, survivors.len(), |s| {
         let (i, j) = pair_list[survivors[s]];
-        lits_deviation_par(
+        deviate_par::<F>(
             &models[i],
             &datasets[i],
             &models[j],
@@ -227,12 +346,15 @@ pub(crate) fn deviation_matrix_with_bounds(
         .value
     });
 
-    let mut bounds = vec![0.0; n * n];
+    let bounds = pair_bounds.map(|pb| {
+        let mut bounds = vec![0.0; n * n];
+        for (p, &(i, j)) in pair_list.iter().enumerate() {
+            bounds[i * n + j] = pb[p];
+            bounds[j * n + i] = pb[p];
+        }
+        bounds
+    });
     let mut exact = vec![f64::NAN; n * n];
-    for (p, &(i, j)) in pair_list.iter().enumerate() {
-        bounds[i * n + j] = pair_bounds[p];
-        bounds[j * n + i] = pair_bounds[p];
-    }
     for (s, &p) in survivors.iter().enumerate() {
         let (i, j) = pair_list[p];
         exact[i * n + j] = exact_vals[s];
@@ -244,7 +366,105 @@ pub(crate) fn deviation_matrix_with_bounds(
         bounds,
         exact,
         threshold: params.threshold,
+        diff: params.diff,
+        agg: params.agg,
         scanned: survivors.len(),
+    }
+}
+
+/// Which of the `N − 1` new pairs `(i, last)` survive screening when one
+/// member is appended to a collection of `models`. The single place the
+/// incremental survivor predicate lives: both [`extend_matrix`] (which
+/// scans the survivors) and the registry's dataset-loading decision call
+/// it, so the two can never drift apart.
+pub(crate) fn new_pair_survivors<F: ModelFamily>(
+    models: &[F::Model],
+    new_bounds: Option<&[f64]>,
+    params: &MatrixParams,
+) -> Vec<usize> {
+    let last = models.len() - 1;
+    (0..last)
+        .filter(|&i| {
+            let dominated = F::bound_dominates(params.diff, &models[i], &models[last]);
+            match new_bounds {
+                Some(b) => !dominated || b[i] > params.threshold,
+                None => true,
+            }
+        })
+        .collect()
+}
+
+/// Extends a base matrix over `models[..n-1]` with one new member — the
+/// incremental-maintenance core. Only the `n − 1` new pairs `(i, n−1)` are
+/// bounded, screened and (where surviving) scanned; every old cell is
+/// copied bit-for-bit, so the result is identical to recomputing the full
+/// matrix from scratch. `params` must be validated, threshold-mode only.
+pub(crate) fn extend_matrix<F: ModelFamily>(
+    base: &DeviationMatrix,
+    models: &[F::Model],
+    datasets: &[F::Dataset],
+    names: Vec<String>,
+    params: &MatrixParams,
+    new_bounds: Option<Vec<f64>>,
+) -> DeviationMatrix {
+    let n = models.len();
+    debug_assert_eq!(base.len() + 1, n);
+    debug_assert_eq!(params.top, None);
+    let last = n - 1;
+
+    // Screen the new pairs exactly as a full run would.
+    let survivors = new_pair_survivors::<F>(models, new_bounds.as_deref(), params);
+    let exact_vals = map_indices(params.par, survivors.len(), |s| {
+        let i = survivors[s];
+        deviate_par::<F>(
+            &models[i],
+            &datasets[i],
+            &models[last],
+            &datasets[last],
+            params.diff,
+            params.agg,
+            params.par,
+        )
+        .value
+    });
+
+    // Reassemble: old cells verbatim, new row/column from the fresh pairs.
+    let old = base.len();
+    let copy_block = |src: &[f64], fill: f64| {
+        let mut dst = vec![fill; n * n];
+        for i in 0..old {
+            for j in 0..old {
+                dst[i * n + j] = src[i * old + j];
+            }
+        }
+        dst
+    };
+    let bounds = match (&base.bounds, &new_bounds) {
+        (Some(ob), Some(nb)) => {
+            let mut bounds = copy_block(ob, 0.0);
+            for (i, &b) in nb.iter().enumerate() {
+                bounds[i * n + last] = b;
+                bounds[last * n + i] = b;
+            }
+            Some(bounds)
+        }
+        (None, None) => None,
+        _ => unreachable!("bound presence is a family constant"),
+    };
+    let mut exact = copy_block(&base.exact, f64::NAN);
+    for (s, &i) in survivors.iter().enumerate() {
+        exact[i * n + last] = exact_vals[s];
+        exact[last * n + i] = exact_vals[s];
+    }
+    DeviationMatrix {
+        names,
+        n,
+        bounds,
+        exact,
+        threshold: params.threshold,
+        diff: params.diff,
+        agg: params.agg,
+        scanned: base.scanned + survivors.len(),
     }
 }
 
@@ -269,12 +489,22 @@ impl DeviationMatrix {
         self.threshold
     }
 
+    /// The difference function the exact scans used.
+    pub fn diff(&self) -> DiffFn {
+        self.diff
+    }
+
+    /// The aggregate function the bounds and exact scans used.
+    pub fn agg(&self) -> AggFn {
+        self.agg
+    }
+
     /// Number of unordered pairs, `n·(n−1)/2`.
     pub fn n_pairs(&self) -> usize {
         self.n * self.n.saturating_sub(1) / 2
     }
 
-    /// Number of pairs whose exact scan ran (bound above threshold).
+    /// Number of pairs whose exact scan ran (bound above the cut).
     pub fn scanned(&self) -> usize {
         self.scanned
     }
@@ -284,9 +514,20 @@ impl DeviationMatrix {
         self.n_pairs() - self.scanned
     }
 
-    /// The δ* upper bound for a pair (`0` on the diagonal).
+    /// True when the matrix carries model-only δ* bounds (the family
+    /// defines one — lits today). Boundless matrices are always complete:
+    /// every pair was scanned.
+    pub fn has_bounds(&self) -> bool {
+        self.bounds.is_some()
+    }
+
+    /// The δ* upper bound for a pair (`0` on the diagonal); NaN when the
+    /// family defines no bound (see [`DeviationMatrix::has_bounds`]).
     pub fn bound(&self, i: usize, j: usize) -> f64 {
-        self.bounds[i * self.n + j]
+        match &self.bounds {
+            Some(b) => b[i * self.n + j],
+            None => f64::NAN,
+        }
     }
 
     /// The exact deviation for a pair, if its scan survived screening.
@@ -305,20 +546,30 @@ impl DeviationMatrix {
         self.exact(i, j).unwrap_or_else(|| self.bound(i, j))
     }
 
-    /// The δ* bounds as a [`DistanceMatrix`] — δ* is a metric (Theorem
-    /// 4.2 (2–3)), the exact deviations in general are not, so the
-    /// embedding always uses the bounds.
+    /// The collection as a [`DistanceMatrix`]: the δ* bounds where the
+    /// family has them — δ* is a metric (Theorem 4.2 (2–3)), the exact
+    /// deviations in general are not — else the exact deviations, which a
+    /// boundless matrix always has in full.
     pub fn distance_matrix(&self) -> DistanceMatrix {
-        DistanceMatrix::from_fn(self.n, |i, j| self.bound(i, j))
+        match &self.bounds {
+            Some(_) => DistanceMatrix::from_fn(self.n, |i, j| self.bound(i, j)),
+            None => DistanceMatrix::from_fn(self.n, |i, j| self.value(i, j)),
+        }
     }
 
     /// Classical MDS coordinates of the collection in `k` dimensions
-    /// under the δ* metric (Section 4.1.1's visual-comparison embedding).
-    pub fn embed(&self, k: usize) -> Vec<Vec<f64>> {
-        self.distance_matrix().embed(k)
+    /// under the matrix's metric (Section 4.1.1's visual-comparison
+    /// embedding). `n` points span at most `n − 1` dimensions, so
+    /// `k >= n` (and `k == 0`) are rejected instead of producing junk
+    /// zero coordinates.
+    pub fn embed(&self, k: usize) -> Result<Vec<Vec<f64>>, MatrixError> {
+        if k == 0 || k >= self.n {
+            return Err(MatrixError::EmbedDims { k, n: self.n });
+        }
+        Ok(self.distance_matrix().embed(k))
     }
 
-    /// Embedding stress of `coords` against the δ* metric.
+    /// Embedding stress of `coords` against the matrix's metric.
     pub fn stress(&self, coords: &[Vec<f64>]) -> f64 {
         self.distance_matrix().stress(coords)
     }
@@ -328,7 +579,12 @@ impl DeviationMatrix {
 mod tests {
     use super::*;
     use crate::testutil::random_dataset;
+    use focus_core::data::{LabeledTable, Schema, Value};
+    use focus_core::family::DtFamily;
+    use focus_core::model::{induce_dt_measures, DtModel};
+    use focus_core::region::BoxBuilder;
     use focus_mining::{Apriori, AprioriParams};
+    use std::sync::Arc;
 
     fn collection(
         seeds_skews: &[(u64, f64)],
@@ -350,9 +606,10 @@ mod tests {
     #[test]
     fn screening_is_sound_and_complete() {
         let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.1), (3, 0.9), (4, 1.0)]);
-        let full = deviation_matrix(&models, &datasets, names.clone(), -1.0);
+        let full = deviation_matrix(&models, &datasets, names.clone(), 0.0).unwrap();
         assert_eq!(full.scanned(), 6);
         assert_eq!(full.pruned(), 0);
+        assert!(full.has_bounds());
 
         // Pick a threshold strictly inside the observed bound range so the
         // screen genuinely splits the pairs.
@@ -362,7 +619,7 @@ mod tests {
             .collect();
         bs.sort_by(f64::total_cmp);
         let threshold = (bs[2] + bs[3]) / 2.0;
-        let screened = deviation_matrix(&models, &datasets, names, threshold);
+        let screened = deviation_matrix(&models, &datasets, names, threshold).unwrap();
         assert!(screened.pruned() > 0 && screened.scanned() > 0);
         for i in 0..4 {
             for j in (i + 1)..4 {
@@ -386,7 +643,7 @@ mod tests {
     #[test]
     fn infinite_threshold_prunes_everything() {
         let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.5), (3, 1.0)]);
-        let m = deviation_matrix(&models, &datasets, names, f64::INFINITY);
+        let m = deviation_matrix(&models, &datasets, names, f64::INFINITY).unwrap();
         assert_eq!(m.scanned(), 0);
         assert_eq!(m.pruned(), 3);
         // `value` falls back to the bound for pruned pairs.
@@ -394,9 +651,88 @@ mod tests {
     }
 
     #[test]
+    fn nan_and_negative_thresholds_are_named_errors() {
+        let (models, datasets, names) = collection(&[(1, 0.0), (2, 1.0)]);
+        for bad in [f64::NAN, -1.0, f64::NEG_INFINITY] {
+            let err = deviation_matrix(&models, &datasets, names.clone(), bad).unwrap_err();
+            // (No `assert_eq!` against the NaN case: the payload would
+            // compare NaN ≠ NaN.)
+            assert!(
+                matches!(err, MatrixError::InvalidThreshold(t) if t.to_bits() == bad.to_bits()),
+                "{err:?}"
+            );
+            assert!(err.to_string().contains("threshold"), "{err}");
+        }
+    }
+
+    #[test]
+    fn top_k_scans_the_k_largest_bounds() {
+        let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.1), (3, 0.9), (4, 1.0)]);
+        let full = deviation_matrix(&models, &datasets, names.clone(), 0.0).unwrap();
+        let topped = deviation_matrix_par::<LitsFamily>(
+            &models,
+            &datasets,
+            names,
+            &MatrixParams {
+                top: Some(2),
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(topped.scanned(), 2);
+        assert_eq!(topped.pruned(), 4);
+        // The scanned pairs are exactly the two largest bounds, and their
+        // exact values match the unscreened run bit-for-bit.
+        let full_ref = &full;
+        let mut ranked: Vec<(f64, usize, usize)> = (0..4)
+            .flat_map(|i| ((i + 1)..4).map(move |j| (full_ref.bound(i, j), i, j)))
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for (rank, &(_, i, j)) in ranked.iter().enumerate() {
+            match topped.exact(i, j) {
+                Some(e) => {
+                    assert!(rank < 2, "pair ({i},{j}) scanned but not in top 2");
+                    assert_eq!(e.to_bits(), full.exact(i, j).unwrap().to_bits());
+                }
+                None => assert!(rank >= 2, "pair ({i},{j}) in top 2 but pruned"),
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_never_prunes_undominated_pairs() {
+        // A mixed-minsup pair is not certified by the bound, so even
+        // `top = Some(0)` must scan it.
+        let datasets = vec![random_dataset(1, 300, 0.0), random_dataset(2, 300, 0.0)];
+        let mine = |d: &TransactionSet, ms: f64| {
+            Apriori::new(
+                AprioriParams::with_minsup(ms)
+                    .max_len(10)
+                    .min_count_floor(2),
+            )
+            .mine(d)
+        };
+        let models = vec![mine(&datasets[0], 0.6), mine(&datasets[1], 0.01)];
+        let m = deviation_matrix_par::<LitsFamily>(
+            &models,
+            &datasets,
+            vec!["hi".into(), "lo".into()],
+            &MatrixParams {
+                top: Some(0),
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.scanned(), 1);
+        assert!(m.exact(0, 1).is_some());
+    }
+
+    #[test]
     fn matrix_is_symmetric_with_zero_diagonal() {
         let (models, datasets, names) = collection(&[(1, 0.0), (5, 0.4), (9, 0.8)]);
-        let m = deviation_matrix(&models, &datasets, names, -1.0);
+        let m = deviation_matrix(&models, &datasets, names, 0.0).unwrap();
         for i in 0..3 {
             assert_eq!(m.bound(i, i), 0.0);
             assert_eq!(m.exact(i, i), None);
@@ -411,8 +747,8 @@ mod tests {
     fn embedding_places_similar_snapshots_closer() {
         // Two tight groups; the δ* embedding must separate them.
         let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.0), (3, 1.0), (4, 1.0)]);
-        let m = deviation_matrix(&models, &datasets, names, f64::INFINITY);
-        let coords = m.embed(2);
+        let m = deviation_matrix(&models, &datasets, names, f64::INFINITY).unwrap();
+        let coords = m.embed(2).unwrap();
         let dist = |a: usize, b: usize| {
             coords[a]
                 .iter()
@@ -426,25 +762,44 @@ mod tests {
     }
 
     #[test]
+    fn embed_rejects_too_many_dimensions() {
+        let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.5), (3, 1.0)]);
+        let m = deviation_matrix(&models, &datasets, names, f64::INFINITY).unwrap();
+        assert_eq!(
+            m.embed(3).unwrap_err(),
+            MatrixError::EmbedDims { k: 3, n: 3 }
+        );
+        assert_eq!(
+            m.embed(0).unwrap_err(),
+            MatrixError::EmbedDims { k: 0, n: 3 }
+        );
+        assert_eq!(m.embed(2).unwrap().len(), 3);
+    }
+
+    #[test]
     fn empty_and_singleton_collections() {
-        let m = deviation_matrix(&[], &[], Vec::new(), 0.0);
+        let m = deviation_matrix(&[], &[], Vec::new(), 0.0).unwrap();
         assert_eq!(m.n_pairs(), 0);
         assert!(m.is_empty());
         let (models, datasets, names) = collection(&[(1, 0.0)]);
-        let m = deviation_matrix(&models, &datasets, names, 0.0);
+        let m = deviation_matrix(&models, &datasets, names, 0.0).unwrap();
         assert_eq!((m.n_pairs(), m.scanned(), m.pruned()), (0, 0, 0));
-        assert_eq!(m.embed(2).len(), 1);
+        // A single point spans zero dimensions: embedding is an error, not
+        // a junk coordinate row.
+        assert!(matches!(m.embed(2), Err(MatrixError::EmbedDims { .. })));
     }
 
     #[test]
     fn screened_members_marks_only_surviving_pairs() {
         let (models, _, _) = collection(&[(1, 0.0), (2, 0.0), (3, 1.0)]);
-        let bounds = pair_bounds(&models, AggFn::Sum, Parallelism::Sequential);
-        let all = screened_members(&models, &bounds, &MatrixParams::default());
+        let bounds = pair_bounds::<LitsFamily>(&models, AggFn::Sum, Parallelism::Sequential);
+        assert!(bounds.is_some());
+        let all =
+            screened_members::<LitsFamily>(&models, bounds.as_deref(), &MatrixParams::default());
         assert_eq!(all, vec![true, true, true]);
-        let none = screened_members(
+        let none = screened_members::<LitsFamily>(
             &models,
-            &bounds,
+            bounds.as_deref(),
             &MatrixParams {
                 threshold: f64::INFINITY,
                 ..MatrixParams::default()
@@ -471,7 +826,7 @@ mod tests {
         };
         let models = vec![mine(&datasets[0], 0.6), mine(&datasets[1], 0.01)];
         let names = vec!["hi-ms".to_string(), "lo-ms".to_string()];
-        let m = deviation_matrix_par(
+        let m = deviation_matrix_par::<LitsFamily>(
             &models,
             &datasets,
             names,
@@ -480,12 +835,13 @@ mod tests {
                 par: Parallelism::Sequential,
                 ..MatrixParams::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(m.pruned(), 0, "mixed-minsup pair must not be pruned");
         assert!(m.exact(0, 1).is_some());
         // Same-minsup control: the screen works again.
         let models = vec![mine(&datasets[0], 0.2), mine(&datasets[1], 0.2)];
-        let m = deviation_matrix_par(
+        let m = deviation_matrix_par::<LitsFamily>(
             &models,
             &datasets,
             vec!["a".to_string(), "b".to_string()],
@@ -494,7 +850,8 @@ mod tests {
                 par: Parallelism::Sequential,
                 ..MatrixParams::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(m.pruned(), 1);
     }
 
@@ -504,7 +861,7 @@ mod tests {
         // does not dominate, so even an infinite threshold must not prune
         // — every pair gets its exact scan.
         let (models, datasets, names) = collection(&[(1, 0.0), (2, 0.0), (3, 1.0)]);
-        let m = deviation_matrix_par(
+        let m = deviation_matrix_par::<LitsFamily>(
             &models,
             &datasets,
             names,
@@ -514,7 +871,8 @@ mod tests {
                 par: Parallelism::Sequential,
                 ..MatrixParams::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(m.pruned(), 0, "f_s screening would be unsound");
         assert_eq!(m.scanned(), 3);
         for i in 0..3 {
@@ -522,5 +880,59 @@ mod tests {
                 assert!(m.exact(i, j).is_some());
             }
         }
+    }
+
+    fn dt_collection() -> (Vec<DtModel>, Vec<LabeledTable>, Vec<String>) {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let mut models = Vec::new();
+        let mut datasets = Vec::new();
+        let mut names = Vec::new();
+        for (i, boundary) in [30.0, 45.0, 70.0].iter().enumerate() {
+            let mut d = LabeledTable::new(Arc::clone(&schema), 2);
+            for r in 0..120 {
+                let x = r as f64;
+                d.push_row(&[Value::Num(x)], u32::from(x < *boundary));
+            }
+            let model = induce_dt_measures(
+                vec![
+                    BoxBuilder::new(&schema).lt("x", *boundary).build(),
+                    BoxBuilder::new(&schema).ge("x", *boundary).build(),
+                ],
+                &d,
+            );
+            models.push(model);
+            datasets.push(d);
+            names.push(format!("t{i}"));
+        }
+        (models, datasets, names)
+    }
+
+    #[test]
+    fn dt_family_matrix_is_boundless_and_complete() {
+        let (models, datasets, names) = dt_collection();
+        // The dt family has no model-only bound, so screening cannot
+        // engage: even an infinite threshold scans every pair.
+        let m = deviation_matrix_par::<DtFamily>(
+            &models,
+            &datasets,
+            names,
+            &MatrixParams {
+                threshold: f64::INFINITY,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        )
+        .unwrap();
+        assert!(!m.has_bounds());
+        assert!(m.bound(0, 1).is_nan());
+        assert_eq!(m.scanned(), 3);
+        assert_eq!(m.pruned(), 0);
+        // Deviations grow with boundary distance, and the embedding (over
+        // the exact values, since there are no bounds) reflects that.
+        let near = m.exact(0, 1).unwrap();
+        let far = m.exact(0, 2).unwrap();
+        assert!(near < far, "{near} vs {far}");
+        let coords = m.embed(2).unwrap();
+        assert_eq!(coords.len(), 3);
     }
 }

@@ -1,37 +1,46 @@
-//! A directory of named dataset snapshots and their mined models.
+//! A directory of named dataset snapshots and their mined models — any
+//! model family.
 //!
-//! On disk a registry is a directory holding
+//! On disk a registry is a directory holding, per snapshot, a dataset file
+//! and a model file in the owning family's plain-text formats (see
+//! [`SnapshotFamily`]):
 //!
 //! ```text
 //! registry.manifest        line-oriented index (see below)
-//! <name>.txns              the dataset  (focus_data::io format)
-//! <name>.lits              its lits-model (focus_core::persist format)
+//! <name>.txns / <name>.lits    lits snapshots  (focus_data::io / persist)
+//! <name>.tbl  / <name>.dt      dt snapshots
+//! <name>.rows / <name>.clu     cluster snapshots
 //! ```
 //!
 //! with the manifest
 //!
 //! ```text
-//! #focus-registry v1
-//! snapshot <name> minsup <ms> n <transactions> itemsets <count>
+//! #focus-registry v2
+//! snapshot <name> kind <lits|dt|cluster> minsup <ms|-> n <rows> regions <count>
 //! ```
 //!
 //! one line per snapshot, in insertion order. The manifest is append-only:
 //! adding a snapshot writes the two artifact files, then appends its line,
 //! so a torn write can at worst lose the line for artifacts that already
-//! exist — never index artifacts that don't.
+//! exist — never index artifacts that don't. Version-1 manifests (the
+//! lits-only format of earlier releases, `snapshot <name> minsup <ms> n
+//! <txns> itemsets <count>`) still open — every entry reads as a lits
+//! snapshot — and are upgraded in place on the first write.
 
-use crate::matrix::{DeviationMatrix, MatrixParams};
+use crate::family::{SnapshotFamily, SnapshotKind};
+use crate::matrix::{DeviationMatrix, MatrixError, MatrixParams};
 use focus_core::data::TransactionSet;
+use focus_core::family::LitsFamily;
 use focus_core::model::LitsModel;
-use focus_core::persist::{read_lits_model, write_lits_model};
-use focus_data::io::{read_transactions, write_transactions};
+use focus_exec::map_indices;
 use focus_mining::{Apriori, AprioriParams};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const MANIFEST: &str = "registry.manifest";
-const HEADER: &str = "#focus-registry v1";
+const HEADER_V2: &str = "#focus-registry v2";
+const HEADER_V1: &str = "#focus-registry v1";
 
 fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
@@ -42,12 +51,28 @@ fn bad(msg: &str) -> std::io::Error {
 pub struct SnapshotEntry {
     /// Snapshot name (file-name safe: `[A-Za-z0-9._-]`, no leading dot).
     pub name: String,
-    /// Minimum support the model was mined at.
-    pub minsup: f64,
-    /// Number of transactions in the dataset.
-    pub n_transactions: u64,
-    /// Number of frequent itemsets in the model.
-    pub n_itemsets: u64,
+    /// The model family the snapshot belongs to.
+    pub kind: SnapshotKind,
+    /// Minimum support the model was mined at (`Some` for lits snapshots).
+    pub minsup: Option<f64>,
+    /// Number of rows/transactions in the dataset.
+    pub n_rows: u64,
+    /// Number of structural regions in the model (itemsets, leaves,
+    /// clusters).
+    pub n_regions: u64,
+}
+
+impl SnapshotEntry {
+    fn manifest_line(&self) -> String {
+        let ms = match self.minsup {
+            Some(ms) => ms.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "snapshot {} kind {} minsup {} n {} regions {}",
+            self.name, self.kind, ms, self.n_rows, self.n_regions
+        )
+    }
 }
 
 /// A collection of persisted snapshots rooted at a directory.
@@ -55,6 +80,8 @@ pub struct SnapshotEntry {
 pub struct Registry {
     root: PathBuf,
     entries: Vec<SnapshotEntry>,
+    /// Manifest format found on open; v1 manifests upgrade on first write.
+    version: u8,
 }
 
 /// A snapshot name must be usable verbatim as a file stem.
@@ -73,44 +100,88 @@ fn check_name(name: &str) -> std::io::Result<()> {
     }
 }
 
+fn parse_entry(line: &str, version: u8) -> std::io::Result<SnapshotEntry> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let entry = if version == 1 {
+        // snapshot <name> minsup <ms> n <txns> itemsets <count>
+        if fields.len() != 8
+            || fields[0] != "snapshot"
+            || fields[2] != "minsup"
+            || fields[4] != "n"
+            || fields[6] != "itemsets"
+        {
+            return Err(bad(&format!("malformed v1 manifest line {line:?}")));
+        }
+        SnapshotEntry {
+            name: fields[1].to_string(),
+            kind: SnapshotKind::Lits,
+            minsup: Some(
+                fields[3]
+                    .parse()
+                    .map_err(|e| bad(&format!("bad minsup in manifest: {e}")))?,
+            ),
+            n_rows: fields[5]
+                .parse()
+                .map_err(|e| bad(&format!("bad n in manifest: {e}")))?,
+            n_regions: fields[7]
+                .parse()
+                .map_err(|e| bad(&format!("bad itemset count in manifest: {e}")))?,
+        }
+    } else {
+        // snapshot <name> kind <kind> minsup <ms|-> n <rows> regions <count>
+        if fields.len() != 10
+            || fields[0] != "snapshot"
+            || fields[2] != "kind"
+            || fields[4] != "minsup"
+            || fields[6] != "n"
+            || fields[8] != "regions"
+        {
+            return Err(bad(&format!("malformed manifest line {line:?}")));
+        }
+        let kind = SnapshotKind::parse(fields[3])
+            .ok_or_else(|| bad(&format!("unknown snapshot kind {:?}", fields[3])))?;
+        let minsup = if fields[5] == "-" {
+            None
+        } else {
+            Some(
+                fields[5]
+                    .parse()
+                    .map_err(|e| bad(&format!("bad minsup in manifest: {e}")))?,
+            )
+        };
+        SnapshotEntry {
+            name: fields[1].to_string(),
+            kind,
+            minsup,
+            n_rows: fields[7]
+                .parse()
+                .map_err(|e| bad(&format!("bad n in manifest: {e}")))?,
+            n_regions: fields[9]
+                .parse()
+                .map_err(|e| bad(&format!("bad region count in manifest: {e}")))?,
+        }
+    };
+    check_name(&entry.name)?;
+    Ok(entry)
+}
+
 impl Registry {
-    /// Opens an existing registry, reading its manifest.
+    /// Opens an existing registry, reading its manifest (either version).
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
         let text = std::fs::read_to_string(root.join(MANIFEST))?;
         let mut lines = text.lines();
-        match lines.next() {
-            Some(HEADER) => {}
+        let version = match lines.next() {
+            Some(HEADER_V2) => 2,
+            Some(HEADER_V1) => 1,
             _ => return Err(bad("missing registry manifest header")),
-        }
+        };
         let mut entries = Vec::new();
         for line in lines {
             if line.trim().is_empty() {
                 continue;
             }
-            let fields: Vec<&str> = line.split_whitespace().collect();
-            // snapshot <name> minsup <ms> n <txns> itemsets <count>
-            if fields.len() != 8
-                || fields[0] != "snapshot"
-                || fields[2] != "minsup"
-                || fields[4] != "n"
-                || fields[6] != "itemsets"
-            {
-                return Err(bad(&format!("malformed manifest line {line:?}")));
-            }
-            check_name(fields[1])?;
-            let entry = SnapshotEntry {
-                name: fields[1].to_string(),
-                minsup: fields[3]
-                    .parse()
-                    .map_err(|e| bad(&format!("bad minsup in manifest: {e}")))?,
-                n_transactions: fields[5]
-                    .parse()
-                    .map_err(|e| bad(&format!("bad n in manifest: {e}")))?,
-                n_itemsets: fields[7]
-                    .parse()
-                    .map_err(|e| bad(&format!("bad itemset count in manifest: {e}")))?,
-            };
+            let entry = parse_entry(line, version)?;
             if entries.iter().any(|e: &SnapshotEntry| e.name == entry.name) {
                 return Err(bad(&format!(
                     "duplicate snapshot {:?} in manifest",
@@ -119,7 +190,11 @@ impl Registry {
             }
             entries.push(entry);
         }
-        Ok(Self { root, entries })
+        Ok(Self {
+            root,
+            entries,
+            version,
+        })
     }
 
     /// Opens the registry at `root`, creating an empty one (directory and
@@ -131,10 +206,11 @@ impl Registry {
         }
         std::fs::create_dir_all(&root)?;
         let mut f = File::create(root.join(MANIFEST))?;
-        writeln!(f, "{HEADER}")?;
+        writeln!(f, "{HEADER_V2}")?;
         Ok(Self {
             root,
             entries: Vec::new(),
+            version: 2,
         })
     }
 
@@ -146,6 +222,22 @@ impl Registry {
     /// Manifest entries in insertion order.
     pub fn entries(&self) -> &[SnapshotEntry] {
         &self.entries
+    }
+
+    /// Manifest entries of one kind, in insertion order.
+    pub fn entries_of(&self, kind: SnapshotKind) -> Vec<&SnapshotEntry> {
+        self.entries.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// The distinct snapshot kinds present, in first-appearance order.
+    pub fn kinds(&self) -> Vec<SnapshotKind> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if !out.contains(&e.kind) {
+                out.push(e.kind);
+            }
+        }
+        out
     }
 
     /// Snapshot names in insertion order.
@@ -168,18 +260,102 @@ impl Registry {
         self.entries.iter().any(|e| e.name == name)
     }
 
-    fn data_path(&self, name: &str) -> PathBuf {
-        self.root.join(format!("{name}.txns"))
+    fn entry(&self, name: &str) -> Option<&SnapshotEntry> {
+        self.entries.iter().find(|e| e.name == name)
     }
 
-    fn model_path(&self, name: &str) -> PathBuf {
-        self.root.join(format!("{name}.lits"))
+    fn artifact_path(&self, name: &str, ext: &str) -> PathBuf {
+        self.root.join(format!("{name}.{ext}"))
     }
 
-    /// Adds a snapshot: mines its lits-model at `minsup` (same miner
-    /// configuration as the CLI `mine` subcommand), persists dataset and
-    /// model, and appends the manifest line. Fails on duplicate or invalid
-    /// names without touching the directory.
+    /// Rewrites a v1 manifest in v2 format so new kind-tagged lines can be
+    /// appended. The rewrite goes through a temp file + rename, so a crash
+    /// leaves either the old or the new manifest, never a torn one.
+    fn upgrade_manifest(&mut self) -> std::io::Result<()> {
+        if self.version == 2 {
+            return Ok(());
+        }
+        let tmp = self.root.join(format!("{MANIFEST}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            writeln!(f, "{HEADER_V2}")?;
+            for e in &self.entries {
+                writeln!(f, "{}", e.manifest_line())?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, self.root.join(MANIFEST))?;
+        self.version = 2;
+        Ok(())
+    }
+
+    /// Adds a snapshot of any family: persists the dataset and model in
+    /// the family's plain-text formats and appends the manifest line.
+    /// Fails on duplicate or invalid names without touching the directory.
+    pub fn add_snapshot<F: SnapshotFamily>(
+        &mut self,
+        name: &str,
+        data: &F::Dataset,
+        model: &F::Model,
+    ) -> std::io::Result<&SnapshotEntry> {
+        check_name(name)?;
+        if self.contains(name) {
+            return Err(bad(&format!("snapshot {name:?} already registered")));
+        }
+        F::write_dataset(data, File::create(self.artifact_path(name, F::DATA_EXT))?)?;
+        F::write_model(
+            model,
+            data,
+            File::create(self.artifact_path(name, F::MODEL_EXT))?,
+        )?;
+        let entry = SnapshotEntry {
+            name: name.to_string(),
+            kind: F::KIND,
+            minsup: F::model_minsup(model),
+            n_rows: F::data_len(data),
+            n_regions: F::model_regions(model),
+        };
+        self.upgrade_manifest()?;
+        let mut manifest = OpenOptions::new()
+            .append(true)
+            .open(self.root.join(MANIFEST))?;
+        writeln!(manifest, "{}", entry.manifest_line())?;
+        manifest.flush()?;
+        self.entries.push(entry);
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Loads one snapshot's model, checking the stored kind matches `F`.
+    pub fn load_snapshot_model<F: SnapshotFamily>(&self, name: &str) -> std::io::Result<F::Model> {
+        self.check_kind::<F>(name)?;
+        F::read_model(File::open(self.artifact_path(name, F::MODEL_EXT))?)
+    }
+
+    /// Loads one snapshot's dataset, checking the stored kind matches `F`.
+    pub fn load_snapshot_dataset<F: SnapshotFamily>(
+        &self,
+        name: &str,
+    ) -> std::io::Result<F::Dataset> {
+        self.check_kind::<F>(name)?;
+        F::read_dataset(File::open(self.artifact_path(name, F::DATA_EXT))?)
+    }
+
+    fn check_kind<F: SnapshotFamily>(&self, name: &str) -> std::io::Result<()> {
+        let entry = self
+            .entry(name)
+            .ok_or_else(|| bad(&format!("unknown snapshot {name:?}")))?;
+        if entry.kind != F::KIND {
+            return Err(bad(&format!(
+                "snapshot {name:?} is a {} snapshot, not {}",
+                entry.kind,
+                F::KIND
+            )));
+        }
+        Ok(())
+    }
+
+    /// Adds a lits snapshot: mines its model at `minsup` (same miner
+    /// configuration as the CLI `mine` subcommand) and persists both.
     pub fn add(
         &mut self,
         name: &str,
@@ -187,7 +363,7 @@ impl Registry {
         minsup: f64,
     ) -> std::io::Result<&SnapshotEntry> {
         // Reject bad/duplicate names *before* paying for the mine
-        // (`add_with_model` re-checks, but by then the work is done).
+        // (`add_snapshot` re-checks, but by then the work is done).
         check_name(name)?;
         if self.contains(name) {
             return Err(bad(&format!("snapshot {name:?} already registered")));
@@ -208,79 +384,164 @@ impl Registry {
         data: &TransactionSet,
         model: &LitsModel,
     ) -> std::io::Result<&SnapshotEntry> {
-        check_name(name)?;
-        if self.contains(name) {
-            return Err(bad(&format!("snapshot {name:?} already registered")));
-        }
-        write_transactions(data, File::create(self.data_path(name))?)?;
-        write_lits_model(model, File::create(self.model_path(name))?)?;
-        let entry = SnapshotEntry {
-            name: name.to_string(),
-            minsup: model.minsup(),
-            n_transactions: data.len() as u64,
-            n_itemsets: model.len() as u64,
-        };
-        let mut manifest = OpenOptions::new()
-            .append(true)
-            .open(self.root.join(MANIFEST))?;
-        writeln!(
-            manifest,
-            "snapshot {} minsup {} n {} itemsets {}",
-            entry.name, entry.minsup, entry.n_transactions, entry.n_itemsets
-        )?;
-        manifest.flush()?;
-        self.entries.push(entry);
-        Ok(self.entries.last().expect("just pushed"))
+        self.add_snapshot::<LitsFamily>(name, data, model)
     }
 
-    /// Loads one snapshot's model.
+    /// Loads one lits snapshot's model.
     pub fn load_model(&self, name: &str) -> std::io::Result<LitsModel> {
-        if !self.contains(name) {
-            return Err(bad(&format!("unknown snapshot {name:?}")));
-        }
-        read_lits_model(File::open(self.model_path(name))?)
+        self.load_snapshot_model::<LitsFamily>(name)
     }
 
-    /// Loads one snapshot's dataset.
+    /// Loads one lits snapshot's dataset.
     pub fn load_dataset(&self, name: &str) -> std::io::Result<TransactionSet> {
-        if !self.contains(name) {
-            return Err(bad(&format!("unknown snapshot {name:?}")));
-        }
-        read_transactions(File::open(self.data_path(name))?)
+        self.load_snapshot_dataset::<LitsFamily>(name)
     }
 
-    /// Loads every model, in manifest order.
+    /// Loads every lits model, in manifest order.
     pub fn load_models(&self) -> std::io::Result<Vec<LitsModel>> {
-        self.entries
-            .iter()
+        self.entries_of(SnapshotKind::Lits)
+            .into_iter()
             .map(|e| self.load_model(&e.name))
             .collect()
     }
 
-    /// Computes the δ*-screened pairwise deviation matrix of the whole
-    /// collection (see [`deviation_matrix_par`]). Models are loaded up
-    /// front; datasets are loaded only for pairs that survive screening,
-    /// so a high threshold never pays dataset IO at all.
+    /// Computes the screened pairwise deviation matrix of the registry's
+    /// **lits** snapshots (see [`Registry::matrix_of`]).
     pub fn matrix(&self, params: &MatrixParams) -> std::io::Result<DeviationMatrix> {
-        let models = self.load_models()?;
+        self.matrix_of::<LitsFamily>(params)
+    }
+
+    /// Computes the screened pairwise deviation matrix of the registry's
+    /// snapshots of family `F` (other kinds are ignored). Models are
+    /// loaded up front; datasets are loaded only for pairs that survive
+    /// screening, so a high threshold never pays dataset IO at all —
+    /// families without a model-only bound load (and scan) everything.
+    pub fn matrix_of<F: SnapshotFamily>(
+        &self,
+        params: &MatrixParams,
+    ) -> std::io::Result<DeviationMatrix> {
+        params.validate()?;
+        let entries = self.entries_of(F::KIND);
+        let mut models = Vec::with_capacity(entries.len());
+        for e in &entries {
+            models.push(self.load_snapshot_model::<F>(&e.name)?);
+        }
         // The screening decision needs only the models: run the phase-1
         // bound sweep once, load exactly the datasets that participate in
         // a surviving pair (the others get cheap empty stand-ins phase
         // two never touches), and hand the bounds to the engine so the
         // sweep is not paid twice.
-        let bounds = crate::matrix::pair_bounds(&models, params.agg, params.par);
-        let needed = crate::matrix::screened_members(&models, &bounds, params);
-        let mut datasets = Vec::with_capacity(self.len());
-        for (entry, needed) in self.entries.iter().zip(&needed) {
+        let bounds = crate::matrix::pair_bounds::<F>(&models, params.agg, params.par);
+        let needed = crate::matrix::screened_members::<F>(&models, bounds.as_deref(), params);
+        let mut datasets = Vec::with_capacity(entries.len());
+        for (entry, needed) in entries.iter().zip(&needed) {
             datasets.push(if *needed {
-                self.load_dataset(&entry.name)?
+                self.load_snapshot_dataset::<F>(&entry.name)?
             } else {
-                TransactionSet::new(0)
+                F::empty_dataset()
             });
         }
-        let names: Vec<String> = self.entries.iter().map(|e| e.name.clone()).collect();
-        Ok(crate::matrix::deviation_matrix_with_bounds(
+        let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+        Ok(crate::matrix::deviation_matrix_with_bounds::<F>(
             &models, &datasets, names, params, bounds,
+        ))
+    }
+
+    /// Incremental matrix maintenance: extends `base` — a matrix computed
+    /// over this registry's family-`F` snapshots *before* the latest one
+    /// was added — by computing only the `N − 1` new pairs. Every old cell
+    /// is copied bit-for-bit, and because per-pair deviations are
+    /// independent the result is identical to recomputing
+    /// [`Registry::matrix_of`] from scratch.
+    ///
+    /// Requires threshold screening (`params.top` must be `None`; the
+    /// top-K cut is a global ranking, so it cannot be maintained pair-wise)
+    /// and `params.threshold` equal to the base matrix's.
+    pub fn add_to_matrix<F: SnapshotFamily>(
+        &self,
+        base: &DeviationMatrix,
+        params: &MatrixParams,
+    ) -> std::io::Result<DeviationMatrix> {
+        params.validate()?;
+        if params.top.is_some() {
+            return Err(MatrixError::IncrementalNeedsThreshold.into());
+        }
+        let entries = self.entries_of(F::KIND);
+        if entries.len() != base.len() + 1 {
+            return Err(MatrixError::BaseMismatch(format!(
+                "registry holds {} {} snapshot(s), base matrix covers {} (want exactly one new)",
+                entries.len(),
+                F::KIND,
+                base.len()
+            ))
+            .into());
+        }
+        for (entry, name) in entries.iter().zip(base.names()) {
+            if entry.name != *name {
+                return Err(MatrixError::BaseMismatch(format!(
+                    "snapshot {:?} vs base name {:?}",
+                    entry.name, name
+                ))
+                .into());
+            }
+        }
+        if base.threshold().to_bits() != params.threshold.to_bits() {
+            return Err(MatrixError::BaseMismatch(format!(
+                "base threshold {} vs params threshold {}",
+                base.threshold(),
+                params.threshold
+            ))
+            .into());
+        }
+        // The old cells carry the base's (f, g); extending them with pairs
+        // measured differently would silently mix incompatible measures.
+        // (Custom difference functions always mismatch here: function-
+        // pointer identity is not a reliable equality witness, so refuse.)
+        if !crate::matrix::same_diff(base.diff(), params.diff) || base.agg() != params.agg {
+            return Err(MatrixError::BaseMismatch(format!(
+                "base matrix used {:?}/{:?}, params ask for {:?}/{:?}",
+                base.diff(),
+                base.agg(),
+                params.diff,
+                params.agg
+            ))
+            .into());
+        }
+
+        let mut models = Vec::with_capacity(entries.len());
+        for e in &entries {
+            models.push(self.load_snapshot_model::<F>(&e.name)?);
+        }
+        let n = models.len();
+        let last = n - 1;
+        // Bounds for the N−1 new pairs only, in pair order.
+        let new_bounds: Option<Vec<f64>> = if F::HAS_BOUND {
+            Some(map_indices(params.par, last, |i| {
+                F::upper_bound(&models[i], &models[last], params.agg)
+                    .expect("HAS_BOUND families always bound")
+            }))
+        } else {
+            None
+        };
+        // Load the new dataset plus every old dataset that participates in
+        // a surviving new pair; the rest get empty stand-ins. The survivor
+        // list is the same one `extend_matrix` will scan.
+        let mut needed = vec![false; n];
+        needed[last] = true;
+        for i in crate::matrix::new_pair_survivors::<F>(&models, new_bounds.as_deref(), params) {
+            needed[i] = true;
+        }
+        let mut datasets = Vec::with_capacity(n);
+        for (entry, needed) in entries.iter().zip(&needed) {
+            datasets.push(if *needed {
+                self.load_snapshot_dataset::<F>(&entry.name)?
+            } else {
+                F::empty_dataset()
+            });
+        }
+        let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+        Ok(crate::matrix::extend_matrix::<F>(
+            base, &models, &datasets, names, params, new_bounds,
         ))
     }
 }
@@ -289,7 +550,12 @@ impl Registry {
 mod tests {
     use super::*;
     use crate::testutil::random_dataset;
+    use focus_core::data::{LabeledTable, Schema, Value};
+    use focus_core::family::DtFamily;
+    use focus_core::model::induce_dt_measures;
+    use focus_core::region::BoxBuilder;
     use focus_exec::Parallelism;
+    use std::sync::Arc;
 
     fn scratch(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("focus-registry-{tag}-{}", std::process::id()));
@@ -316,6 +582,8 @@ mod tests {
         let m1 = back.load_model("day-01").unwrap();
         assert_eq!(m1.minsup(), 0.1);
         assert!(!m1.is_empty());
+        assert_eq!(back.entries()[0].kind, SnapshotKind::Lits);
+        assert_eq!(back.entries()[0].minsup, Some(0.1));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -356,6 +624,115 @@ mod tests {
     }
 
     #[test]
+    fn v1_manifests_open_as_lits_and_upgrade_on_write() {
+        let dir = scratch("v1compat");
+        // Build a registry, then rewrite its manifest in the v1 format.
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        let d = random_dataset(1, 200, 0.0);
+        reg.add("day-01", &d, 0.2).unwrap();
+        let entry = reg.entries()[0].clone();
+        std::fs::write(
+            dir.join(MANIFEST),
+            format!(
+                "{HEADER_V1}\nsnapshot {} minsup {} n {} itemsets {}\n",
+                entry.name,
+                entry.minsup.unwrap(),
+                entry.n_rows,
+                entry.n_regions
+            ),
+        )
+        .unwrap();
+
+        let mut back = Registry::open(&dir).unwrap();
+        assert_eq!(back.entries(), std::slice::from_ref(&entry));
+        assert_eq!(back.load_dataset("day-01").unwrap(), d);
+
+        // The first write upgrades the manifest in place to v2.
+        back.add("day-02", &random_dataset(2, 200, 1.0), 0.2)
+            .unwrap();
+        let text = std::fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        assert!(text.starts_with(HEADER_V2), "{text}");
+        let again = Registry::open(&dir).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again.entries()[0], entry);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn dt_snapshot(boundary: f64) -> (LabeledTable, focus_core::model::DtModel) {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let mut d = LabeledTable::new(Arc::clone(&schema), 2);
+        for r in 0..150 {
+            let x = r as f64;
+            d.push_row(&[Value::Num(x)], u32::from(x < boundary));
+        }
+        let model = induce_dt_measures(
+            vec![
+                BoxBuilder::new(&schema).lt("x", boundary).build(),
+                BoxBuilder::new(&schema).ge("x", boundary).build(),
+            ],
+            &d,
+        );
+        (d, model)
+    }
+
+    #[test]
+    fn mixed_kind_registry_round_trips_and_filters() {
+        let dir = scratch("mixed");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        let lits_data = random_dataset(1, 200, 0.0);
+        reg.add("txn-day", &lits_data, 0.2).unwrap();
+        let (dt_data, dt_model) = dt_snapshot(40.0);
+        reg.add_snapshot::<DtFamily>("dt-day", &dt_data, &dt_model)
+            .unwrap();
+
+        assert_eq!(reg.kinds(), vec![SnapshotKind::Lits, SnapshotKind::Dt]);
+        assert_eq!(reg.entries_of(SnapshotKind::Dt).len(), 1);
+        assert_eq!(reg.entries_of(SnapshotKind::Lits).len(), 1);
+        let dt_entry = reg.entries_of(SnapshotKind::Dt)[0];
+        assert_eq!(dt_entry.minsup, None);
+        assert_eq!(dt_entry.n_regions, 2);
+
+        // Reopen: kinds survive; typed loads enforce the kind.
+        let back = Registry::open(&dir).unwrap();
+        assert_eq!(back.entries(), reg.entries());
+        assert_eq!(
+            back.load_snapshot_model::<DtFamily>("dt-day").unwrap(),
+            dt_model
+        );
+        assert_eq!(
+            back.load_snapshot_dataset::<DtFamily>("dt-day").unwrap(),
+            dt_data
+        );
+        let err = back.load_snapshot_model::<DtFamily>("txn-day").unwrap_err();
+        assert!(err.to_string().contains("lits snapshot"), "{err}");
+        // The lits matrix sees only the lits snapshot.
+        let m = back.matrix(&MatrixParams::default()).unwrap();
+        assert_eq!(m.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dt_matrix_from_registry_scans_all_pairs() {
+        let dir = scratch("dtmatrix");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        for (name, b) in [("a", 30.0), ("b", 45.0), ("c", 90.0)] {
+            let (d, m) = dt_snapshot(b);
+            reg.add_snapshot::<DtFamily>(name, &d, &m).unwrap();
+        }
+        let params = MatrixParams {
+            threshold: f64::INFINITY,
+            par: Parallelism::Sequential,
+            ..MatrixParams::default()
+        };
+        let m = reg.matrix_of::<DtFamily>(&params).unwrap();
+        // No bound exists for dt, so the infinite threshold prunes nothing.
+        assert!(!m.has_bounds());
+        assert_eq!((m.n_pairs(), m.scanned(), m.pruned()), (3, 3, 0));
+        assert!(m.exact(0, 1).unwrap() < m.exact(0, 2).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn matrix_from_registry_prunes_and_scans() {
         let dir = scratch("matrix");
         let mut reg = Registry::open_or_create(&dir).unwrap();
@@ -388,6 +765,89 @@ mod tests {
                 }
             }
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_to_matrix_matches_full_recompute() {
+        let dir = scratch("incremental");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        reg.add("a", &random_dataset(1, 300, 0.0), 0.15).unwrap();
+        reg.add("b", &random_dataset(2, 300, 0.3), 0.15).unwrap();
+        reg.add("c", &random_dataset(3, 300, 0.7), 0.15).unwrap();
+        let params = MatrixParams {
+            threshold: 0.5,
+            par: Parallelism::Sequential,
+            ..MatrixParams::default()
+        };
+        let base = reg.matrix(&params).unwrap();
+
+        reg.add("d", &random_dataset(4, 300, 1.0), 0.15).unwrap();
+        let incremental = reg.add_to_matrix::<LitsFamily>(&base, &params).unwrap();
+        let full = reg.matrix(&params).unwrap();
+
+        assert_eq!(incremental.names(), full.names());
+        assert_eq!(incremental.scanned(), full.scanned());
+        assert_eq!(incremental.pruned(), full.pruned());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    incremental.bound(i, j).to_bits(),
+                    full.bound(i, j).to_bits(),
+                    "bound({i},{j})"
+                );
+                assert_eq!(
+                    incremental.exact(i, j).map(f64::to_bits),
+                    full.exact(i, j).map(f64::to_bits),
+                    "exact({i},{j})"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_to_matrix_rejects_mismatched_bases() {
+        let dir = scratch("incremental-guard");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        reg.add("a", &random_dataset(1, 200, 0.0), 0.15).unwrap();
+        reg.add("b", &random_dataset(2, 200, 0.5), 0.15).unwrap();
+        let params = MatrixParams {
+            par: Parallelism::Sequential,
+            ..MatrixParams::default()
+        };
+        let base = reg.matrix(&params).unwrap();
+
+        // No new snapshot yet: the registry matches the base exactly.
+        assert!(reg.add_to_matrix::<LitsFamily>(&base, &params).is_err());
+
+        reg.add("c", &random_dataset(3, 200, 1.0), 0.15).unwrap();
+        // Threshold mismatch.
+        let other = MatrixParams {
+            threshold: 9.0,
+            ..params
+        };
+        assert!(reg.add_to_matrix::<LitsFamily>(&base, &other).is_err());
+        // Top-K mode is not maintainable incrementally.
+        let topped = MatrixParams {
+            top: Some(1),
+            ..params
+        };
+        assert!(reg.add_to_matrix::<LitsFamily>(&base, &topped).is_err());
+        // A different difference or aggregate function would mix
+        // incompatible measures into the copied cells.
+        let other_diff = MatrixParams {
+            diff: focus_core::diff::DiffFn::Scaled,
+            ..params
+        };
+        assert!(reg.add_to_matrix::<LitsFamily>(&base, &other_diff).is_err());
+        let other_agg = MatrixParams {
+            agg: focus_core::diff::AggFn::Max,
+            ..params
+        };
+        assert!(reg.add_to_matrix::<LitsFamily>(&base, &other_agg).is_err());
+        // A matching call succeeds.
+        assert!(reg.add_to_matrix::<LitsFamily>(&base, &params).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

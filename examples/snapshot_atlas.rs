@@ -29,7 +29,7 @@ fn main() {
             .expect("add snapshot");
         println!(
             "registered {:8} {} transactions, {} frequent itemsets",
-            entry.name, entry.n_transactions, entry.n_itemsets
+            entry.name, entry.n_rows, entry.n_regions
         );
     }
 
@@ -88,7 +88,7 @@ fn main() {
     }
 
     // The atlas: 2-D MDS under the δ* metric. The two regimes separate.
-    let coords = matrix.embed(2);
+    let coords = matrix.embed(2).expect("2 < 6 snapshots");
     println!("\n2-D embedding (stress {:.4}):", matrix.stress(&coords));
     for (name, c) in names.iter().zip(&coords) {
         println!("  {:8} ({:9.3}, {:9.3})", name, c[0], c[1]);

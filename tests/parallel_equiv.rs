@@ -433,9 +433,13 @@ proptest! {
             par,
             ..MatrixParams::default()
         };
-        let seq = deviation_matrix_par(&models, &datasets, names.clone(), &params(Parallelism::Sequential));
+        let seq = deviation_matrix_par::<LitsFamily>(
+            &models, &datasets, names.clone(), &params(Parallelism::Sequential),
+        ).unwrap();
         for t in THREADS {
-            let par = deviation_matrix_par(&models, &datasets, names.clone(), &params(Parallelism::Threads(t)));
+            let par = deviation_matrix_par::<LitsFamily>(
+                &models, &datasets, names.clone(), &params(Parallelism::Threads(t)),
+            ).unwrap();
             prop_assert_eq!(par.scanned(), seq.scanned(), "scanned, threads = {}", t);
             prop_assert_eq!(par.pruned(), seq.pruned(), "pruned, threads = {}", t);
             for i in 0..n_snaps {
@@ -447,6 +451,88 @@ proptest! {
                                     "exact({}, {}), threads = {}", i, j, t);
                     prop_assert_eq!(par.value(i, j).to_bits(), seq.value(i, j).to_bits(),
                                     "value({}, {}), threads = {}", i, j, t);
+                }
+            }
+        }
+    }
+
+    /// The same engine instantiated for the dt family: no model-only
+    /// bound exists, so every pair is scanned — and the full matrix of
+    /// exact overlay deviations must be bit-identical for every
+    /// worker-thread count.
+    #[test]
+    fn dt_deviation_matrix_bit_identical(seed in 0u64..1_000_000,
+                                         n_snaps in 3usize..5) {
+        let tree_params = TreeParams::default().max_depth(4).min_leaf(10);
+        let datasets: Vec<LabeledTable> = (0..n_snaps)
+            .map(|i| random_labeled(300 + 11 * i, 25.0 + 15.0 * i as f64, 0.05,
+                                    seed + i as u64))
+            .collect();
+        let models: Vec<_> = datasets
+            .iter()
+            .map(|d| DecisionTree::fit_par(d, tree_params, Parallelism::Sequential).to_model())
+            .collect();
+        let names: Vec<String> = (0..n_snaps).map(|i| format!("t{i}")).collect();
+
+        let params = |par| MatrixParams { par, ..MatrixParams::default() };
+        let seq = deviation_matrix_par::<DtFamily>(
+            &models, &datasets, names.clone(), &params(Parallelism::Sequential),
+        ).unwrap();
+        prop_assert_eq!(seq.pruned(), 0, "boundless families never prune");
+        for t in THREADS {
+            let par = deviation_matrix_par::<DtFamily>(
+                &models, &datasets, names.clone(), &params(Parallelism::Threads(t)),
+            ).unwrap();
+            prop_assert_eq!(par.scanned(), seq.scanned(), "scanned, threads = {}", t);
+            for i in 0..n_snaps {
+                for j in 0..n_snaps {
+                    prop_assert_eq!(par.exact(i, j).map(f64::to_bits),
+                                    seq.exact(i, j).map(f64::to_bits),
+                                    "exact({}, {}), threads = {}", i, j, t);
+                }
+            }
+        }
+    }
+
+    /// And for the cluster family: k-means box models over plain tables,
+    /// same no-bound/full-scan regime, same bit-identity contract.
+    #[test]
+    fn cluster_deviation_matrix_bit_identical(seed in 0u64..1_000_000,
+                                              n_snaps in 3usize..5) {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x"),
+                                               Schema::numeric("y")]));
+        let mut datasets: Vec<Table> = Vec::new();
+        let mut models = Vec::new();
+        for i in 0..n_snaps {
+            let mut rng = StdRng::seed_from_u64(seed + i as u64);
+            let mut t = Table::new(Arc::clone(&schema));
+            let gap = 10.0 + 10.0 * i as f64;
+            for r in 0..300 {
+                let shift = (r % 2) as f64 * gap;
+                t.push_row(&[Value::Num(shift + rng.gen::<f64>()),
+                             Value::Num(shift + rng.gen::<f64>())]);
+            }
+            let km = KMeans::new(KMeansParams::new(2).seed(seed ^ i as u64).max_iters(15));
+            models.push(km.fit_par(&t, Parallelism::Sequential).to_model(&t));
+            datasets.push(t);
+        }
+        let names: Vec<String> = (0..n_snaps).map(|i| format!("c{i}")).collect();
+
+        let params = |par| MatrixParams { par, ..MatrixParams::default() };
+        let seq = deviation_matrix_par::<ClusterFamily>(
+            &models, &datasets, names.clone(), &params(Parallelism::Sequential),
+        ).unwrap();
+        prop_assert_eq!(seq.pruned(), 0, "boundless families never prune");
+        for t in THREADS {
+            let par = deviation_matrix_par::<ClusterFamily>(
+                &models, &datasets, names.clone(), &params(Parallelism::Threads(t)),
+            ).unwrap();
+            prop_assert_eq!(par.scanned(), seq.scanned(), "scanned, threads = {}", t);
+            for i in 0..n_snaps {
+                for j in 0..n_snaps {
+                    prop_assert_eq!(par.exact(i, j).map(f64::to_bits),
+                                    seq.exact(i, j).map(f64::to_bits),
+                                    "exact({}, {}), threads = {}", i, j, t);
                 }
             }
         }

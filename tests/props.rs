@@ -371,6 +371,79 @@ proptest! {
     }
 
     #[test]
+    fn cluster_model_persistence_round_trips(
+        seed in 0u64..10_000,
+        n_attrs in 1usize..4,
+        n_clusters in 0usize..5,
+    ) {
+        // Seed-driven generation of an arbitrary cluster-model over a mixed
+        // schema, deliberately covering the persistence edge cases: an
+        // *empty* cluster list, degenerate point boxes (a centroid whose
+        // cluster collapsed to `lo == hi`), empty/full categorical masks
+        // and ±inf interval endpoints.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1);
+        let attrs = (0..n_attrs)
+            .map(|i| {
+                if rng.gen::<bool>() {
+                    Schema::numeric(&format!("x{i}"))
+                } else {
+                    Schema::categorical(&format!("c{i}"), rng.gen_range(2u32..6))
+                }
+            })
+            .collect();
+        let schema = Arc::new(Schema::new(attrs));
+        let clusters: Vec<BoxRegion> = (0..n_clusters)
+            .map(|_| BoxRegion {
+                constraints: schema
+                    .attrs()
+                    .iter()
+                    .map(|a| match &a.ty {
+                        AttrType::Numeric => match rng.gen_range(0u32..3) {
+                            // Degenerate point box: lo == hi.
+                            0 => {
+                                let p = rng.gen_range(-10.0f64..10.0);
+                                AttrConstraint::Interval { lo: p, hi: p }
+                            }
+                            1 => AttrConstraint::Interval {
+                                lo: f64::NEG_INFINITY,
+                                hi: rng.gen_range(0.0f64..50.0),
+                            },
+                            _ => AttrConstraint::Interval {
+                                lo: rng.gen_range(-50.0f64..0.0),
+                                hi: f64::INFINITY,
+                            },
+                        },
+                        AttrType::Categorical { cardinality } => {
+                            AttrConstraint::Cats(match rng.gen_range(0u32..3) {
+                                0 => CatMask::empty(*cardinality),
+                                1 => CatMask::full(*cardinality),
+                                _ => {
+                                    let codes: Vec<u32> = (0..*cardinality)
+                                        .filter(|_| rng.gen::<bool>())
+                                        .collect();
+                                    CatMask::of(*cardinality, &codes)
+                                }
+                            })
+                        }
+                    })
+                    .collect(),
+                class: None,
+            })
+            .collect();
+        // Empty clusters (selectivity 0) happen in real k-means exports.
+        let measures: Vec<f64> = (0..n_clusters)
+            .map(|_| if rng.gen::<bool>() { 0.0 } else { rng.gen::<f64>() })
+            .collect();
+        let model = ClusterModel::new(clusters, measures, rng.gen_range(0u64..100_000));
+
+        let mut buf = Vec::new();
+        write_cluster_model(&model, &schema, &mut buf).unwrap();
+        let (back, back_schema) = read_cluster_model(buf.as_slice()).unwrap();
+        prop_assert_eq!(&*back_schema, &*schema);
+        prop_assert_eq!(model, back);
+    }
+
+    #[test]
     fn transaction_io_round_trips(rows in arb_transactions()) {
         let data = to_set(rows);
         let mut buf = Vec::new();

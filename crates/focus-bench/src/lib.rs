@@ -17,6 +17,7 @@
 //! | `ablation_gcr`| GCR vs coarser refinements (Theorems 4.1/4.3)      |
 //! | `ablation_null`| bootstrap-null width vs dataset scale (A3)        |
 //! | `embed`       | δ* metric embedding via classical MDS (Sec. 4.1.1) |
+//! | `matrix_baseline` | screened vs full-scan matrix timings → `BENCH_matrix.json` |
 //!
 //! All binaries accept `--scale <fraction>` (default 0.02 — 2% of the
 //! paper's 1M-row base, i.e. 20K rows), `--samples <n>` (default 15, paper
@@ -29,6 +30,7 @@
 
 use std::time::Instant;
 
+pub mod collections;
 pub mod config;
 pub mod runner;
 

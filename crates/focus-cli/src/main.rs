@@ -23,12 +23,13 @@
 //! pairwise deviation of one family's snapshots with δ*-screening (exact
 //! scans only where the model-only bound exceeds `--threshold`, or, with
 //! `--top K`, for the K largest bounds; the rest are pruned), and `embed`
-//! places the collection in a k-dimensional space. Screening is sound only
-//! for lits snapshots under the default `--f fa` (Theorem 4.2 bounds the
-//! absolute difference alone), so with `--f fs` — and for dt/cluster
-//! snapshots, which have no model-only bound — every pair is scanned
-//! regardless of the threshold, and the embedding falls back from the δ*
-//! metric to the exact deviations.
+//! places the collection in a k-dimensional space. All three families carry
+//! a model-only bound, but screening is sound only under the default `--f
+//! fa` (Theorem 4.2 and its leaf-mass / centroid-mass analogues bound the
+//! absolute difference alone) — with `--f fs` every pair is scanned
+//! regardless of the threshold. The lits and dt bounds are pseudo-metrics,
+//! so their embeddings run straight off the δ* grid; the cluster bound is
+//! not, so cluster embeddings use the exact deviations.
 //!
 //! Every command additionally accepts `--threads N` (0 = one worker per
 //! core): dataset scans, model induction (decision-tree fitting included),
@@ -51,7 +52,7 @@ use focus_data::io::{
     read_labeled_table, read_transactions, write_labeled_table, write_transactions,
 };
 use focus_mining::{Apriori, AprioriParams};
-use focus_registry::{MatrixParams, Registry, SnapshotKind};
+use focus_registry::{DeviationMatrix, MatrixParams, Registry, SnapshotFamily, SnapshotKind};
 use focus_tree::{DecisionTree, TreeParams};
 use std::collections::HashMap;
 use std::fs::File;
@@ -441,12 +442,6 @@ fn matrix(flags: &Flags) -> Result<(), String> {
     }
     let reg = Registry::open(dir).map_err(io_err)?;
     let kind = registry_kind(&reg, flags)?;
-    if top.is_some() && kind != SnapshotKind::Lits {
-        return Err(format!(
-            "--top needs a model-only bound to rank pairs, and {kind} snapshots have none \
-             (every pair is scanned exactly; drop --top)"
-        ));
-    }
     let params = MatrixParams {
         diff: diff_fn(flags)?,
         agg: agg_fn(flags)?,
@@ -493,9 +488,9 @@ fn matrix(flags: &Flags) -> Result<(), String> {
                     names[j],
                     m.bound(i, j)
                 ),
-                // Boundless families (dt, cluster) scan every pair.
+                // Non-dominated screening (e.g. --f fs) scans every pair.
                 (false, Some(e)) => println!("{} {} exact {:.6}", names[i], names[j], e),
-                (false, None) => unreachable!("boundless matrices are complete"),
+                (false, None) => unreachable!("unscreened matrices are complete"),
             }
         }
     }
@@ -506,17 +501,25 @@ fn embed(flags: &Flags) -> Result<(), String> {
     let dir = req(flags, "dir")?;
     let k: usize = opt(flags, "k", 2)?;
     let reg = Registry::open(dir).map_err(io_err)?;
-    // For lits the embedding needs only the δ* metric, i.e. only the
-    // models: prune every exact scan by screening at +∞. Families without
-    // a bound scan everything and embed the exact deviations.
-    let params = MatrixParams {
-        threshold: f64::INFINITY,
-        ..MatrixParams::default()
-    };
+    // Metric families (lits, dt) embed straight off the δ* bound grid, so
+    // every exact scan can be pruned by screening at +∞. Cluster bounds are
+    // not a metric — the embedding needs the exact deviations, so scan all
+    // pairs with threshold 0.
+    fn matrix_for_embed<F: SnapshotFamily>(reg: &Registry) -> std::io::Result<DeviationMatrix> {
+        let params = MatrixParams {
+            threshold: if F::HAS_BOUND && F::BOUND_IS_METRIC {
+                f64::INFINITY
+            } else {
+                0.0
+            },
+            ..MatrixParams::default()
+        };
+        reg.matrix_of::<F>(&params)
+    }
     let m = match registry_kind(&reg, flags)? {
-        SnapshotKind::Lits => reg.matrix_of::<LitsFamily>(&params),
-        SnapshotKind::Dt => reg.matrix_of::<DtFamily>(&params),
-        SnapshotKind::Cluster => reg.matrix_of::<ClusterFamily>(&params),
+        SnapshotKind::Lits => matrix_for_embed::<LitsFamily>(&reg),
+        SnapshotKind::Dt => matrix_for_embed::<DtFamily>(&reg),
+        SnapshotKind::Cluster => matrix_for_embed::<ClusterFamily>(&reg),
     }
     .map_err(io_err)?;
     let coords = m.embed(k).map_err(|e| e.to_string())?;
@@ -524,7 +527,8 @@ fn embed(flags: &Flags) -> Result<(), String> {
         let cs: Vec<String> = c.iter().map(|x| format!("{x:.6}")).collect();
         println!("{} {}", name, cs.join(" "));
     }
-    println!("stress {:.6}", m.stress(&coords));
+    let stress = m.stress(&coords).map_err(|e| e.to_string())?;
+    println!("stress {stress:.6}");
     Ok(())
 }
 

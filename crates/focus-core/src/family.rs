@@ -12,9 +12,11 @@
 //!    of every GCR region w.r.t. that dataset;
 //! 3. **focussing** — how a region list is intersected with ρ
 //!    (Definition 5.2);
-//! 4. **the optional model-only upper bound** — δ* exists for lits-models
-//!    today (Definition 4.1) and is extensible to dt; families without one
-//!    simply fall back to exact scans everywhere.
+//! 4. **the model-only upper bound** — δ* of Definition 4.1 for lits,
+//!    with the dt and cluster analogues derived in [`crate::bound`]; the
+//!    lits and dt bounds are additionally pseudo-metrics
+//!    ([`ModelFamily::BOUND_IS_METRIC`]), which unlocks δ*-space embedding
+//!    and triangle-inequality pruning downstream.
 //!
 //! The trait captures exactly those four, so the generic engine in
 //! [`crate::deviation`] (`deviate`, `deviate_par`, `deviate_focussed`,
@@ -68,6 +70,14 @@ pub trait ModelFamily {
     /// True when the family defines a model-only upper bound
     /// ([`ModelFamily::upper_bound`] returns `Some` for every pair).
     const HAS_BOUND: bool = false;
+
+    /// True when the family's δ* is a *pseudo-metric* on models —
+    /// symmetric, `δ*(M, M) = 0`, triangle inequality (Theorem 4.2 (2)) —
+    /// so a collection's bound grid is a valid distance matrix for MDS
+    /// embedding and supports triangle-inequality pruning. `false` for
+    /// families without a bound, and for cluster-models, whose bound
+    /// violates `δ*(M, M) = 0` when clusters overlap.
+    const BOUND_IS_METRIC: bool = false;
 
     /// The GCR of the two structural components (Definition 3.4).
     fn gcr(m1: &Self::Model, m2: &Self::Model) -> Self::Gcr;
@@ -145,6 +155,7 @@ impl ModelFamily for LitsFamily {
 
     const NAME: &'static str = "lits";
     const HAS_BOUND: bool = true;
+    const BOUND_IS_METRIC: bool = true;
 
     fn gcr(m1: &LitsModel, m2: &LitsModel) -> Vec<Itemset> {
         gcr_lits(m1.itemsets(), m2.itemsets())
@@ -254,6 +265,8 @@ impl ModelFamily for DtFamily {
     type Focus = BoxRegion;
 
     const NAME: &'static str = "dt";
+    const HAS_BOUND: bool = true;
+    const BOUND_IS_METRIC: bool = true;
 
     fn gcr(m1: &DtModel, m2: &DtModel) -> DtGcr {
         assert_eq!(m1.n_classes(), m2.n_classes(), "class sets must agree");
@@ -314,6 +327,19 @@ impl ModelFamily for DtFamily {
 
     fn data_len(data: &LabeledTable) -> u64 {
         data.len() as u64
+    }
+
+    fn upper_bound(m1: &DtModel, m2: &DtModel, g: AggFn) -> Option<f64> {
+        Some(crate::bound::dt_upper_bound(m1, m2, g))
+    }
+
+    fn bound_dominates(diff: DiffFn, m1: &DtModel, m2: &DtModel) -> bool {
+        // The leaf-mass dominance argument (see [`crate::bound::
+        // dt_upper_bound`]) needs the absolute f_a and a shared class set —
+        // with unequal class counts the exact engine cannot even build the
+        // GCR, so the pair must be scanned (and fail loudly there) rather
+        // than silently pruned.
+        matches!(diff, DiffFn::Absolute) && m1.n_classes() == m2.n_classes()
     }
 }
 
@@ -386,6 +412,10 @@ impl ModelFamily for ClusterFamily {
     type Focus = BoxRegion;
 
     const NAME: &'static str = "cluster";
+    const HAS_BOUND: bool = true;
+    // Explicitly NOT a metric: δ*(C, C) > 0 for overlapping clusters, so
+    // the bound grid must never be fed to MDS or triangle pruning.
+    const BOUND_IS_METRIC: bool = false;
 
     fn gcr(m1: &ClusterModel, m2: &ClusterModel) -> Vec<BoxRegion> {
         gcr_boxes(m1.clusters(), m2.clusters())
@@ -420,6 +450,19 @@ impl ModelFamily for ClusterFamily {
     fn data_len(data: &Table) -> u64 {
         data.len() as u64
     }
+
+    fn upper_bound(m1: &ClusterModel, m2: &ClusterModel, g: AggFn) -> Option<f64> {
+        Some(crate::bound::cluster_upper_bound(m1, m2, g))
+    }
+
+    fn bound_dominates(diff: DiffFn, _m1: &ClusterModel, _m2: &ClusterModel) -> bool {
+        // The per-piece dominance argument (see [`crate::bound::
+        // cluster_upper_bound`]) needs the absolute f_a and the FOCUS
+        // contract that measures are the cluster boxes' selectivities in
+        // the paired dataset — the latter is a modelling convention the
+        // models cannot witness, exactly like the lits supports contract.
+        matches!(diff, DiffFn::Absolute)
+    }
 }
 
 #[cfg(test)]
@@ -431,11 +474,15 @@ mod tests {
         assert_eq!(LitsFamily::NAME, "lits");
         assert_eq!(DtFamily::NAME, "dt");
         assert_eq!(ClusterFamily::NAME, "cluster");
-        // Compile-time contract: only lits carries a model-only bound.
+        // Compile-time contract: every family carries a model-only bound,
+        // but only the lits/dt bounds are pseudo-metrics.
         const {
             assert!(LitsFamily::HAS_BOUND);
-            assert!(!DtFamily::HAS_BOUND);
-            assert!(!ClusterFamily::HAS_BOUND);
+            assert!(DtFamily::HAS_BOUND);
+            assert!(ClusterFamily::HAS_BOUND);
+            assert!(LitsFamily::BOUND_IS_METRIC);
+            assert!(DtFamily::BOUND_IS_METRIC);
+            assert!(!ClusterFamily::BOUND_IS_METRIC);
         }
     }
 
@@ -457,10 +504,23 @@ mod tests {
             &m(0.1),
             &m(0.2)
         ));
-        // Families without a bound never dominate.
+    }
+
+    #[test]
+    fn dt_bound_dominates_only_fa_same_classes() {
+        let m = |k: u32| DtModel::new(Vec::new(), k, Vec::new(), 10);
+        assert!(DtFamily::bound_dominates(DiffFn::Absolute, &m(2), &m(2)));
+        assert!(!DtFamily::bound_dominates(DiffFn::Scaled, &m(2), &m(2)));
+        assert!(!DtFamily::bound_dominates(DiffFn::Absolute, &m(2), &m(3)));
+        assert!(DtFamily::upper_bound(&m(2), &m(3), AggFn::Sum).is_some());
+    }
+
+    #[test]
+    fn cluster_bound_dominates_only_fa() {
         let c = ClusterModel::new(Vec::new(), Vec::new(), 0);
-        assert!(!ClusterFamily::bound_dominates(DiffFn::Absolute, &c, &c));
-        assert_eq!(ClusterFamily::upper_bound(&c, &c, AggFn::Sum), None);
+        assert!(ClusterFamily::bound_dominates(DiffFn::Absolute, &c, &c));
+        assert!(!ClusterFamily::bound_dominates(DiffFn::Scaled, &c, &c));
+        assert_eq!(ClusterFamily::upper_bound(&c, &c, AggFn::Sum), Some(0.0));
     }
 
     #[test]

@@ -86,8 +86,9 @@ pub fn gcr_boxes(a: &[BoxRegion], b: &[BoxRegion]) -> Vec<BoxRegion> {
 }
 
 /// For each region of `of`, the disjoint boxes covering its part not covered
-/// by any region of `minus`.
-fn remainders(of: &[BoxRegion], minus: &[BoxRegion]) -> Vec<BoxRegion> {
+/// by any region of `minus`. `pub(crate)` so [`crate::bound`] can replicate
+/// the exact piece decomposition [`gcr_boxes`] produces, region by region.
+pub(crate) fn remainders(of: &[BoxRegion], minus: &[BoxRegion]) -> Vec<BoxRegion> {
     let mut out = Vec::new();
     for r in of {
         let mut pieces = vec![r.clone()];

@@ -84,7 +84,7 @@ pub mod stream;
 
 /// One-stop imports for typical FOCUS workflows.
 pub mod prelude {
-    pub use crate::bound::lits_upper_bound;
+    pub use crate::bound::{cluster_upper_bound, dt_upper_bound, lits_upper_bound};
     pub use crate::data::{
         AttrType, Attribute, LabeledTable, Schema, Table, TransactionSet, Value,
     };
@@ -123,6 +123,8 @@ pub mod prelude {
     };
     pub use crate::region::{AttrConstraint, BoxBuilder, BoxRegion, CatMask, Itemset};
     pub use crate::report::{dt_report, lits_report, ComparisonReport, ReportOptions};
-    pub use crate::stream::{calibrate_threshold_par, BlockVerdict, ChangeMonitor};
+    pub use crate::stream::{
+        calibrate_threshold_par, BlockVerdict, ChangeMonitor, DEFAULT_HISTORY_CAP,
+    };
     pub use focus_exec::Parallelism;
 }

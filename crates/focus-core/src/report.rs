@@ -44,7 +44,7 @@ pub struct ComparisonReport {
     pub model_class: &'static str,
     /// The deviation `δ(f_a, g_sum)`.
     pub deviation: f64,
-    /// δ* (lits only — computable without scans).
+    /// The model-only upper bound δ* — computable without scans.
     pub bound: Option<f64>,
     /// Bootstrap significance percentage, when requested.
     pub significance_percent: Option<f64>,
@@ -182,7 +182,7 @@ where
     ComparisonReport {
         model_class: "dt",
         deviation: dev.value,
-        bound: None,
+        bound: Some(crate::bound::dt_upper_bound(&m1, &m2, AggFn::Sum)),
         significance_percent: significance,
         n_regions: dev.cells.len() * k,
         top_regions: ranked,

@@ -10,11 +10,24 @@
 //! null distribution (Section 3.4), so the monitor raises only on
 //! statistically significant drift. On alarm, the monitor can re-baseline
 //! to the new block (`rebaseline = true`), tracking slow concept drift.
+//!
+//! The monitor retains a bounded window of recent verdicts (default
+//! [`DEFAULT_HISTORY_CAP`]; see [`ChangeMonitor::with_history_cap`]) so an
+//! unattended stream cannot grow memory without bound; verdict indices are
+//! global, so trimming loses no information a caller could not recover
+//! from [`ChangeMonitor::drain_history`] shipments.
 
 use crate::data::{resample_indices, TransactionSet};
 use focus_exec::{derive_seed, map_indices, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Default number of verdicts a [`ChangeMonitor`] retains. Long-running
+/// monitors observe unboundedly many blocks; an unbounded history is a
+/// slow memory leak, so retention is bounded unless explicitly raised via
+/// [`ChangeMonitor::with_history_cap`].
+pub const DEFAULT_HISTORY_CAP: usize = 1024;
 
 /// Verdict for one monitored block.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +67,15 @@ where
     rebaseline: bool,
     /// Worker threads for the calibration fan-out.
     parallelism: Parallelism,
-    history: Vec<BlockVerdict>,
+    /// The most recent verdicts, bounded by `history_cap` (oldest dropped
+    /// first). [`BlockVerdict::index`] stays global, so a trimmed history
+    /// is still unambiguous.
+    history: VecDeque<BlockVerdict>,
+    history_cap: usize,
+    /// Blocks observed over the monitor's whole lifetime — the source of
+    /// verdict indices and re-baseline seeds, so trimming or draining the
+    /// history never changes any score or threshold.
+    observed: usize,
 }
 
 impl<F> ChangeMonitor<F>
@@ -127,7 +148,9 @@ where
             threshold,
             rebaseline: false,
             parallelism,
-            history: Vec::new(),
+            history: VecDeque::new(),
+            history_cap: DEFAULT_HISTORY_CAP,
+            observed: 0,
         }
     }
 
@@ -138,14 +161,47 @@ where
         self
     }
 
+    /// Retains at most `cap` verdicts (default
+    /// [`DEFAULT_HISTORY_CAP`]); once full, the oldest is dropped per new
+    /// block. `cap = 0` keeps no history at all. The cap only bounds the
+    /// retained record: scores, thresholds and verdict indices are
+    /// bit-identical under every cap.
+    pub fn with_history_cap(mut self, cap: usize) -> Self {
+        self.history_cap = cap;
+        while self.history.len() > cap {
+            self.history.pop_front();
+        }
+        self
+    }
+
     /// The current alarm threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
     }
 
-    /// The verdicts so far.
-    pub fn history(&self) -> &[BlockVerdict] {
-        &self.history
+    /// The retained verdicts, oldest first — the last
+    /// [`history_cap`](Self::with_history_cap) of the
+    /// [`observed`](Self::observed) blocks.
+    pub fn history(&self) -> impl Iterator<Item = &BlockVerdict> {
+        self.history.iter()
+    }
+
+    /// Number of verdicts currently retained (≤ the history cap).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Total number of blocks scored over the monitor's lifetime,
+    /// including any whose verdicts have been trimmed or drained.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Removes and returns every retained verdict, oldest first. Lets a
+    /// long-running caller ship verdicts elsewhere without the monitor
+    /// re-accumulating them; [`observed`](Self::observed) is unaffected.
+    pub fn drain_history(&mut self) -> Vec<BlockVerdict> {
+        self.history.drain(..).collect()
     }
 
     /// Scores one block; returns its verdict (also recorded in history).
@@ -153,12 +209,19 @@ where
         let deviation = (self.pipeline)(&self.reference, block);
         let drifted = deviation > self.threshold;
         let verdict = BlockVerdict {
-            index: self.history.len(),
+            index: self.observed,
             deviation,
             threshold: self.threshold,
             drifted,
         };
-        self.history.push(verdict.clone());
+        self.observed += 1;
+        if self.history.len() >= self.history_cap {
+            // ≥, not ==: with_history_cap may have shrunk the cap.
+            self.history.pop_front();
+        }
+        if self.history_cap > 0 {
+            self.history.push_back(verdict.clone());
+        }
         if drifted && self.rebaseline {
             self.reference = block.clone();
             self.threshold = calibrate_threshold_par(
@@ -166,7 +229,7 @@ where
                 self.block_size,
                 self.quantile,
                 self.reps,
-                self.seed ^ self.history.len() as u64,
+                self.seed ^ self.observed as u64,
                 self.parallelism,
                 &self.pipeline,
             );
@@ -282,7 +345,65 @@ mod tests {
             }
         }
         assert!(alarms <= 1, "{alarms} false alarms on a quiet stream");
-        assert_eq!(mon.history().len(), 10);
+        assert_eq!(mon.history_len(), 10);
+        assert_eq!(mon.observed(), 10);
+    }
+
+    #[test]
+    fn history_is_bounded_and_indices_stay_global() {
+        let reference = block(1, 500, 0.5);
+        let mut mon =
+            ChangeMonitor::new(reference, 100, 0.99, 10, 7, freq_deviation).with_history_cap(3);
+        for i in 0..8 {
+            let v = mon.observe(&block(100 + i, 100, 0.5));
+            assert_eq!(v.index as u64, i, "indices count every observed block");
+        }
+        // Regression: the history used to grow without bound.
+        assert_eq!(mon.history_len(), 3);
+        assert_eq!(mon.observed(), 8);
+        let retained: Vec<usize> = mon.history().map(|v| v.index).collect();
+        assert_eq!(retained, vec![5, 6, 7], "oldest verdicts are dropped");
+
+        let drained = mon.drain_history();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].index, 5);
+        assert_eq!(mon.history_len(), 0);
+        assert_eq!(mon.observed(), 8, "draining does not rewind the stream");
+        let v = mon.observe(&block(200, 100, 0.5));
+        assert_eq!(v.index, 8, "indices keep counting after a drain");
+    }
+
+    #[test]
+    fn zero_history_cap_keeps_nothing_but_still_scores() {
+        let reference = block(1, 500, 0.5);
+        let mut mon =
+            ChangeMonitor::new(reference, 100, 0.99, 10, 7, freq_deviation).with_history_cap(0);
+        for i in 0..4 {
+            mon.observe(&block(300 + i, 100, 0.5));
+        }
+        assert_eq!(mon.history_len(), 0);
+        assert_eq!(mon.observed(), 4);
+    }
+
+    #[test]
+    fn history_cap_never_changes_scores_or_thresholds() {
+        // Re-baseline seeds derive from the *observed* count, not the
+        // retained history length, so a capped monitor must reproduce an
+        // uncapped one bit-for-bit even across recalibrations.
+        let run = |cap: usize| -> Vec<(u64, u64, bool)> {
+            let mut mon = ChangeMonitor::new(block(1, 500, 0.2), 100, 0.9, 10, 7, freq_deviation)
+                .with_rebaseline()
+                .with_history_cap(cap);
+            (0..6)
+                .map(|i| {
+                    // Alternate regimes to force repeated re-baselines.
+                    let p0 = if i % 2 == 0 { 0.9 } else { 0.2 };
+                    let v = mon.observe(&block(400 + i, 100, p0));
+                    (v.deviation.to_bits(), v.threshold.to_bits(), v.drifted)
+                })
+                .collect()
+        };
+        assert_eq!(run(2), run(usize::MAX));
     }
 
     #[test]

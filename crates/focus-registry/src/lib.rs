@@ -25,9 +25,10 @@
 //! Everything is **multi-family**: snapshots are kind-tagged
 //! ([`SnapshotKind`]), persistence routes through the [`SnapshotFamily`]
 //! trait, and the matrix engine is generic over
-//! [`focus_core::family::ModelFamily`] — lits pairs screen on the δ*
-//! bound, dt and cluster pairs (no model-only bound today) always get
-//! exact scans.
+//! [`focus_core::family::ModelFamily`] — lits, dt and cluster pairs all
+//! screen on their family's model-only δ* bound (leaf-mass for dt,
+//! centroid-mass/box-overlap for cluster); screening silently disables
+//! itself wherever the dominance argument does not apply.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -13,9 +13,16 @@
 //!
 //! Screening auto-disables exactly where the bound does not dominate
 //! ([`ModelFamily::bound_dominates`]): for the lits family that means any
-//! non-`f_a` difference function or a mixed-minsup pair; the dt and
-//! cluster families define no model-only bound at all, so every one of
-//! their pairs gets an exact scan and the matrix is complete.
+//! non-`f_a` difference function or a mixed-minsup pair; for dt any
+//! non-`f_a` difference or a class-count mismatch; for cluster any
+//! non-`f_a` difference. Undominated pairs always get an exact scan.
+//!
+//! Where the bound is additionally a pseudo-metric
+//! ([`ModelFamily::BOUND_IS_METRIC`] — lits and dt, *not* cluster),
+//! incremental extension can go one step further: triangle-inequality
+//! pruning ([`MatrixParams::triangle`]) decides many of the new pairs from
+//! already-stored bounds via `|δ*(i,j) − δ*(j,new)| ≤ δ*(i,new) ≤
+//! δ*(i,j) + δ*(j,new)` without evaluating δ* at all.
 //!
 //! Both phases fan out over [`map_indices`] in pair-index order, so the
 //! whole matrix inherits the workspace determinism contract: bit-identical
@@ -56,6 +63,18 @@ pub enum MatrixError {
     /// the registry's current collection or the requested parameters
     /// (wrong names, size, threshold, or difference/aggregate function).
     BaseMismatch(String),
+    /// A distance was required for a pair whose cell is unavailable:
+    /// embedding needs a value for *every* pair, but this one's exact scan
+    /// was pruned (non-metric or boundless matrix) or its δ* bound was
+    /// skipped by triangle pruning. Silently substituting NaN would feed
+    /// garbage into MDS, so the missing cell is reported by name instead —
+    /// recompute at threshold `0.0` (triangle off) to embed.
+    MissingCell {
+        /// Row of the missing cell.
+        i: usize,
+        /// Column of the missing cell.
+        j: usize,
+    },
 }
 
 impl std::fmt::Display for MatrixError {
@@ -74,6 +93,11 @@ impl std::fmt::Display for MatrixError {
                 "incremental matrix maintenance requires threshold screening, not --top"
             ),
             MatrixError::BaseMismatch(msg) => write!(f, "base matrix mismatch: {msg}"),
+            MatrixError::MissingCell { i, j } => write!(
+                f,
+                "no distance available for pair ({i}, {j}): the cell was pruned or \
+                 skipped by screening; recompute with threshold 0.0 to embed"
+            ),
         }
     }
 }
@@ -110,6 +134,23 @@ pub struct MatrixParams {
     /// (it is still validated). Pairs whose bound does not dominate are
     /// scanned as always.
     pub top: Option<usize>,
+    /// Triangle-inequality pruning for *incremental extension* (off by
+    /// default). Where δ* is a pseudo-metric
+    /// ([`ModelFamily::BOUND_IS_METRIC`]), the stored bounds `δ*(i, j)`
+    /// and the already-evaluated `δ*(j, new)` sandwich a new pair's bound:
+    /// `max_j |δ*(i,j) − δ*(j,new)| ≤ δ*(i,new) ≤ min_j (δ*(i,j) +
+    /// δ*(j,new))`. When the upper envelope falls at or below the
+    /// threshold the pair is pruned, and when the lower envelope exceeds
+    /// it the pair is scanned — either way *without evaluating δ*(i,new)*,
+    /// whose grid cell stays NaN. Each decision matches what evaluating
+    /// the bound would have decided (the envelopes bracket it), so the
+    /// survivor set — and every surviving exact cell, bit-for-bit — is the
+    /// same as plain screening, up to floating-point rounding of the
+    /// envelope sums for bounds within ~1 ulp of the threshold. Ignored
+    /// for full-matrix computation (each bound is evaluated once and used
+    /// once there, so skipping cannot win), for non-metric or boundless
+    /// families, and in `--top` mode.
+    pub triangle: bool,
     /// Worker threads for both fan-out phases.
     pub par: Parallelism,
 }
@@ -121,6 +162,7 @@ impl Default for MatrixParams {
             agg: AggFn::Sum,
             threshold: 0.0,
             top: None,
+            triangle: false,
             par: Parallelism::Global,
         }
     }
@@ -147,7 +189,8 @@ pub struct DeviationMatrix {
     names: Vec<String>,
     n: usize,
     /// Row-major symmetric δ* bounds (zero diagonal); `None` when the
-    /// family defines no model-only bound.
+    /// family defines no model-only bound. NaN marks a cell whose bound
+    /// evaluation was skipped by triangle pruning.
     bounds: Option<Vec<f64>>,
     /// Row-major exact deviations; NaN where the scan was pruned (see
     /// [`DeviationMatrix::exact`] for the `Option` view).
@@ -156,6 +199,12 @@ pub struct DeviationMatrix {
     diff: DiffFn,
     agg: AggFn,
     scanned: usize,
+    /// Whether the family's δ* is a pseudo-metric — gates embedding over
+    /// the bound grid and triangle pruning.
+    metric: bool,
+    /// Bound evaluations skipped by triangle pruning across the matrix's
+    /// incremental history.
+    bound_skips: usize,
 }
 
 /// Whether two difference functions are provably the same measure.
@@ -369,51 +418,135 @@ pub(crate) fn deviation_matrix_with_bounds<F: ModelFamily>(
         diff: params.diff,
         agg: params.agg,
         scanned: survivors.len(),
+        metric: F::HAS_BOUND && F::BOUND_IS_METRIC,
+        bound_skips: 0,
     }
 }
 
-/// Which of the `N − 1` new pairs `(i, last)` survive screening when one
-/// member is appended to a collection of `models`. The single place the
-/// incremental survivor predicate lives: both [`extend_matrix`] (which
-/// scans the survivors) and the registry's dataset-loading decision call
-/// it, so the two can never drift apart.
-pub(crate) fn new_pair_survivors<F: ModelFamily>(
+/// The screening plan for the `N − 1` new pairs `(i, last)` when one
+/// member is appended to a collection: which bounds were evaluated (NaN =
+/// skipped by triangle pruning), which pairs need exact scans, and how
+/// many bound evaluations triangle pruning saved.
+pub(crate) struct NewPairPlan {
+    /// `δ*(i, last)` per old member, in member order; NaN where triangle
+    /// pruning decided the pair without evaluating it. `None` for
+    /// boundless families.
+    pub bounds: Option<Vec<f64>>,
+    /// Old-member indices whose pair with the new member needs an exact
+    /// scan.
+    pub survivors: Vec<usize>,
+    /// Bound evaluations skipped by triangle pruning.
+    pub skipped: usize,
+}
+
+/// Screens the `N − 1` new pairs of an incremental extension. The single
+/// place the incremental survivor predicate lives: both [`extend_matrix`]
+/// (which scans the survivors) and the registry's dataset-loading decision
+/// consume the plan, so the two can never drift apart.
+///
+/// With [`MatrixParams::triangle`] set — and a metric bound and a base
+/// matrix that carries bounds — the new pairs are decided *sequentially in
+/// member order*: every pair whose bound was already evaluated serves as
+/// an anchor `j`, and a later pair `(i, last)` is pruned when
+/// `min_j (δ*(i,j) + δ*(j,last)) ≤ threshold` or scanned when
+/// `max_j |δ*(i,j) − δ*(j,last)| > threshold`, skipping its bound
+/// evaluation entirely. Undominated pairs always evaluate their bound
+/// (it anchors later decisions) and always scan. The sequential loop is a
+/// pure function of the inputs — thread count cannot change the outcome.
+pub(crate) fn plan_new_pairs<F: ModelFamily>(
+    base: &DeviationMatrix,
     models: &[F::Model],
-    new_bounds: Option<&[f64]>,
     params: &MatrixParams,
-) -> Vec<usize> {
+) -> NewPairPlan {
     let last = models.len() - 1;
-    (0..last)
-        .filter(|&i| {
-            let dominated = F::bound_dominates(params.diff, &models[i], &models[last]);
-            match new_bounds {
-                Some(b) => !dominated || b[i] > params.threshold,
-                None => true,
+    debug_assert_eq!(base.len(), last);
+    debug_assert_eq!(params.top, None);
+    if !F::HAS_BOUND {
+        return NewPairPlan {
+            bounds: None,
+            survivors: (0..last).collect(),
+            skipped: 0,
+        };
+    }
+    let dominated: Vec<bool> = (0..last)
+        .map(|i| F::bound_dominates(params.diff, &models[i], &models[last]))
+        .collect();
+    if params.triangle && F::BOUND_IS_METRIC && base.has_bounds() {
+        let mut bounds = vec![f64::NAN; last];
+        let mut survivors = Vec::new();
+        let mut anchors: Vec<usize> = Vec::new();
+        let mut skipped = 0usize;
+        for i in 0..last {
+            if dominated[i] {
+                // Envelope the unseen δ*(i, last) from the anchors.
+                let mut upper = f64::INFINITY;
+                let mut lower = 0.0f64;
+                for &j in &anchors {
+                    let base_ij = base.bound(i, j);
+                    if base_ij.is_nan() {
+                        continue; // triangle hole in the base grid
+                    }
+                    upper = upper.min(base_ij + bounds[j]);
+                    lower = lower.max((base_ij - bounds[j]).abs());
+                }
+                if upper <= params.threshold {
+                    skipped += 1; // certified prunable — no eval, no scan
+                    continue;
+                }
+                if lower > params.threshold {
+                    skipped += 1; // certified interesting — scan, no eval
+                    survivors.push(i);
+                    continue;
+                }
             }
-        })
-        .collect()
+            let b = F::upper_bound(&models[i], &models[last], params.agg)
+                .expect("HAS_BOUND families always bound");
+            bounds[i] = b;
+            anchors.push(i);
+            if !dominated[i] || b > params.threshold {
+                survivors.push(i);
+            }
+        }
+        return NewPairPlan {
+            bounds: Some(bounds),
+            survivors,
+            skipped,
+        };
+    }
+    let bounds = map_indices(params.par, last, |i| {
+        F::upper_bound(&models[i], &models[last], params.agg)
+            .expect("HAS_BOUND families always bound")
+    });
+    let survivors = (0..last)
+        .filter(|&i| !dominated[i] || bounds[i] > params.threshold)
+        .collect();
+    NewPairPlan {
+        bounds: Some(bounds),
+        survivors,
+        skipped: 0,
+    }
 }
 
 /// Extends a base matrix over `models[..n-1]` with one new member — the
 /// incremental-maintenance core. Only the `n − 1` new pairs `(i, n−1)` are
-/// bounded, screened and (where surviving) scanned; every old cell is
-/// copied bit-for-bit, so the result is identical to recomputing the full
-/// matrix from scratch. `params` must be validated, threshold-mode only.
+/// bounded, screened and (where surviving) scanned, per the `plan` from
+/// [`plan_new_pairs`]; every old cell is copied bit-for-bit, so every
+/// surviving cell is identical to recomputing the full matrix from
+/// scratch. `params` must be validated, threshold-mode only.
 pub(crate) fn extend_matrix<F: ModelFamily>(
     base: &DeviationMatrix,
     models: &[F::Model],
     datasets: &[F::Dataset],
     names: Vec<String>,
     params: &MatrixParams,
-    new_bounds: Option<Vec<f64>>,
+    plan: NewPairPlan,
 ) -> DeviationMatrix {
     let n = models.len();
     debug_assert_eq!(base.len() + 1, n);
     debug_assert_eq!(params.top, None);
     let last = n - 1;
 
-    // Screen the new pairs exactly as a full run would.
-    let survivors = new_pair_survivors::<F>(models, new_bounds.as_deref(), params);
+    let survivors = &plan.survivors;
     let exact_vals = map_indices(params.par, survivors.len(), |s| {
         let i = survivors[s];
         deviate_par::<F>(
@@ -439,7 +572,7 @@ pub(crate) fn extend_matrix<F: ModelFamily>(
         }
         dst
     };
-    let bounds = match (&base.bounds, &new_bounds) {
+    let bounds = match (&base.bounds, &plan.bounds) {
         (Some(ob), Some(nb)) => {
             let mut bounds = copy_block(ob, 0.0);
             for (i, &b) in nb.iter().enumerate() {
@@ -465,6 +598,8 @@ pub(crate) fn extend_matrix<F: ModelFamily>(
         diff: params.diff,
         agg: params.agg,
         scanned: base.scanned + survivors.len(),
+        metric: base.metric,
+        bound_skips: base.bound_skips + plan.skipped,
     }
 }
 
@@ -515,14 +650,30 @@ impl DeviationMatrix {
     }
 
     /// True when the matrix carries model-only δ* bounds (the family
-    /// defines one — lits today). Boundless matrices are always complete:
-    /// every pair was scanned.
+    /// defines one — every built-in family today). Boundless matrices are
+    /// always complete: every pair was scanned.
     pub fn has_bounds(&self) -> bool {
         self.bounds.is_some()
     }
 
+    /// True when the family's δ* is a pseudo-metric (lits, dt): the bound
+    /// grid is a valid distance matrix for embedding and incremental
+    /// extension may use triangle pruning. False for cluster matrices —
+    /// their bound violates `δ*(M, M) = 0` when clusters overlap.
+    pub fn metric(&self) -> bool {
+        self.metric
+    }
+
+    /// Bound evaluations skipped by triangle pruning over the matrix's
+    /// incremental history (`0` unless [`MatrixParams::triangle`] extended
+    /// it).
+    pub fn bound_skips(&self) -> usize {
+        self.bound_skips
+    }
+
     /// The δ* upper bound for a pair (`0` on the diagonal); NaN when the
-    /// family defines no bound (see [`DeviationMatrix::has_bounds`]).
+    /// family defines no bound (see [`DeviationMatrix::has_bounds`]) or
+    /// when triangle pruning decided the pair without evaluating it.
     pub fn bound(&self, i: usize, j: usize) -> f64 {
         match &self.bounds {
             Some(b) => b[i * self.n + j],
@@ -546,32 +697,56 @@ impl DeviationMatrix {
         self.exact(i, j).unwrap_or_else(|| self.bound(i, j))
     }
 
-    /// The collection as a [`DistanceMatrix`]: the δ* bounds where the
-    /// family has them — δ* is a metric (Theorem 4.2 (2–3)), the exact
-    /// deviations in general are not — else the exact deviations, which a
-    /// boundless matrix always has in full.
-    pub fn distance_matrix(&self) -> DistanceMatrix {
-        match &self.bounds {
-            Some(_) => DistanceMatrix::from_fn(self.n, |i, j| self.bound(i, j)),
-            None => DistanceMatrix::from_fn(self.n, |i, j| self.value(i, j)),
+    /// The collection as a [`DistanceMatrix`]: the δ* bounds where they
+    /// form a metric (Theorem 4.2 (2–3) — lits, dt), else the exact
+    /// deviations (cluster's non-metric bound must never feed MDS;
+    /// boundless matrices have exact values in full).
+    ///
+    /// Errors with [`MatrixError::MissingCell`] when a required cell is
+    /// unavailable — a triangle-skipped bound on the metric path, or a
+    /// pruned exact scan on the exact path — instead of silently feeding
+    /// NaN into the embedding.
+    pub fn distance_matrix(&self) -> Result<DistanceMatrix, MatrixError> {
+        let metric_cell = |i: usize, j: usize| self.bound(i, j);
+        let exact_cell = |i: usize, j: usize| {
+            if i == j {
+                0.0
+            } else {
+                self.exact[i * self.n + j]
+            }
+        };
+        let cell: &dyn Fn(usize, usize) -> f64 = if self.metric {
+            &metric_cell
+        } else {
+            &exact_cell
+        };
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if cell(i, j).is_nan() {
+                    return Err(MatrixError::MissingCell { i, j });
+                }
+            }
         }
+        Ok(DistanceMatrix::from_fn(self.n, cell))
     }
 
     /// Classical MDS coordinates of the collection in `k` dimensions
     /// under the matrix's metric (Section 4.1.1's visual-comparison
     /// embedding). `n` points span at most `n − 1` dimensions, so
     /// `k >= n` (and `k == 0`) are rejected instead of producing junk
-    /// zero coordinates.
+    /// zero coordinates; an unavailable cell is
+    /// [`MatrixError::MissingCell`], never a NaN coordinate.
     pub fn embed(&self, k: usize) -> Result<Vec<Vec<f64>>, MatrixError> {
         if k == 0 || k >= self.n {
             return Err(MatrixError::EmbedDims { k, n: self.n });
         }
-        Ok(self.distance_matrix().embed(k))
+        Ok(self.distance_matrix()?.embed(k))
     }
 
-    /// Embedding stress of `coords` against the matrix's metric.
-    pub fn stress(&self, coords: &[Vec<f64>]) -> f64 {
-        self.distance_matrix().stress(coords)
+    /// Embedding stress of `coords` against the matrix's metric. Fails
+    /// like [`DeviationMatrix::distance_matrix`] when a cell is missing.
+    pub fn stress(&self, coords: &[Vec<f64>]) -> Result<f64, MatrixError> {
+        Ok(self.distance_matrix()?.stress(coords))
     }
 }
 
@@ -579,9 +754,9 @@ impl DeviationMatrix {
 mod tests {
     use super::*;
     use crate::testutil::random_dataset;
-    use focus_core::data::{LabeledTable, Schema, Value};
-    use focus_core::family::DtFamily;
-    use focus_core::model::{induce_dt_measures, DtModel};
+    use focus_core::data::{LabeledTable, Schema, Table, Value};
+    use focus_core::family::{ClusterFamily, DtFamily};
+    use focus_core::model::{induce_dt_measures, ClusterModel, DtModel};
     use focus_core::region::BoxBuilder;
     use focus_mining::{Apriori, AprioriParams};
     use std::sync::Arc;
@@ -882,14 +1057,18 @@ mod tests {
         }
     }
 
+    /// Three boundary trees: `t0`/`t1` share a leaf partition (split at
+    /// 30) but are induced from different row counts, so their bound is a
+    /// small measure difference; `t2` splits elsewhere, so no leaf
+    /// matches and the bound charges the full mass of both trees.
     fn dt_collection() -> (Vec<DtModel>, Vec<LabeledTable>, Vec<String>) {
         let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
         let mut models = Vec::new();
         let mut datasets = Vec::new();
         let mut names = Vec::new();
-        for (i, boundary) in [30.0, 45.0, 70.0].iter().enumerate() {
+        for (i, (boundary, rows)) in [(30.0, 120), (30.0, 150), (70.0, 120)].iter().enumerate() {
             let mut d = LabeledTable::new(Arc::clone(&schema), 2);
-            for r in 0..120 {
+            for r in 0..*rows {
                 let x = r as f64;
                 d.push_row(&[Value::Num(x)], u32::from(x < *boundary));
             }
@@ -908,31 +1087,206 @@ mod tests {
     }
 
     #[test]
-    fn dt_family_matrix_is_boundless_and_complete() {
+    fn dt_family_matrix_screens_on_the_leaf_mass_bound() {
         let (models, datasets, names) = dt_collection();
-        // The dt family has no model-only bound, so screening cannot
-        // engage: even an infinite threshold scans every pair.
-        let m = deviation_matrix_par::<DtFamily>(
+        let full = deviation_matrix_par::<DtFamily>(
             &models,
             &datasets,
-            names,
+            names.clone(),
             &MatrixParams {
-                threshold: f64::INFINITY,
                 par: Parallelism::Sequential,
                 ..MatrixParams::default()
             },
         )
         .unwrap();
-        assert!(!m.has_bounds());
-        assert!(m.bound(0, 1).is_nan());
-        assert_eq!(m.scanned(), 3);
-        assert_eq!(m.pruned(), 0);
-        // Deviations grow with boundary distance, and the embedding (over
-        // the exact values, since there are no bounds) reflects that.
-        let near = m.exact(0, 1).unwrap();
-        let far = m.exact(0, 2).unwrap();
-        assert!(near < far, "{near} vs {far}");
-        let coords = m.embed(2).unwrap();
+        assert!(full.has_bounds());
+        assert!(full.metric());
+        // Shared-structure pair: small bound. Structurally different
+        // pairs: the bound charges both trees' full mass (2.0).
+        assert!(full.bound(0, 1) < 1.0, "{}", full.bound(0, 1));
+        assert!((full.bound(0, 2) - 2.0).abs() < 1e-12);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(full.exact(i, j).unwrap() <= full.bound(i, j) + 1e-12);
+            }
+        }
+        // A threshold between the two regimes prunes exactly the similar
+        // pair; surviving cells are bit-identical to the full scan.
+        let screened = deviation_matrix_par::<DtFamily>(
+            &models,
+            &datasets,
+            names,
+            &MatrixParams {
+                threshold: 1.0,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!((screened.scanned(), screened.pruned()), (2, 1));
+        assert_eq!(screened.exact(0, 1), None);
+        assert_eq!(
+            screened.exact(0, 2).unwrap().to_bits(),
+            full.exact(0, 2).unwrap().to_bits()
+        );
+        // δ* is a metric for dt: the embedding runs off the bound grid
+        // even though one exact cell is pruned.
+        let coords = screened.embed(2).unwrap();
         assert_eq!(coords.len(), 3);
+    }
+
+    /// Cluster collection honouring the dominance contract (measures are
+    /// box selectivities): `c0`/`c1` share their (disjoint) boxes with
+    /// slightly different masses; `c2` clusters elsewhere.
+    fn cluster_collection() -> (Vec<ClusterModel>, Vec<Table>, Vec<String>) {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let shared = |s: &Arc<Schema>| {
+            vec![
+                BoxBuilder::new(s).range("x", 0.0, 30.0).build(),
+                BoxBuilder::new(s).range("x", 50.0, 80.0).build(),
+            ]
+        };
+        let far = |s: &Arc<Schema>| {
+            vec![
+                BoxBuilder::new(s).range("x", 100.0, 130.0).build(),
+                BoxBuilder::new(s).range("x", 150.0, 180.0).build(),
+            ]
+        };
+        let mut models = Vec::new();
+        let mut datasets = Vec::new();
+        let mut names = Vec::new();
+        for (i, (boxes, span)) in [
+            (shared(&schema), 90.0),
+            (shared(&schema), 100.0),
+            (far(&schema), 190.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut t = Table::new(Arc::clone(&schema));
+            for r in 0..100 {
+                t.push_row(&[Value::Num(r as f64 * span / 100.0)]);
+            }
+            let n = t.len() as f64;
+            let measures = boxes
+                .iter()
+                .map(|b| t.rows().filter(|row| b.contains(row)).count() as f64 / n)
+                .collect();
+            models.push(ClusterModel::new(boxes, measures, t.len() as u64));
+            datasets.push(t);
+            names.push(format!("c{i}"));
+        }
+        (models, datasets, names)
+    }
+
+    #[test]
+    fn cluster_family_matrix_screens_but_never_embeds_bounds() {
+        let (models, datasets, names) = cluster_collection();
+        let full = deviation_matrix_par::<ClusterFamily>(
+            &models,
+            &datasets,
+            names.clone(),
+            &MatrixParams {
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        )
+        .unwrap();
+        assert!(full.has_bounds());
+        assert!(!full.metric(), "cluster δ* is not a metric");
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(full.exact(i, j).unwrap() <= full.bound(i, j) + 1e-12);
+            }
+        }
+        // The shared-box pair's bound is just the measure differences;
+        // a threshold above it prunes that pair and keeps the rest.
+        let cut = full.bound(0, 1);
+        assert!(cut < full.bound(0, 2), "{cut} vs {}", full.bound(0, 2));
+        let screened = deviation_matrix_par::<ClusterFamily>(
+            &models,
+            &datasets,
+            names,
+            &MatrixParams {
+                threshold: cut,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            },
+        )
+        .unwrap();
+        assert!(screened.pruned() >= 1 && screened.scanned() >= 1);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                if let Some(e) = screened.exact(i, j) {
+                    assert_eq!(e.to_bits(), full.exact(i, j).unwrap().to_bits());
+                }
+            }
+        }
+        // Non-metric: embedding must use exact values, so a pruned cell is
+        // a named error — never NaN coordinates.
+        let err = screened.embed(2).unwrap_err();
+        assert!(matches!(err, MatrixError::MissingCell { .. }), "{err:?}");
+        assert!(err.to_string().contains("no distance available"), "{err}");
+        // The unscreened matrix has every exact cell and embeds fine.
+        assert_eq!(full.embed(2).unwrap().len(), 3);
+        assert!(full.stress(&full.embed(2).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn triangle_extension_matches_plain_screening() {
+        // Two tight lits groups; base over the first five snapshots, then
+        // append a sixth and plan the new pairs with and without triangle
+        // pruning: identical survivors and bounds where evaluated, with a
+        // strictly positive number of bound evaluations skipped.
+        let (models, datasets, names) = collection(&[
+            (1, 0.0),
+            (2, 0.05),
+            (3, 1.0),
+            (4, 0.95),
+            (5, 0.0),
+            (6, 0.02),
+        ]);
+        let probe = deviation_matrix(&models, &datasets, names.clone(), f64::INFINITY).unwrap();
+        let probe = &probe;
+        let mut bs: Vec<f64> = (0..6)
+            .flat_map(|i| ((i + 1)..6).map(move |j| probe.bound(i, j)))
+            .collect();
+        bs.sort_by(f64::total_cmp);
+        let params = MatrixParams {
+            threshold: (bs[bs.len() / 2 - 1] + bs[bs.len() / 2]) / 2.0,
+            par: Parallelism::Sequential,
+            ..MatrixParams::default()
+        };
+        let base = deviation_matrix_par::<LitsFamily>(
+            &models[..5],
+            &datasets[..5],
+            names[..5].to_vec(),
+            &params,
+        )
+        .unwrap();
+
+        let plain = plan_new_pairs::<LitsFamily>(&base, &models, &params);
+        let tri = plan_new_pairs::<LitsFamily>(
+            &base,
+            &models,
+            &MatrixParams {
+                triangle: true,
+                ..params
+            },
+        );
+        assert_eq!(plain.survivors, tri.survivors, "survivor sets must agree");
+        assert_eq!(plain.skipped, 0);
+        assert!(tri.skipped > 0, "triangle pruning must skip some bounds");
+        // Where the triangle plan did evaluate, it got the same bound.
+        let (pb, tb) = (plain.bounds.unwrap(), tri.bounds.unwrap());
+        let mut skipped_seen = 0;
+        for i in 0..5 {
+            if tb[i].is_nan() {
+                skipped_seen += 1;
+            } else {
+                assert_eq!(pb[i].to_bits(), tb[i].to_bits(), "bound {i}");
+            }
+        }
+        assert_eq!(skipped_seen, tri.skipped);
     }
 }

@@ -32,7 +32,6 @@ use crate::matrix::{DeviationMatrix, MatrixError, MatrixParams};
 use focus_core::data::TransactionSet;
 use focus_core::family::LitsFamily;
 use focus_core::model::LitsModel;
-use focus_exec::map_indices;
 use focus_mining::{Apriori, AprioriParams};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -44,6 +43,40 @@ const HEADER_V1: &str = "#focus-registry v1";
 
 fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Fsyncs a directory so a just-renamed or just-created entry inside it
+/// survives a crash — a rename is only durable once the *directory* is on
+/// disk, not just the file. No-op on platforms where directories cannot be
+/// opened for syncing.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Durably writes one file: temp file in the same directory, `write`
+/// callback, `sync_all` (flush + fsync the data), atomic rename over the
+/// destination, then directory fsync so the rename itself survives a
+/// crash. A crash at any point leaves either the old file or the new one,
+/// never a torn or vanished entry.
+fn persist_file(
+    path: &Path,
+    write: impl FnOnce(&mut File) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = File::create(&tmp)?;
+    write(&mut f)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    sync_dir(path.parent().unwrap_or_else(|| Path::new(".")))
 }
 
 /// One manifest entry: a named snapshot and its summary statistics.
@@ -269,22 +302,20 @@ impl Registry {
     }
 
     /// Rewrites a v1 manifest in v2 format so new kind-tagged lines can be
-    /// appended. The rewrite goes through a temp file + rename, so a crash
-    /// leaves either the old or the new manifest, never a torn one.
+    /// appended. The rewrite goes through [`persist_file`] (temp file +
+    /// fsync + rename + directory fsync), so a crash leaves either the old
+    /// or the new manifest, never a torn or lost one.
     fn upgrade_manifest(&mut self) -> std::io::Result<()> {
         if self.version == 2 {
             return Ok(());
         }
-        let tmp = self.root.join(format!("{MANIFEST}.tmp"));
-        {
-            let mut f = File::create(&tmp)?;
+        persist_file(&self.root.join(MANIFEST), |f| {
             writeln!(f, "{HEADER_V2}")?;
             for e in &self.entries {
                 writeln!(f, "{}", e.manifest_line())?;
             }
-            f.flush()?;
-        }
-        std::fs::rename(&tmp, self.root.join(MANIFEST))?;
+            Ok(())
+        })?;
         self.version = 2;
         Ok(())
     }
@@ -302,12 +333,12 @@ impl Registry {
         if self.contains(name) {
             return Err(bad(&format!("snapshot {name:?} already registered")));
         }
-        F::write_dataset(data, File::create(self.artifact_path(name, F::DATA_EXT))?)?;
-        F::write_model(
-            model,
-            data,
-            File::create(self.artifact_path(name, F::MODEL_EXT))?,
-        )?;
+        persist_file(&self.artifact_path(name, F::DATA_EXT), |f| {
+            F::write_dataset(data, f)
+        })?;
+        persist_file(&self.artifact_path(name, F::MODEL_EXT), |f| {
+            F::write_model(model, data, f)
+        })?;
         let entry = SnapshotEntry {
             name: name.to_string(),
             kind: F::KIND,
@@ -320,7 +351,10 @@ impl Registry {
             .append(true)
             .open(self.root.join(MANIFEST))?;
         writeln!(manifest, "{}", entry.manifest_line())?;
-        manifest.flush()?;
+        // The artifacts are already durable; make the index line durable
+        // too before reporting success, or a crash could land a snapshot
+        // whose files exist but which the manifest has never heard of.
+        manifest.sync_all()?;
         self.entries.push(entry);
         Ok(self.entries.last().expect("just pushed"))
     }
@@ -514,21 +548,17 @@ impl Registry {
         }
         let n = models.len();
         let last = n - 1;
-        // Bounds for the N−1 new pairs only, in pair order.
-        let new_bounds: Option<Vec<f64>> = if F::HAS_BOUND {
-            Some(map_indices(params.par, last, |i| {
-                F::upper_bound(&models[i], &models[last], params.agg)
-                    .expect("HAS_BOUND families always bound")
-            }))
-        } else {
-            None
-        };
+        // Screen the N−1 new pairs from the models (and, with
+        // `params.triangle` on a metric family, from the base matrix's
+        // stored bounds — most new pairs then skip even the bound
+        // evaluation).
+        let plan = crate::matrix::plan_new_pairs::<F>(base, &models, params);
         // Load the new dataset plus every old dataset that participates in
         // a surviving new pair; the rest get empty stand-ins. The survivor
         // list is the same one `extend_matrix` will scan.
         let mut needed = vec![false; n];
         needed[last] = true;
-        for i in crate::matrix::new_pair_survivors::<F>(&models, new_bounds.as_deref(), params) {
+        for &i in &plan.survivors {
             needed[i] = true;
         }
         let mut datasets = Vec::with_capacity(n);
@@ -541,7 +571,7 @@ impl Registry {
         }
         let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
         Ok(crate::matrix::extend_matrix::<F>(
-            base, &models, &datasets, names, params, new_bounds,
+            base, &models, &datasets, names, params, plan,
         ))
     }
 }
@@ -658,10 +688,10 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    fn dt_snapshot(boundary: f64) -> (LabeledTable, focus_core::model::DtModel) {
+    fn dt_snapshot_rows(boundary: f64, rows: usize) -> (LabeledTable, focus_core::model::DtModel) {
         let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
         let mut d = LabeledTable::new(Arc::clone(&schema), 2);
-        for r in 0..150 {
+        for r in 0..rows {
             let x = r as f64;
             d.push_row(&[Value::Num(x)], u32::from(x < boundary));
         }
@@ -673,6 +703,10 @@ mod tests {
             &d,
         );
         (d, model)
+    }
+
+    fn dt_snapshot(boundary: f64) -> (LabeledTable, focus_core::model::DtModel) {
+        dt_snapshot_rows(boundary, 150)
     }
 
     #[test]
@@ -712,23 +746,42 @@ mod tests {
     }
 
     #[test]
-    fn dt_matrix_from_registry_scans_all_pairs() {
+    fn dt_matrix_from_registry_screens_and_skips_pruned_io() {
         let dir = scratch("dtmatrix");
         let mut reg = Registry::open_or_create(&dir).unwrap();
-        for (name, b) in [("a", 30.0), ("b", 45.0), ("c", 90.0)] {
-            let (d, m) = dt_snapshot(b);
+        // `a` and `b` share a leaf partition (small bound); `c` does not
+        // (bound = full mass of both trees, 2.0).
+        for (name, b, rows) in [("a", 30.0, 120), ("b", 30.0, 150), ("c", 90.0, 150)] {
+            let (d, m) = dt_snapshot_rows(b, rows);
             reg.add_snapshot::<DtFamily>(name, &d, &m).unwrap();
         }
-        let params = MatrixParams {
-            threshold: f64::INFINITY,
-            par: Parallelism::Sequential,
-            ..MatrixParams::default()
-        };
-        let m = reg.matrix_of::<DtFamily>(&params).unwrap();
-        // No bound exists for dt, so the infinite threshold prunes nothing.
-        assert!(!m.has_bounds());
-        assert_eq!((m.n_pairs(), m.scanned(), m.pruned()), (3, 3, 0));
-        assert!(m.exact(0, 1).unwrap() < m.exact(0, 2).unwrap());
+        let full = reg
+            .matrix_of::<DtFamily>(&MatrixParams {
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            })
+            .unwrap();
+        assert!(full.has_bounds());
+        assert_eq!((full.n_pairs(), full.pruned()), (3, 0));
+
+        // Threshold 2.5 prunes every pair: (a, b)'s bound is tiny and the
+        // structurally-different pairs max out at the trees' total mass
+        // (2.0). With nothing surviving, no dataset is ever read — prove
+        // it by corrupting the dataset files.
+        for name in ["a", "b", "c"] {
+            std::fs::write(dir.join(format!("{name}.tbl")), "garbage").unwrap();
+        }
+        let screened = reg
+            .matrix_of::<DtFamily>(&MatrixParams {
+                threshold: 2.5,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            })
+            .unwrap();
+        assert_eq!((screened.scanned(), screened.pruned()), (0, 3));
+        // The bounds survive unchanged and still embed (dt δ* is a metric).
+        assert_eq!(screened.bound(0, 2).to_bits(), full.bound(0, 2).to_bits());
+        assert_eq!(screened.embed(2).unwrap().len(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -800,6 +853,76 @@ mod tests {
                     incremental.exact(i, j).map(f64::to_bits),
                     full.exact(i, j).map(f64::to_bits),
                     "exact({i},{j})"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_to_matrix_triangle_skips_bounds_but_matches_plain() {
+        let dir = scratch("triangle");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        // Two tight groups; the threshold separates intra- from
+        // inter-group bounds, so once one new pair of each flavour has
+        // been evaluated the triangle envelopes decide the rest.
+        for (name, seed, skew) in [
+            ("a1", 1, 0.0),
+            ("a2", 2, 0.05),
+            ("b1", 3, 1.0),
+            ("b2", 4, 0.95),
+            ("a3", 5, 0.02),
+        ] {
+            reg.add(name, &random_dataset(seed, 300, skew), 0.15)
+                .unwrap();
+        }
+        let probe = reg
+            .matrix(&MatrixParams {
+                threshold: f64::INFINITY,
+                par: Parallelism::Sequential,
+                ..MatrixParams::default()
+            })
+            .unwrap();
+        let intra = probe.bound(0, 1);
+        let inter = probe.bound(0, 2);
+        assert!(intra < inter);
+        let params = MatrixParams {
+            threshold: (intra + inter) / 2.0,
+            par: Parallelism::Sequential,
+            ..MatrixParams::default()
+        };
+        let base = reg.matrix(&params).unwrap();
+
+        // Append a sixth snapshot from group a and extend both ways.
+        reg.add("a4", &random_dataset(6, 300, 0.03), 0.15).unwrap();
+        let plain = reg.add_to_matrix::<LitsFamily>(&base, &params).unwrap();
+        let tri = reg
+            .add_to_matrix::<LitsFamily>(
+                &base,
+                &MatrixParams {
+                    triangle: true,
+                    ..params
+                },
+            )
+            .unwrap();
+
+        assert_eq!(plain.bound_skips(), 0);
+        assert!(tri.bound_skips() > 0, "triangle must skip bound evals");
+        assert_eq!(tri.scanned(), plain.scanned());
+        assert_eq!(tri.pruned(), plain.pruned());
+        // Every surviving exact cell is bit-identical; the only difference
+        // is NaN holes in the bound grid where evaluation was skipped.
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(
+                    tri.exact(i, j).map(f64::to_bits),
+                    plain.exact(i, j).map(f64::to_bits),
+                    "exact({i},{j})"
+                );
+                let (tb, pb) = (tri.bound(i, j), plain.bound(i, j));
+                assert!(
+                    tb.is_nan() || tb.to_bits() == pb.to_bits(),
+                    "bound({i},{j}): {tb} vs {pb}"
                 );
             }
         }

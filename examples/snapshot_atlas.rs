@@ -88,8 +88,11 @@ fn main() {
     }
 
     // The atlas: 2-D MDS under the δ* metric. The two regimes separate.
-    let coords = matrix.embed(2).expect("2 < 6 snapshots");
-    println!("\n2-D embedding (stress {:.4}):", matrix.stress(&coords));
+    let coords = matrix
+        .embed(2)
+        .expect("lits bounds form a full metric grid");
+    let stress = matrix.stress(&coords).expect("same grid as the embedding");
+    println!("\n2-D embedding (stress {stress:.4}):");
     for (name, c) in names.iter().zip(&coords) {
         println!("  {:8} ({:9.3}, {:9.3})", name, c[0], c[1]);
     }

@@ -409,6 +409,160 @@ fn large_scan_splits_chunks_and_stays_identical() {
     }
 }
 
+/// δ*-screening for the dt and cluster families must be a pure
+/// optimisation: at a pruning threshold, every *surviving* cell is
+/// bit-identical to the full scan's, the prune decisions are
+/// thread-count-invariant, and a strictly positive fraction of pairs is
+/// actually pruned. (The lits analogue is covered by the property test
+/// below; here the collections are built with shared structure so the
+/// new bounds are informative.)
+#[test]
+fn dt_and_cluster_screening_matches_full_scan_at_every_thread_count() {
+    // dt: two snapshots share the split skeleton (tight, near-exact
+    // bound); the third uses a different boundary, so its leaf boxes
+    // match nothing and its bound saturates at the total mass 2.0.
+    let dt_data: Vec<LabeledTable> = [(400, 3u64), (520, 4), (450, 5)]
+        .iter()
+        .map(|&(n, seed)| random_labeled(n, 40.0, 0.05, seed))
+        .collect();
+    let split = |b: f64, d: &LabeledTable| {
+        let schema = d.table.schema();
+        induce_dt_measures(
+            vec![
+                BoxBuilder::new(schema).lt("x", b).build(),
+                BoxBuilder::new(schema).ge("x", b).build(),
+            ],
+            d,
+        )
+    };
+    let dt_models = vec![
+        split(40.0, &dt_data[0]),
+        split(40.0, &dt_data[1]),
+        split(75.0, &dt_data[2]),
+    ];
+    let names: Vec<String> = (0..3).map(|i| format!("s{i}")).collect();
+    let params = |threshold: f64, par| MatrixParams {
+        threshold,
+        par,
+        ..MatrixParams::default()
+    };
+    let full = deviation_matrix_par::<DtFamily>(
+        &dt_models,
+        &dt_data,
+        names.clone(),
+        &params(0.0, Parallelism::Sequential),
+    )
+    .unwrap();
+    // 1.0 splits the bound range: shared-skeleton pair ≪ 1 < 2.0.
+    let screened_seq = deviation_matrix_par::<DtFamily>(
+        &dt_models,
+        &dt_data,
+        names.clone(),
+        &params(1.0, Parallelism::Sequential),
+    )
+    .unwrap();
+    assert_eq!(screened_seq.pruned(), 1, "the shared-skeleton pair prunes");
+    assert_eq!(screened_seq.scanned(), 2);
+    for t in THREADS {
+        let screened = deviation_matrix_par::<DtFamily>(
+            &dt_models,
+            &dt_data,
+            names.clone(),
+            &params(1.0, Parallelism::Threads(t)),
+        )
+        .unwrap();
+        assert_eq!(screened.pruned(), screened_seq.pruned(), "threads = {t}");
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    screened.exact(i, j).map(f64::to_bits),
+                    screened_seq.exact(i, j).map(f64::to_bits),
+                    "dt exact({i}, {j}), threads = {t}"
+                );
+                if let Some(e) = screened.exact(i, j) {
+                    assert_eq!(
+                        Some(e.to_bits()),
+                        full.exact(i, j).map(f64::to_bits),
+                        "dt surviving cell ({i}, {j}) vs full scan, threads = {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    // cluster: snapshots 0 and 1 share their cluster boxes (only the
+    // measures differ → small bound); snapshot 2 lives in a disjoint
+    // span, so its pairs keep remainder terms and a large bound.
+    let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+    let cl_data: Vec<Table> = [(300usize, 6u64, 0.0), (340, 7, 0.0), (320, 8, 100.0)]
+        .iter()
+        .map(|&(n, seed, shift)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Table::new(Arc::clone(&schema));
+            for _ in 0..n {
+                t.push_row(&[Value::Num(shift + rng.gen::<f64>() * 80.0)]);
+            }
+            t
+        })
+        .collect();
+    let boxed = |lo: f64, hi: f64| BoxBuilder::new(&schema).range("x", lo, hi).build();
+    let cl_model = |boxes: Vec<BoxRegion>, d: &Table| {
+        let measures: Vec<f64> = boxes
+            .iter()
+            .map(|b| d.rows().filter(|r| b.contains(r)).count() as f64 / d.len() as f64)
+            .collect();
+        ClusterModel::new(boxes, measures, d.len() as u64)
+    };
+    let cl_models = vec![
+        cl_model(vec![boxed(0.0, 30.0), boxed(50.0, 80.0)], &cl_data[0]),
+        cl_model(vec![boxed(0.0, 30.0), boxed(50.0, 80.0)], &cl_data[1]),
+        cl_model(vec![boxed(100.0, 130.0), boxed(150.0, 180.0)], &cl_data[2]),
+    ];
+    let full = deviation_matrix_par::<ClusterFamily>(
+        &cl_models,
+        &cl_data,
+        names.clone(),
+        &params(0.0, Parallelism::Sequential),
+    )
+    .unwrap();
+    let threshold = full.bound(0, 1);
+    let screened_seq = deviation_matrix_par::<ClusterFamily>(
+        &cl_models,
+        &cl_data,
+        names.clone(),
+        &params(threshold, Parallelism::Sequential),
+    )
+    .unwrap();
+    assert!(screened_seq.pruned() >= 1, "the shared-box pair prunes");
+    assert!(screened_seq.scanned() >= 1, "the disjoint-span pairs scan");
+    for t in THREADS {
+        let screened = deviation_matrix_par::<ClusterFamily>(
+            &cl_models,
+            &cl_data,
+            names.clone(),
+            &params(threshold, Parallelism::Threads(t)),
+        )
+        .unwrap();
+        assert_eq!(screened.pruned(), screened_seq.pruned(), "threads = {t}");
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    screened.exact(i, j).map(f64::to_bits),
+                    screened_seq.exact(i, j).map(f64::to_bits),
+                    "cluster exact({i}, {j}), threads = {t}"
+                );
+                if let Some(e) = screened.exact(i, j) {
+                    assert_eq!(
+                        Some(e.to_bits()),
+                        full.exact(i, j).map(f64::to_bits),
+                        "cluster surviving cell ({i}, {j}) vs full scan, threads = {t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -456,10 +610,10 @@ proptest! {
         }
     }
 
-    /// The same engine instantiated for the dt family: no model-only
-    /// bound exists, so every pair is scanned — and the full matrix of
-    /// exact overlay deviations must be bit-identical for every
-    /// worker-thread count.
+    /// The same engine instantiated for the dt family at the default
+    /// threshold 0 — every leaf-mass bound is positive, so every pair is
+    /// scanned — and the full matrix of exact overlay deviations must be
+    /// bit-identical for every worker-thread count.
     #[test]
     fn dt_deviation_matrix_bit_identical(seed in 0u64..1_000_000,
                                          n_snaps in 3usize..5) {
@@ -478,7 +632,7 @@ proptest! {
         let seq = deviation_matrix_par::<DtFamily>(
             &models, &datasets, names.clone(), &params(Parallelism::Sequential),
         ).unwrap();
-        prop_assert_eq!(seq.pruned(), 0, "boundless families never prune");
+        prop_assert_eq!(seq.pruned(), 0, "threshold 0 never prunes");
         for t in THREADS {
             let par = deviation_matrix_par::<DtFamily>(
                 &models, &datasets, names.clone(), &params(Parallelism::Threads(t)),
@@ -495,7 +649,7 @@ proptest! {
     }
 
     /// And for the cluster family: k-means box models over plain tables,
-    /// same no-bound/full-scan regime, same bit-identity contract.
+    /// same threshold-0/full-scan regime, same bit-identity contract.
     #[test]
     fn cluster_deviation_matrix_bit_identical(seed in 0u64..1_000_000,
                                               n_snaps in 3usize..5) {
@@ -522,7 +676,7 @@ proptest! {
         let seq = deviation_matrix_par::<ClusterFamily>(
             &models, &datasets, names.clone(), &params(Parallelism::Sequential),
         ).unwrap();
-        prop_assert_eq!(seq.pruned(), 0, "boundless families never prune");
+        prop_assert_eq!(seq.pruned(), 0, "threshold 0 never prunes");
         for t in THREADS {
             let par = deviation_matrix_par::<ClusterFamily>(
                 &models, &datasets, names.clone(), &params(Parallelism::Threads(t)),

@@ -202,6 +202,91 @@ proptest! {
     }
 
     #[test]
+    fn dt_bound_dominates_deviation(seed1 in 0u64..500, seed2 in 0u64..500,
+                                    cut1 in 4u32..16, cut2 in 4u32..16,
+                                    ax1 in 0usize..2, ax2 in 0usize..2) {
+        // δ* soundness for the dt family: the leaf-mass bound dominates the
+        // true deviation under f_a for both aggregates. Equal cuts on the
+        // same axis exercise the matched-leaf (exact) path; everything else
+        // the telescoping full-mass path.
+        let schema = schema2();
+        let axes = ["x", "y"];
+        let data = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = LabeledTable::new(Arc::clone(&schema), 2);
+            for _ in 0..120 {
+                let x = rng.gen_range(0.0..20.0);
+                let y = rng.gen_range(0.0..20.0);
+                d.push_row(&[Value::Num(x), Value::Num(y)], u32::from(x + y > 20.0));
+            }
+            d
+        };
+        let split = |axis: usize, cut: u32| vec![
+            BoxBuilder::new(&schema).lt(axes[axis], cut as f64).build(),
+            BoxBuilder::new(&schema).ge(axes[axis], cut as f64).build(),
+        ];
+        let d1 = data(seed1);
+        let d2 = data(seed2 ^ 0x9E37);
+        let m1 = induce_dt_measures(split(ax1, cut1), &d1);
+        let m2 = induce_dt_measures(split(ax2, cut2), &d2);
+        for g in [AggFn::Sum, AggFn::Max] {
+            let bound = dt_upper_bound(&m1, &m2, g);
+            let exact = dt_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, g).value;
+            prop_assert!(bound >= exact - 1e-12, "{:?}: {} < {}", g, bound, exact);
+        }
+    }
+
+    #[test]
+    fn cluster_bound_dominates_deviation(boxes_a in proptest::collection::vec(arb_box(), 1..4),
+                                         boxes_b in proptest::collection::vec(arb_box(), 1..4),
+                                         seed1 in 0u64..500, seed2 in 0u64..500) {
+        // δ* soundness for the cluster family, under the dominance
+        // contract: each model's measures are its boxes' selectivities in
+        // the paired dataset, and cluster boxes are pairwise disjoint (the
+        // paper's model; enforced by subtraction as in the GCR test).
+        let schema = schema2();
+        let disjoin = |raw: Vec<(f64, f64, f64, f64)>| {
+            let mut out: Vec<BoxRegion> = Vec::new();
+            for r in raw.into_iter().map(|b| make_box(&schema, b)) {
+                let mut pieces = vec![r];
+                for d in &out {
+                    pieces = pieces.into_iter().flat_map(|p| p.subtract(d)).collect();
+                }
+                out.extend(pieces);
+            }
+            out
+        };
+        let data = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = Table::new(Arc::clone(&schema));
+            for _ in 0..100 {
+                d.push_row(&[
+                    Value::Num(rng.gen_range(0.0..30.0)),
+                    Value::Num(rng.gen_range(0.0..30.0)),
+                ]);
+            }
+            d
+        };
+        let model = |boxes: Vec<BoxRegion>, d: &Table| {
+            let n = d.len() as f64;
+            let measures: Vec<f64> = boxes
+                .iter()
+                .map(|b| d.rows().filter(|r| b.contains(r)).count() as f64 / n)
+                .collect();
+            ClusterModel::new(boxes, measures, d.len() as u64)
+        };
+        let d1 = data(seed1);
+        let d2 = data(seed2 ^ 0xC1u64);
+        let m1 = model(disjoin(boxes_a), &d1);
+        let m2 = model(disjoin(boxes_b), &d2);
+        for g in [AggFn::Sum, AggFn::Max] {
+            let bound = cluster_upper_bound(&m1, &m2, g);
+            let exact = cluster_deviation(&m1, &d1, &m2, &d2, DiffFn::Absolute, g).value;
+            prop_assert!(bound >= exact - 1e-12, "{:?}: {} < {}", g, bound, exact);
+        }
+    }
+
+    #[test]
     fn fixed_structure_deviation_triangle(c1 in proptest::collection::vec(0u64..50, 6),
                                           c2 in proptest::collection::vec(0u64..50, 6),
                                           c3 in proptest::collection::vec(0u64..50, 6)) {

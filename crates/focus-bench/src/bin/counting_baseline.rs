@@ -1,0 +1,146 @@
+//! **Counting baseline** — itemset-support counting backends compared at
+//! three dataset scales, recorded PR-over-PR in `BENCH_counting.json`:
+//!
+//! ```text
+//! cargo run --release -p focus-bench --bin counting_baseline -- --threads 4 > BENCH_counting.json
+//! ```
+//!
+//! Per scale the binary generates an association dataset, mines its
+//! frequent itemsets once (the realistic counting workload: the measure
+//! extension re-counts a model's itemsets against another dataset), and
+//! times three ways of counting every itemset's support:
+//!
+//! * `bitmap_scan` — the horizontal `count_itemsets_par` scan (one
+//!   membership bitmap per transaction, subset test per itemset);
+//! * `hash_tree`   — per-level hash trees probed per transaction,
+//!   tree build included;
+//! * `vertical`    — the Eclat-style tid-bitset index of
+//!   `focus_core::vertical`, **index build included**, so the speedup is
+//!   what a cold caller actually sees.
+//!
+//! All three backends must (and are asserted to) produce identical `u64`
+//! counts. Each regime runs `--samples` times; the recorded time is the
+//! minimum. One JSON object per (scale, backend) lands on stdout; the
+//! human table goes to stderr.
+
+use focus_bench::{timed, ExpConfig};
+use focus_core::data::TransactionSet;
+use focus_core::model::count_itemsets_par;
+use focus_core::region::Itemset;
+use focus_core::vertical::{count_itemsets_vertical_par, VerticalIndex};
+use focus_data::assoc::{AssocGen, AssocGenParams};
+use focus_exec::Parallelism;
+use focus_mining::{Apriori, AprioriParams, HashTree};
+
+struct Row {
+    scale: &'static str,
+    transactions: usize,
+    itemsets: usize,
+    backend: &'static str,
+    secs: f64,
+    speedup_vs_bitmap: f64,
+}
+
+/// Counts every itemset through per-level hash trees (the classical
+/// backend handles one candidate length per tree), reassembling counts in
+/// itemset order. Tree builds are part of the measured work.
+fn hash_tree_counts(data: &TransactionSet, itemsets: &[Itemset], par: Parallelism) -> Vec<u64> {
+    let mut counts = vec![0u64; itemsets.len()];
+    let max_k = itemsets.iter().map(|s| s.len()).max().unwrap_or(0);
+    for k in 1..=max_k {
+        let slots: Vec<usize> = (0..itemsets.len())
+            .filter(|&i| itemsets[i].len() == k)
+            .collect();
+        if slots.is_empty() {
+            continue;
+        }
+        let level: Vec<Vec<u32>> = slots
+            .iter()
+            .map(|&i| itemsets[i].items().to_vec())
+            .collect();
+        let tree = HashTree::build(&level, k);
+        for (&slot, c) in slots.iter().zip(tree.count_set(data, par)) {
+            counts[slot] = c;
+        }
+    }
+    counts
+}
+
+/// Runs one backend `samples` times, checks every run against the
+/// reference counts, and returns the minimum elapsed seconds.
+fn best_of(samples: usize, reference: &[u64], mut run: impl FnMut() -> Vec<u64>) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let (counts, secs) = timed(&mut run);
+        assert_eq!(counts, reference, "counting backends disagree");
+        best = best.min(secs);
+    }
+    best
+}
+
+fn main() {
+    let cfg = ExpConfig::parse(std::env::args().skip(1));
+    let par = Parallelism::Global;
+    let base = cfg.rows(250_000);
+    let mut rows = Vec::new();
+
+    for (scale, n) in [("small", base), ("medium", base * 4), ("large", base * 16)] {
+        let gen = AssocGen::new(AssocGenParams::paper(500, 4.0), cfg.seed);
+        let data = gen.generate(n, cfg.seed + 1);
+        // The realistic workload: a mined model's itemsets, re-counted the
+        // way the measure-extension step re-counts them against a second
+        // dataset.
+        let model = Apriori::new(
+            AprioriParams::with_minsup(0.01)
+                .max_len(10)
+                .min_count_floor(2),
+        )
+        .mine(&data);
+        let itemsets = model.itemsets().to_vec();
+        let reference = count_itemsets_par(&data, &itemsets, par);
+
+        let bitmap_secs = best_of(cfg.samples, &reference, || {
+            count_itemsets_par(&data, &itemsets, par)
+        });
+        let hash_secs = best_of(cfg.samples, &reference, || {
+            hash_tree_counts(&data, &itemsets, par)
+        });
+        let vertical_secs = best_of(cfg.samples, &reference, || {
+            let index = VerticalIndex::build(&data);
+            count_itemsets_vertical_par(&index, &itemsets, par)
+        });
+
+        for (backend, secs) in [
+            ("bitmap_scan", bitmap_secs),
+            ("hash_tree", hash_secs),
+            ("vertical", vertical_secs),
+        ] {
+            rows.push(Row {
+                scale,
+                transactions: data.len(),
+                itemsets: itemsets.len(),
+                backend,
+                secs,
+                speedup_vs_bitmap: bitmap_secs / secs,
+            });
+        }
+    }
+
+    // JSON lines to stdout (the `BENCH_counting.json` payload), the human
+    // table to stderr so a redirect stays machine-readable.
+    eprintln!(
+        "{:>7}  {:>12}  {:>8}  {:>12}  {:>10}  {:>8}",
+        "Scale", "Transactions", "Itemsets", "Backend", "Best s", "Speedup"
+    );
+    for r in &rows {
+        println!(
+            "{{\"bench\":\"counting\",\"scale\":\"{}\",\"transactions\":{},\"itemsets\":{},\
+             \"backend\":\"{}\",\"secs\":{:.6},\"speedup_vs_bitmap\":{:.2}}}",
+            r.scale, r.transactions, r.itemsets, r.backend, r.secs, r.speedup_vs_bitmap
+        );
+        eprintln!(
+            "{:>7}  {:>12}  {:>8}  {:>12}  {:>10.4}  {:>7.2}x",
+            r.scale, r.transactions, r.itemsets, r.backend, r.secs, r.speedup_vs_bitmap
+        );
+    }
+}

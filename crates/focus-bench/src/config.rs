@@ -44,42 +44,60 @@ impl Default for ExpConfig {
     }
 }
 
+/// One-line usage summary shared by `--help` and parse-error reporting.
+const USAGE: &str =
+    "flags: --scale <f> --samples <n> --reps <n> --seed <u64> --threads <n> --full --json";
+
 impl ExpConfig {
     /// Parses the common flags from an iterator of arguments (typically
-    /// `std::env::args().skip(1)`). Unknown flags panic with a usage hint.
+    /// `std::env::args().skip(1)`). On a bad invocation — unknown flag,
+    /// missing or unparseable value, out-of-range setting — prints the
+    /// error and usage to stderr and exits with status 2 (no panic
+    /// backtrace for a typo'd command line).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::try_parse(args) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Fallible core of [`Self::parse`]: returns an error message instead
+    /// of exiting, so tests (and other front-ends) can inspect failures.
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut cfg = Self::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--scale" => cfg.scale = next_val(&mut it, "--scale"),
-                "--samples" => cfg.samples = next_val(&mut it, "--samples"),
-                "--reps" => cfg.reps = next_val(&mut it, "--reps"),
-                "--seed" => cfg.seed = next_val(&mut it, "--seed"),
-                "--threads" => cfg.threads = Some(next_val(&mut it, "--threads")),
+                "--scale" => cfg.scale = next_val(&mut it, "--scale")?,
+                "--samples" => cfg.samples = next_val(&mut it, "--samples")?,
+                "--reps" => cfg.reps = next_val(&mut it, "--reps")?,
+                "--seed" => cfg.seed = next_val(&mut it, "--seed")?,
+                "--threads" => cfg.threads = Some(next_val(&mut it, "--threads")?),
                 "--full" => cfg.scale = 1.0,
                 "--json" => cfg.json = true,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --scale <f> --samples <n> --reps <n> --seed <u64> \
-                         --threads <n> --full --json"
-                    );
+                    eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other:?}; try --help"),
+                other => return Err(format!("unknown flag {other:?}; try --help")),
             }
         }
-        assert!(
-            cfg.scale > 0.0 && cfg.scale <= 1.0,
-            "scale must be in (0,1]"
-        );
-        assert!(cfg.samples >= 2, "need at least 2 samples");
+        if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+            return Err(format!("scale must be in (0,1], got {}", cfg.scale));
+        }
+        if cfg.samples < 2 {
+            return Err(format!("need at least 2 samples, got {}", cfg.samples));
+        }
         // Experiment results are bit-identical for any thread count, so a
         // process-wide override is safe for every binary that parses this.
         if let Some(n) = cfg.threads {
             focus_exec::set_global_threads(n);
         }
-        cfg
+        Ok(cfg)
     }
 
     /// The paper's 1M-row base size under the current scale.
@@ -93,14 +111,17 @@ impl ExpConfig {
     }
 }
 
-fn next_val<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T
+fn next_val<T: std::str::FromStr, I: Iterator<Item = String>>(
+    it: &mut I,
+    flag: &str,
+) -> Result<T, String>
 where
-    T::Err: std::fmt::Debug,
+    T::Err: std::fmt::Display,
 {
     it.next()
-        .unwrap_or_else(|| panic!("{flag} requires a value"))
+        .ok_or_else(|| format!("{flag} requires a value"))?
         .parse()
-        .unwrap_or_else(|e| panic!("{flag}: bad value ({e:?})"))
+        .map_err(|e| format!("{flag}: bad value ({e})"))
 }
 
 #[cfg(test)]
@@ -155,9 +176,30 @@ mod tests {
         assert_eq!(c.rows(10_000), 50, "floor at 50 rows");
     }
 
+    fn try_parse(args: &[&str]) -> Result<ExpConfig, String> {
+        ExpConfig::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn rejects_unknown_flag() {
-        parse(&["--bogus"]);
+    fn rejects_unknown_flag_with_usage_hint() {
+        let err = try_parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(err.contains("--help"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_and_missing_values() {
+        assert!(try_parse(&["--scale", "huge"])
+            .unwrap_err()
+            .contains("--scale"));
+        assert!(try_parse(&["--samples"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(try_parse(&["--scale", "0"])
+            .unwrap_err()
+            .contains("scale must be in (0,1]"));
+        assert!(try_parse(&["--samples", "1"])
+            .unwrap_err()
+            .contains("at least 2 samples"));
     }
 }

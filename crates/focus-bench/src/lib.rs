@@ -18,6 +18,7 @@
 //! | `ablation_null`| bootstrap-null width vs dataset scale (A3)        |
 //! | `embed`       | δ* metric embedding via classical MDS (Sec. 4.1.1) |
 //! | `matrix_baseline` | screened vs full-scan matrix timings → `BENCH_matrix.json` |
+//! | `counting_baseline` | vertical vs bitmap-scan vs hash-tree support counting → `BENCH_counting.json` |
 //!
 //! All binaries accept `--scale <fraction>` (default 0.02 — 2% of the
 //! paper's 1M-row base, i.e. 20K rows), `--samples <n>` (default 15, paper

@@ -461,8 +461,16 @@ impl TransactionSet {
     }
 
     /// A per-transaction membership bitmap for fast subset tests. The bitmap
-    /// has `ceil(n_items / 64)` words.
+    /// has `ceil(n_items / 64)` words; `words` must be at least that large.
     pub fn bitmap_of(&self, i: usize, words: &mut [u64]) {
+        debug_assert!(
+            words.len() * 64 >= self.n_items as usize,
+            "bitmap_of: transaction {i} needs {} words to cover items 0..{}, \
+             scratch has {}",
+            (self.n_items as usize).div_ceil(64),
+            self.n_items,
+            words.len()
+        );
         words.fill(0);
         for &it in self.get(i) {
             words[(it / 64) as usize] |= 1 << (it % 64);
@@ -654,6 +662,16 @@ mod tests {
         assert_eq!(words[0], 1 | (1 << 63));
         assert_eq!(words[1], 1);
         assert_eq!(words[2], 1 << 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "bitmap_of: transaction 0 needs 3 words")]
+    fn bitmap_of_rejects_undersized_scratch() {
+        let mut ts = TransactionSet::new(130);
+        ts.push(vec![0, 129]);
+        let mut words = vec![0u64; 2];
+        ts.bitmap_of(0, &mut words);
     }
 
     #[test]

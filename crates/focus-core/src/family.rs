@@ -28,8 +28,9 @@
 use crate::data::{LabeledTable, Table, TransactionSet};
 use crate::diff::{AggFn, DiffFn};
 use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
-use crate::model::{count_boxes_par, count_itemsets_par, ClusterModel, DtModel, LitsModel};
+use crate::model::{count_boxes_par, ClusterModel, DtModel, LitsModel};
 use crate::region::{BoxRegion, Itemset};
+use crate::vertical::count_itemsets_auto_par;
 use focus_exec::{map_chunks, merge_counts, Parallelism};
 use std::collections::HashMap;
 
@@ -231,7 +232,11 @@ pub(crate) fn extend_supports(
     }
     if !missing.is_empty() {
         let to_count: Vec<Itemset> = missing.iter().map(|&i| regions[i].clone()).collect();
-        let counts = count_itemsets_par(data, &to_count, par);
+        // Auto-dispatched: large workloads build a throwaway vertical
+        // tid-bitset index instead of re-walking every transaction per
+        // itemset. Counts are identical either way, so measures stay
+        // bit-identical to the horizontal scan.
+        let counts = count_itemsets_auto_par(data, &to_count, par);
         let n = data.len().max(1) as f64;
         for (slot, &c) in missing.iter().zip(&counts) {
             supports[*slot] = c as f64 / n;

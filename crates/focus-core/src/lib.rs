@@ -21,6 +21,8 @@
 //! * [`data`] — attribute spaces, tables, transaction sets (Def. 3.1);
 //! * [`region`] — box and itemset regions;
 //! * [`model`] — 2-component models and the measure (selectivity) scans;
+//! * [`vertical`] — Eclat-style vertical tid-bitset counting (the fast
+//!   backend behind the itemset-support scans);
 //! * [`gcr`] — greatest common refinements (Defs. 3.4, 4.2);
 //! * [`diff`] — difference functions `f_a`, `f_s`, `f_χ²` and aggregates
 //!   `sum`, `max` (Def. 3.7);
@@ -81,6 +83,7 @@ pub mod qualify;
 pub mod region;
 pub mod report;
 pub mod stream;
+pub mod vertical;
 
 /// One-stop imports for typical FOCUS workflows.
 pub mod prelude {
@@ -125,6 +128,10 @@ pub mod prelude {
     pub use crate::report::{dt_report, lits_report, ComparisonReport, ReportOptions};
     pub use crate::stream::{
         calibrate_threshold_par, BlockVerdict, ChangeMonitor, DEFAULT_HISTORY_CAP,
+    };
+    pub use crate::vertical::{
+        count_itemsets_auto, count_itemsets_auto_par, count_itemsets_vertical,
+        count_itemsets_vertical_par, VerticalIndex,
     };
     pub use focus_exec::Parallelism;
 }

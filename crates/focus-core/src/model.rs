@@ -298,6 +298,16 @@ pub fn count_partition_par(
     par: Parallelism,
 ) -> Vec<u64> {
     let k = n_classes as usize;
+    // A label ≥ n_classes would index past its leaf's row and silently fold
+    // the count into a neighbouring (leaf, class) slot; validate up front
+    // (mirroring the class-count guard on the GCR cell scan).
+    if let Some(row) = data.labels.iter().position(|&l| l >= n_classes) {
+        panic!(
+            "count_partition: row {row} has class label {} but the partition \
+             was built for {n_classes} classes",
+            data.labels[row]
+        );
+    }
     if leaves.is_empty() {
         return Vec::new();
     }
@@ -478,6 +488,24 @@ mod tests {
         let counts = count_partition(&t, &leaves, 2);
         // leaf0: class0 = 2, class1 = 0; leaf1: class0 = 0, class1 = 2.
         assert_eq!(counts, vec![2, 0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count_partition: row 2 has class label 2")]
+    fn count_partition_rejects_stale_class_count() {
+        // The table legitimately has 3 classes; counting it against a
+        // partition sized for 2 must fail loudly, not fold class 2 into a
+        // neighbouring slot.
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("age")]));
+        let mut t = LabeledTable::new(Arc::clone(&schema), 3);
+        for (age, c) in [(10.0, 0), (20.0, 1), (30.0, 2)] {
+            t.push_row(&[Value::Num(age)], c);
+        }
+        let leaves = vec![
+            BoxBuilder::new(&schema).lt("age", 25.0).build(),
+            BoxBuilder::new(&schema).ge("age", 25.0).build(),
+        ];
+        count_partition(&t, &leaves, 2);
     }
 
     #[test]

@@ -66,10 +66,15 @@ impl Itemset {
     }
 
     /// Subset test against a bitmap of item membership (words of 64 items).
+    /// Items beyond the bitmap's range are absent by definition — a
+    /// transaction over a smaller item universe cannot contain them — so
+    /// they fail the test instead of indexing out of bounds.
     pub fn is_subset_of_bitmap(&self, words: &[u64]) -> bool {
-        self.0
-            .iter()
-            .all(|&it| words[(it / 64) as usize] & (1 << (it % 64)) != 0)
+        self.0.iter().all(|&it| {
+            words
+                .get((it / 64) as usize)
+                .is_some_and(|w| w & (1 << (it % 64)) != 0)
+        })
     }
 
     /// True if all of this itemset's items are drawn from `universe`
@@ -169,6 +174,18 @@ mod tests {
         }
         assert!(Itemset::from_slice(&[2, 65]).is_subset_of_bitmap(&words));
         assert!(!Itemset::from_slice(&[2, 64]).is_subset_of_bitmap(&words));
+    }
+
+    #[test]
+    fn subset_of_bitmap_out_of_range_items_are_absent() {
+        // A 2-word bitmap covers items 0..128; items beyond that cannot be
+        // present, so the test returns false instead of panicking.
+        let mut words = vec![0u64; 2];
+        words[0] |= 1 << 2;
+        assert!(!Itemset::from_slice(&[128]).is_subset_of_bitmap(&words));
+        assert!(!Itemset::from_slice(&[2, 1000]).is_subset_of_bitmap(&words));
+        assert!(Itemset::new(vec![]).is_subset_of_bitmap(&[]));
+        assert!(!Itemset::from_slice(&[0]).is_subset_of_bitmap(&[]));
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Eclat-style vertical tid-bitset counting (Zaki, KDD '97 lineage).
+//!
+//! The horizontal scans in [`crate::model`] re-touch every transaction for
+//! every itemset: `O(rows × itemsets)` subset tests. This module stores the
+//! dataset *vertically* instead — one transaction-id bitset per item — so
+//! the support of an itemset is `popcount(AND of its item rows)`: word-level
+//! bit operations over `ceil(n_transactions / 64)` words per item, with no
+//! per-transaction branching at all.
+//!
+//! The layout is deterministic (item-major, 64-bit words, transaction `t`
+//! at bit `t % 64` of word `t / 64`) and the parallel counter fans out over
+//! *word chunks* via [`focus_exec::map_reduce`], merging per-chunk `u64`
+//! partials by addition — so counts are bit-identical to the sequential
+//! fold for every thread count, exactly like the horizontal scans.
+//!
+//! Counting semantics match [`crate::model::count_itemsets_par`] case for
+//! case: the empty itemset is supported by every transaction, and an item
+//! outside the dataset's universe supports nothing.
+
+use crate::data::TransactionSet;
+use crate::model::count_itemsets_par;
+use crate::region::Itemset;
+use focus_exec::{map_reduce, popcount_and_all, Parallelism, WORD_GRAIN};
+
+/// A vertical (item-major) tid-bitset index over a [`TransactionSet`].
+///
+/// Row `i` holds the membership bitset of item `i`: bit `t` is set iff
+/// transaction `t` contains item `i`. All rows share the same word count
+/// `ceil(n_transactions / 64)`; bits at positions `≥ n_transactions` are
+/// always zero, so popcounts over whole rows are exact supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerticalIndex {
+    n_items: u32,
+    n_transactions: usize,
+    /// Words per item row: `ceil(n_transactions / 64)`.
+    words: usize,
+    /// Item-major bit matrix: `bits[item * words + w]`.
+    bits: Vec<u64>,
+}
+
+impl VerticalIndex {
+    /// Builds the index in one pass over `data`.
+    pub fn build(data: &TransactionSet) -> Self {
+        let n_items = data.n_items();
+        let n_transactions = data.len();
+        let words = n_transactions.div_ceil(64);
+        let mut bits = vec![0u64; n_items as usize * words];
+        for (t, txn) in data.iter().enumerate() {
+            let (word, bit) = (t / 64, t % 64);
+            for &it in txn {
+                bits[it as usize * words + word] |= 1u64 << bit;
+            }
+        }
+        Self {
+            n_items,
+            n_transactions,
+            words,
+            bits,
+        }
+    }
+
+    /// Size of the item universe the index was built over.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Number of transactions the index was built over.
+    pub fn n_transactions(&self) -> usize {
+        self.n_transactions
+    }
+
+    /// Words per item row (`ceil(n_transactions / 64)`).
+    pub fn words_per_item(&self) -> usize {
+        self.words
+    }
+
+    /// The tid bitset of `item`. Panics if `item` is outside the universe.
+    pub fn item_bits(&self, item: u32) -> &[u64] {
+        assert!(
+            item < self.n_items,
+            "item {item} out of range 0..{}",
+            self.n_items
+        );
+        let start = item as usize * self.words;
+        &self.bits[start..start + self.words]
+    }
+
+    /// Support count of a single item: the popcount of its row. Items
+    /// outside the universe support nothing and count 0.
+    pub fn item_support(&self, item: u32) -> u64 {
+        if item >= self.n_items {
+            return 0;
+        }
+        self.item_bits(item)
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum()
+    }
+
+    /// Support count of a sorted item slice: `popcount(AND of the rows)`,
+    /// folded over word chunks on `par` worker threads. The empty slice is
+    /// the empty itemset (supported by every transaction); any item outside
+    /// the universe makes the support 0.
+    pub fn support_count(&self, items: &[u32], par: Parallelism) -> u64 {
+        if items.is_empty() {
+            return self.n_transactions as u64;
+        }
+        if items.iter().any(|&it| it >= self.n_items) {
+            return 0;
+        }
+        let rows: Vec<&[u64]> = items.iter().map(|&it| self.item_bits(it)).collect();
+        popcount_and_all(par, &rows, WORD_GRAIN)
+    }
+
+    /// Materialises the intersection of the given items' rows into `out`
+    /// (resized to the row width). Returns `false` — leaving `out` all
+    /// zeros — if any item is outside the universe. An empty `items` slice
+    /// yields the all-transactions mask (the empty itemset's cover).
+    pub fn intersect_into(&self, items: &[u32], out: &mut Vec<u64>) -> bool {
+        out.clear();
+        out.resize(self.words, 0u64);
+        if items.iter().any(|&it| it >= self.n_items) {
+            return false;
+        }
+        match items.split_first() {
+            None => {
+                // All transactions: full words, then the ragged tail.
+                for w in out.iter_mut() {
+                    *w = u64::MAX;
+                }
+                let tail = self.n_transactions % 64;
+                if tail != 0 {
+                    if let Some(last) = out.last_mut() {
+                        *last = (1u64 << tail) - 1;
+                    }
+                }
+            }
+            Some((&first, rest)) => {
+                out.copy_from_slice(self.item_bits(first));
+                for &it in rest {
+                    for (o, w) in out.iter_mut().zip(self.item_bits(it)) {
+                        *o &= w;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// `popcount(mask & row(item))`: the number of transactions in `mask`
+    /// that also contain `item`. This is the Eclat prefix-extension step —
+    /// `mask` is a cached (k−1)-prefix intersection and `item` the
+    /// extension. `mask` must have [`Self::words_per_item`] words; items
+    /// outside the universe count 0.
+    pub fn count_with_mask(&self, mask: &[u64], item: u32) -> u64 {
+        assert_eq!(mask.len(), self.words, "mask width must match the index");
+        if item >= self.n_items {
+            return 0;
+        }
+        mask.iter()
+            .zip(self.item_bits(item))
+            .map(|(m, w)| u64::from((m & w).count_ones()))
+            .sum()
+    }
+
+    /// Bytes held by the bit matrix (the dominant allocation).
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// The bit-matrix size [`Self::build`] would allocate for `data`,
+    /// without building it: `n_items × ceil(n / 64) × 8` bytes. Used by
+    /// [`count_itemsets_auto_par`] to refuse indexes that would dwarf the
+    /// scan they accelerate.
+    pub fn estimate_bytes(data: &TransactionSet) -> usize {
+        data.n_items() as usize * data.len().div_ceil(64) * 8
+    }
+}
+
+/// How an itemset is resolved by the vertical counter: without touching
+/// the bit matrix, or via the word fold.
+enum Resolved {
+    /// The empty itemset: every transaction supports it.
+    All,
+    /// Contains an item outside the universe: nothing supports it.
+    None,
+    /// All items in range: fold `popcount(AND of rows)` over word chunks.
+    Fold,
+}
+
+/// Counts, for each itemset, the number of supporting transactions using
+/// the vertical index: `popcount(AND of item rows)`, with the *word* range
+/// fanned out over `par` worker threads via [`focus_exec::map_reduce`].
+///
+/// Per-chunk partial popcounts are `u64` and merge by addition in chunk
+/// order, so the counts are bit-identical to the sequential fold — and to
+/// [`count_itemsets_par`] — for every thread count.
+pub fn count_itemsets_vertical_par(
+    index: &VerticalIndex,
+    itemsets: &[Itemset],
+    par: Parallelism,
+) -> Vec<u64> {
+    let n = index.n_transactions() as u64;
+    let resolved: Vec<Resolved> = itemsets
+        .iter()
+        .map(|s| {
+            if s.is_empty() {
+                Resolved::All
+            } else if s.items().iter().any(|&it| it >= index.n_items()) {
+                Resolved::None
+            } else {
+                Resolved::Fold
+            }
+        })
+        .collect();
+    let mut counts: Vec<u64> = resolved
+        .iter()
+        .map(|r| match r {
+            Resolved::All => n,
+            _ => 0,
+        })
+        .collect();
+    let fold_slots: Vec<usize> = (0..itemsets.len())
+        .filter(|&i| matches!(resolved[i], Resolved::Fold))
+        .collect();
+    if fold_slots.is_empty() || index.words_per_item() == 0 {
+        return counts;
+    }
+
+    let folded = map_reduce(
+        par,
+        index.words_per_item(),
+        WORD_GRAIN,
+        |range| {
+            let mut partial = vec![0u64; fold_slots.len()];
+            for (slot, &i) in fold_slots.iter().enumerate() {
+                let items = itemsets[i].items();
+                let first = index.item_bits(items[0]);
+                let mut total = 0u64;
+                for w in range.clone() {
+                    let mut acc = first[w];
+                    for &it in &items[1..] {
+                        acc &= index.item_bits(it)[w];
+                    }
+                    total += u64::from(acc.count_ones());
+                }
+                partial[slot] = total;
+            }
+            partial
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    )
+    .expect("words_per_item > 0");
+    for (slot, &i) in fold_slots.iter().enumerate() {
+        counts[i] = folded[slot];
+    }
+    counts
+}
+
+/// [`count_itemsets_vertical_par`] at the process-wide default parallelism.
+pub fn count_itemsets_vertical(index: &VerticalIndex, itemsets: &[Itemset]) -> Vec<u64> {
+    count_itemsets_vertical_par(index, itemsets, Parallelism::Global)
+}
+
+/// Below this many itemsets the horizontal scan is already cheap and the
+/// index build would dominate.
+const AUTO_MIN_ITEMSETS: usize = 8;
+/// Below this many transactions a scan finishes before a build pays off.
+const AUTO_MIN_TRANSACTIONS: usize = 1024;
+/// Refuse to build throwaway indexes larger than this (a huge sparse item
+/// universe over few transactions makes the bit matrix mostly zeros).
+const AUTO_MAX_INDEX_BYTES: usize = 128 << 20;
+
+/// Counts itemset supports via whichever backend is profitable: builds a
+/// throwaway [`VerticalIndex`] and counts vertically when the workload is
+/// large enough to amortise the build (at least [`AUTO_MIN_ITEMSETS`]
+/// itemsets over [`AUTO_MIN_TRANSACTIONS`] transactions, index no larger
+/// than [`AUTO_MAX_INDEX_BYTES`]), else falls through to the horizontal
+/// [`count_itemsets_par`].
+///
+/// Both backends produce identical `u64` counts for every thread count —
+/// the differential suite enforces this — so the dispatch heuristic can
+/// never change a result, only its cost.
+pub fn count_itemsets_auto_par(
+    data: &TransactionSet,
+    itemsets: &[Itemset],
+    par: Parallelism,
+) -> Vec<u64> {
+    if itemsets.len() >= AUTO_MIN_ITEMSETS
+        && data.len() >= AUTO_MIN_TRANSACTIONS
+        && VerticalIndex::estimate_bytes(data) <= AUTO_MAX_INDEX_BYTES
+    {
+        let index = VerticalIndex::build(data);
+        return count_itemsets_vertical_par(&index, itemsets, par);
+    }
+    count_itemsets_par(data, itemsets, par)
+}
+
+/// [`count_itemsets_auto_par`] at the process-wide default parallelism.
+pub fn count_itemsets_auto(data: &TransactionSet, itemsets: &[Itemset]) -> Vec<u64> {
+    count_itemsets_auto_par(data, itemsets, Parallelism::Global)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy() -> TransactionSet {
+        // 4 transactions over items {0, 1} — the model.rs toy dataset.
+        let mut ts = TransactionSet::new(2);
+        ts.push(vec![0, 1]);
+        ts.push(vec![0]);
+        ts.push(vec![1]);
+        ts.push(vec![0, 1]);
+        ts
+    }
+
+    fn random_set(seed: u64, n: usize, n_items: u32, density: f64) -> TransactionSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = TransactionSet::new(n_items);
+        for _ in 0..n {
+            let t: Vec<u32> = (0..n_items)
+                .filter(|_| rng.gen::<f64>() < density)
+                .collect();
+            ts.push(t);
+        }
+        ts
+    }
+
+    #[test]
+    fn counts_match_toy_example() {
+        let ts = toy();
+        let idx = VerticalIndex::build(&ts);
+        let sets = vec![
+            Itemset::from_slice(&[0]),
+            Itemset::from_slice(&[1]),
+            Itemset::from_slice(&[0, 1]),
+        ];
+        assert_eq!(count_itemsets_vertical(&idx, &sets), vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn empty_itemset_counts_every_transaction() {
+        let ts = toy();
+        let idx = VerticalIndex::build(&ts);
+        let sets = vec![Itemset::new(vec![])];
+        assert_eq!(count_itemsets_vertical(&idx, &sets), vec![4]);
+        assert_eq!(idx.support_count(&[], Parallelism::Sequential), 4);
+    }
+
+    #[test]
+    fn out_of_range_items_count_zero() {
+        let ts = toy();
+        let idx = VerticalIndex::build(&ts);
+        let sets = vec![Itemset::from_slice(&[7]), Itemset::from_slice(&[0, 7])];
+        assert_eq!(count_itemsets_vertical(&idx, &sets), vec![0, 0]);
+        assert_eq!(idx.item_support(7), 0);
+        assert_eq!(idx.support_count(&[0, 7], Parallelism::Sequential), 0);
+        assert_eq!(
+            idx.count_with_mask(&vec![u64::MAX; idx.words_per_item()], 7),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_dataset_counts_zero() {
+        let ts = TransactionSet::new(5);
+        let idx = VerticalIndex::build(&ts);
+        assert_eq!(idx.words_per_item(), 0);
+        let sets = vec![Itemset::new(vec![]), Itemset::from_slice(&[1])];
+        assert_eq!(count_itemsets_vertical(&idx, &sets), vec![0, 0]);
+    }
+
+    #[test]
+    fn ragged_tail_words_stay_zero() {
+        // 129 transactions → 3 words, last word uses exactly one bit.
+        let mut ts = TransactionSet::new(1);
+        for _ in 0..129 {
+            ts.push(vec![0]);
+        }
+        let idx = VerticalIndex::build(&ts);
+        assert_eq!(idx.words_per_item(), 3);
+        assert_eq!(idx.item_support(0), 129);
+        assert_eq!(idx.item_bits(0)[2], 1, "only bit 128 set in the tail word");
+        // The empty-itemset cover mask must honour the ragged tail too.
+        let mut mask = Vec::new();
+        assert!(idx.intersect_into(&[], &mut mask));
+        assert_eq!(
+            mask.iter().map(|w| w.count_ones()).sum::<u32>(),
+            129,
+            "all-transactions mask"
+        );
+    }
+
+    #[test]
+    fn intersect_into_and_mask_extension_match_direct_counts() {
+        let ts = random_set(3, 500, 12, 0.35);
+        let idx = VerticalIndex::build(&ts);
+        let direct = idx.support_count(&[1, 4, 9], Parallelism::Sequential);
+        let mut mask = Vec::new();
+        assert!(idx.intersect_into(&[1, 4], &mut mask));
+        assert_eq!(idx.count_with_mask(&mask, 9), direct);
+        // Out-of-range prefix zeroes the mask.
+        assert!(!idx.intersect_into(&[1, 99], &mut mask));
+        assert!(mask.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn agrees_with_horizontal_scan_on_random_data() {
+        for (seed, n, n_items, density) in
+            [(1u64, 300, 10u32, 0.3), (2, 777, 16, 0.2), (9, 65, 6, 0.6)]
+        {
+            let ts = random_set(seed, n, n_items, density);
+            let idx = VerticalIndex::build(&ts);
+            // Every 1- and 2-itemset, plus some larger and out-of-range ones.
+            let mut sets: Vec<Itemset> = (0..n_items).map(|i| Itemset::new(vec![i])).collect();
+            for a in 0..n_items {
+                for b in (a + 1)..n_items {
+                    sets.push(Itemset::from_slice(&[a, b]));
+                }
+            }
+            sets.push(Itemset::new(vec![]));
+            sets.push(Itemset::from_slice(&[0, 2, 4]));
+            sets.push(Itemset::from_slice(&[n_items + 3]));
+            let horizontal = count_itemsets_par(&ts, &sets, Parallelism::Sequential);
+            assert_eq!(count_itemsets_vertical(&idx, &sets), horizontal);
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_matches_horizontal_on_both_sides_of_the_gate() {
+        // Small dataset (below AUTO_MIN_TRANSACTIONS) and large dataset
+        // (above): identical counts either way.
+        for n in [200usize, 2000] {
+            let ts = random_set(11, n, 9, 0.4);
+            let sets: Vec<Itemset> = (0..9u32)
+                .map(|i| Itemset::from_slice(&[i]))
+                .chain((0..8u32).map(|i| Itemset::from_slice(&[i, i + 1])))
+                .collect();
+            assert_eq!(
+                count_itemsets_auto_par(&ts, &sets, Parallelism::Sequential),
+                count_itemsets_par(&ts, &sets, Parallelism::Sequential),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let ts = random_set(5, 130, 10, 0.3);
+        let idx = VerticalIndex::build(&ts);
+        assert_eq!(idx.memory_bytes(), 10 * 3 * 8);
+        assert_eq!(VerticalIndex::estimate_bytes(&ts), idx.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn item_bits_rejects_out_of_universe_items() {
+        let idx = VerticalIndex::build(&toy());
+        idx.item_bits(2);
+    }
+}

@@ -318,6 +318,52 @@ where
     })
 }
 
+/// Default minimum bitset *words* per chunk for word-level folds
+/// ([`popcount_and_all`] and the vertical counting scans built on it).
+/// A word costs a handful of AND + popcount instructions — far cheaper
+/// than a row scan — but word-fold callers typically process many bitset
+/// rows per word position, so a few hundred words of grain already
+/// amortise a scoped spawn.
+pub const WORD_GRAIN: usize = 512;
+
+/// Chunked popcount fold: the number of bit positions set in **all** of
+/// the `operands` bitsets (`popcount(op₀[w] & op₁[w] & …)` summed over
+/// every word `w`), with the word range fanned out over `par` worker
+/// threads via [`map_reduce`].
+///
+/// All operands must have the same word count. With no operands the
+/// intersection is empty by convention and the count is 0. Per-chunk
+/// partials are `u64` totals merged by addition in chunk order, so the
+/// result is bit-identical to a sequential fold for every thread count.
+pub fn popcount_and_all(par: Parallelism, operands: &[&[u64]], grain: usize) -> u64 {
+    let Some(first) = operands.first() else {
+        return 0;
+    };
+    let len = first.len();
+    assert!(
+        operands.iter().all(|o| o.len() == len),
+        "popcount_and_all: operand word counts must align"
+    );
+    map_reduce(
+        par,
+        len,
+        grain,
+        |range| {
+            let mut total = 0u64;
+            for w in range {
+                let mut acc = operands[0][w];
+                for o in &operands[1..] {
+                    acc &= o[w];
+                }
+                total += u64::from(acc.count_ones());
+            }
+            total
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0)
+}
+
 /// Merges per-chunk counter vectors by element-wise addition, in chunk
 /// order. All parts must have equal length. `u64` addition is associative
 /// and commutative, so the totals are bit-identical to a sequential count
@@ -562,6 +608,42 @@ mod tests {
             tid_a == caller && tid_b == caller
         });
         assert!(outer.into_iter().all(|inline| inline));
+    }
+
+    #[test]
+    fn popcount_and_all_intersects_and_counts() {
+        let a: Vec<u64> = vec![0b1011, u64::MAX, 0];
+        let b: Vec<u64> = vec![0b1110, u64::MAX, 1];
+        let c: Vec<u64> = vec![0b1010, 1, 1];
+        let seq = Parallelism::Sequential;
+        assert_eq!(popcount_and_all(seq, &[&a], 1), 3 + 64);
+        assert_eq!(popcount_and_all(seq, &[&a, &b], 1), 2 + 64);
+        assert_eq!(popcount_and_all(seq, &[&a, &b, &c], 1), 2 + 1);
+        assert_eq!(popcount_and_all(seq, &[], 1), 0, "empty intersection");
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(popcount_and_all(seq, &[&empty], 1), 0);
+    }
+
+    #[test]
+    fn popcount_and_all_thread_count_invariant() {
+        let a: Vec<u64> = (0..3000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let b: Vec<u64> = (0..3000u64).map(|i| !i ^ (i << 13)).collect();
+        let seq = popcount_and_all(Parallelism::Sequential, &[&a, &b], 64);
+        for t in [1usize, 2, 4, 7, 16] {
+            assert_eq!(
+                popcount_and_all(Parallelism::Threads(t), &[&a, &b], 64),
+                seq,
+                "threads = {t}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn popcount_and_all_rejects_misaligned_operands() {
+        let a = vec![1u64, 2];
+        let b = vec![1u64];
+        popcount_and_all(Parallelism::Sequential, &[&a, &b], 1);
     }
 
     #[test]

@@ -12,15 +12,65 @@
 //! The prefix-guided walk keeps counting polynomial in the number of
 //! candidates rather than in `C(|t|, k)` — the practical trick that replaces
 //! the original paper's hash tree.
+//!
+//! Step 3 is pluggable ([`CountBackend`]): the default prefix-guided DFS,
+//! the classical hash tree of [`crate::hashtree`], or Eclat-style vertical
+//! tid-bitset intersection ([`focus_core::vertical`]) — one cached
+//! `(k−1)`-prefix bitset per candidate run, one masked popcount per
+//! extension. All three produce identical `u64` counts, hence identical
+//! mined models.
 
+use crate::hashtree::HashTree;
 use focus_core::data::TransactionSet;
 use focus_core::model::LitsModel;
 use focus_core::region::Itemset;
-use focus_exec::{map_chunks, merge_counts, Parallelism};
+use focus_core::vertical::VerticalIndex;
+use focus_exec::{map_chunks, map_indices, merge_counts, Parallelism};
 use std::collections::{HashMap, HashSet};
 
 /// Minimum transactions per worker chunk for the counting scans.
 const SCAN_GRAIN: usize = focus_exec::DEFAULT_GRAIN;
+
+/// Which support-counting backend the miner uses for candidate levels.
+///
+/// All backends count the same thing and are parity-tested to agree
+/// exactly, so the mined model is backend-independent; they differ only in
+/// cost shape. See the README's "counting backends" section for guidance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CountBackend {
+    /// Prefix-guided depth-first subset enumeration per transaction (the
+    /// default; fastest on the paper's sparse market-basket workloads).
+    #[default]
+    Dfs,
+    /// The hash tree of Agrawal & Srikant '94: wins when candidates are
+    /// dense over few distinct items.
+    HashTree,
+    /// Eclat-style vertical tid-bitset intersection: wins when many
+    /// candidates are counted over many transactions.
+    Vertical,
+}
+
+impl CountBackend {
+    /// Parses a user-facing backend name (`dfs`, `hashtree`/`hash-tree`,
+    /// `vertical`), case-insensitively.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "dfs" => Some(Self::Dfs),
+            "hashtree" | "hash-tree" | "hash_tree" => Some(Self::HashTree),
+            "vertical" => Some(Self::Vertical),
+            _ => None,
+        }
+    }
+
+    /// The canonical name [`Self::parse`] accepts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Dfs => "dfs",
+            Self::HashTree => "hashtree",
+            Self::Vertical => "vertical",
+        }
+    }
+}
 
 /// Tuning parameters for the miner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +92,9 @@ pub struct AprioriParams {
     /// [`Parallelism::Global`]). Mined models are bit-identical for every
     /// setting: per-chunk transaction counts merge by `u64` addition.
     pub parallelism: Parallelism,
+    /// Support-counting backend for candidate levels (default
+    /// [`CountBackend::Dfs`]). Mined models are backend-independent.
+    pub backend: CountBackend,
 }
 
 impl AprioriParams {
@@ -56,6 +109,7 @@ impl AprioriParams {
             max_len: None,
             min_count_floor: 1,
             parallelism: Parallelism::Global,
+            backend: CountBackend::Dfs,
         }
     }
 
@@ -77,6 +131,12 @@ impl AprioriParams {
     /// Sets the worker-thread policy for the support-counting scans.
     pub fn parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = par;
+        self
+    }
+
+    /// Sets the support-counting backend for candidate levels.
+    pub fn backend(mut self, backend: CountBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -106,22 +166,36 @@ impl Apriori {
 
         let mut all_frequent: Vec<(Itemset, u64)> = Vec::new();
 
-        // Level 1: plain array count, transaction chunks fanned out over
-        // worker threads and merged by addition (exact for any chunking).
-        let item_counts = merge_counts(map_chunks(
-            self.params.parallelism,
-            data.len(),
-            SCAN_GRAIN,
-            |range| {
-                let mut counts = vec![0u64; data.n_items() as usize];
-                for t in range {
-                    for &it in data.get(t) {
-                        counts[it as usize] += 1;
+        // The vertical backend builds its tid-bitset index once, up front;
+        // every level then counts by word-level AND + popcount against it.
+        let vindex = match self.params.backend {
+            CountBackend::Vertical => Some(VerticalIndex::build(data)),
+            _ => None,
+        };
+
+        // Level 1: per-item counts. Horizontal backends use a plain array
+        // count over transaction chunks merged by addition; the vertical
+        // backend popcounts each item's row. Both are exact `u64` tallies
+        // of the same memberships, so the counts are identical.
+        let item_counts = match &vindex {
+            Some(idx) => map_indices(self.params.parallelism, data.n_items() as usize, |i| {
+                idx.item_support(i as u32)
+            }),
+            None => merge_counts(map_chunks(
+                self.params.parallelism,
+                data.len(),
+                SCAN_GRAIN,
+                |range| {
+                    let mut counts = vec![0u64; data.n_items() as usize];
+                    for t in range {
+                        for &it in data.get(t) {
+                            counts[it as usize] += 1;
+                        }
                     }
-                }
-                counts
-            },
-        ));
+                    counts
+                },
+            )),
+        };
         let mut frontier: Vec<Vec<u32>> = Vec::new();
         for (it, &c) in item_counts.iter().enumerate() {
             if c >= min_count {
@@ -141,7 +215,17 @@ impl Apriori {
             if candidates.is_empty() {
                 break;
             }
-            let counts = count_candidates(data, &candidates, k, self.params.parallelism);
+            let counts = match &vindex {
+                Some(idx) => {
+                    count_candidates_vertical(idx, &candidates, k, self.params.parallelism)
+                }
+                None => match self.params.backend {
+                    CountBackend::HashTree => {
+                        HashTree::build(&candidates, k).count_set(data, self.params.parallelism)
+                    }
+                    _ => count_candidates(data, &candidates, k, self.params.parallelism),
+                },
+            };
             let mut next: Vec<Vec<u32>> = Vec::new();
             for (cand, count) in candidates.into_iter().zip(counts) {
                 if count >= min_count {
@@ -260,6 +344,53 @@ fn count_candidates(
         return vec![0u64; candidates.len()];
     }
     merge_counts(parts)
+}
+
+/// Vertical (Eclat-style) candidate counting against a prebuilt
+/// [`VerticalIndex`]: candidates arrive sorted from the join, so runs
+/// sharing a `(k−1)`-prefix are adjacent. Each run intersects its prefix
+/// rows into a cached bitset once, then counts every extension with a
+/// single masked popcount — `O(words)` per candidate instead of a
+/// transaction walk.
+///
+/// Runs fan out over `par` worker threads in run order; every count is an
+/// exact `u64` popcount, so the result is bit-identical to the sequential
+/// fold (and to the other backends) for any thread count.
+fn count_candidates_vertical(
+    index: &VerticalIndex,
+    candidates: &[Vec<u32>],
+    k: usize,
+    par: Parallelism,
+) -> Vec<u64> {
+    debug_assert!(k >= 2, "level-1 counts come from the item rows directly");
+    let mut runs: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut start = 0;
+    while start < candidates.len() {
+        let prefix = &candidates[start][..k - 1];
+        let mut end = start + 1;
+        while end < candidates.len() && candidates[end][..k - 1] == *prefix {
+            end += 1;
+        }
+        runs.push(start..end);
+        start = end;
+    }
+    let per_run = map_indices(par, runs.len(), |r| {
+        let run = runs[r].clone();
+        let mut mask = Vec::new();
+        // Prefix items are frequent items of the dataset, so they are
+        // always inside the universe; a false here still counts 0 safely.
+        let in_range = index.intersect_into(&candidates[run.start][..k - 1], &mut mask);
+        run.map(|c| {
+            let &last = candidates[c].last().expect("candidates have length k >= 2");
+            if in_range {
+                index.count_with_mask(&mask, last)
+            } else {
+                0
+            }
+        })
+        .collect::<Vec<u64>>()
+    });
+    per_run.into_iter().flatten().collect()
 }
 
 fn dfs_count(
@@ -444,6 +575,72 @@ mod tests {
                 m.supports()[i]
             );
         }
+    }
+
+    #[test]
+    fn backends_mine_identical_models() {
+        let mut rng = StdRng::seed_from_u64(314);
+        for trial in 0..5 {
+            let mut data = TransactionSet::new(14);
+            for _ in 0..(150 + trial * 40) {
+                let t: Vec<u32> = (0..14).filter(|_| rng.gen::<f64>() < 0.35).collect();
+                data.push(t);
+            }
+            for minsup in [0.05, 0.2] {
+                let base = AprioriParams::with_minsup(minsup).max_len(6);
+                let reference = Apriori::new(base).mine(&data);
+                for backend in [CountBackend::HashTree, CountBackend::Vertical] {
+                    let m = Apriori::new(base.backend(backend)).mine(&data);
+                    assert_eq!(
+                        m,
+                        reference,
+                        "trial {trial} minsup {minsup} backend {}",
+                        backend.as_str()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_backend_on_empty_and_tiny_data() {
+        let empty = TransactionSet::new(4);
+        let params = AprioriParams::with_minsup(0.1).backend(CountBackend::Vertical);
+        assert!(Apriori::new(params).mine(&empty).is_empty());
+
+        let data = dataset(&[&[0, 2, 3], &[1, 2, 4], &[0, 1, 2, 4], &[1, 4]], 5);
+        let vertical =
+            Apriori::new(AprioriParams::with_minsup(0.5).backend(CountBackend::Vertical))
+                .mine(&data);
+        let dfs = Apriori::new(AprioriParams::with_minsup(0.5)).mine(&data);
+        assert_eq!(vertical, dfs);
+    }
+
+    #[test]
+    fn count_backend_parsing() {
+        assert_eq!(CountBackend::parse("dfs"), Some(CountBackend::Dfs));
+        assert_eq!(CountBackend::parse("DFS"), Some(CountBackend::Dfs));
+        assert_eq!(
+            CountBackend::parse("hashtree"),
+            Some(CountBackend::HashTree)
+        );
+        assert_eq!(
+            CountBackend::parse("hash-tree"),
+            Some(CountBackend::HashTree)
+        );
+        assert_eq!(
+            CountBackend::parse("vertical"),
+            Some(CountBackend::Vertical)
+        );
+        assert_eq!(CountBackend::parse("eclat?"), None);
+        for b in [
+            CountBackend::Dfs,
+            CountBackend::HashTree,
+            CountBackend::Vertical,
+        ] {
+            assert_eq!(CountBackend::parse(b.as_str()), Some(b), "round-trip");
+        }
+        assert_eq!(CountBackend::default(), CountBackend::Dfs);
     }
 
     #[test]

@@ -39,7 +39,13 @@ impl HashTree {
     /// Builds a hash tree over `candidates`, all of the same length `k`.
     /// Candidate order defines the index used in [`HashTree::count`].
     pub fn build(candidates: &[Vec<u32>], k: usize) -> Self {
-        assert!(k >= 1);
+        // An empty candidate level (Apriori can hit a dry level) builds a
+        // trivial tree whose counts are the empty vector for any `k`,
+        // including 0; only non-empty levels need a real length.
+        assert!(
+            k >= 1 || candidates.is_empty(),
+            "non-empty candidate levels need k >= 1"
+        );
         let mut root = HtNode::Leaf(Vec::new());
         for (i, c) in candidates.iter().enumerate() {
             assert_eq!(c.len(), k, "all candidates must have length k");
@@ -190,6 +196,25 @@ mod tests {
         assert!(tree.is_empty());
         let txns: Vec<Vec<u32>> = vec![vec![0, 1]];
         assert!(tree.count(txns.iter().map(|t| t.as_slice())).is_empty());
+    }
+
+    #[test]
+    fn dry_level_builds_trivial_tree_even_at_k_zero() {
+        // A dry Apriori level may ask for k = 0 with no candidates; that
+        // must build a trivial tree, not assert.
+        let tree = HashTree::build(&[], 0);
+        assert!(tree.is_empty());
+        let txns: Vec<Vec<u32>> = vec![vec![0, 1], vec![]];
+        assert!(tree.count(txns.iter().map(|t| t.as_slice())).is_empty());
+        let mut data = focus_core::data::TransactionSet::new(3);
+        data.push(vec![0, 1]);
+        assert!(tree.count_set(&data, Parallelism::Sequential).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty candidate levels need k >= 1")]
+    fn non_empty_level_still_requires_positive_k() {
+        HashTree::build(&[vec![]], 0);
     }
 
     #[test]

@@ -1,25 +1,30 @@
 //! Cross-implementation differential testing of support counting.
 //!
-//! The workspace carries three independent ways to count how many
+//! The workspace carries four independent ways to count how many
 //! transactions contain an itemset:
 //!
 //! 1. the **hash tree** of the original Apriori paper
 //!    ([`HashTree::count_set`], hashing its way down per transaction);
 //! 2. **naive subset counting** — the textbook double loop, written out
-//!    here from scratch so it shares no code with either backend;
+//!    here from scratch so it shares no code with any backend;
 //! 3. the **Apriori miner's level counts** — the prefix-guided DFS that
-//!    produced the frequent itemsets and recorded their supports.
+//!    produced the frequent itemsets and recorded their supports;
+//! 4. the **vertical tid-bitset index** ([`VerticalIndex`], Eclat-style:
+//!    support = popcount of ANDed per-item transaction bitsets).
 //!
 //! Each implementation has a completely different traversal order and
 //! data-structure shape, so a bug in any one of them (hash collision
-//! handling, DFS pruning, bitmap containment) is unlikely to be mirrored
-//! by the other two. The property below demands **three-way agreement**
-//! — every pair must match, not just one anchor — on proptest-generated
-//! transaction sets, at every itemset length the miner produced.
+//! handling, DFS pruning, bitmap containment, bitset intersection) is
+//! unlikely to be mirrored by the other three. The property below demands
+//! **four-way agreement** — every pair must match, not just one anchor —
+//! on proptest-generated transaction sets, at every itemset length the
+//! miner produced. A second property demands that the Apriori miner
+//! itself produces the identical model under all three of its candidate
+//! counting backends (DFS, hash tree, vertical).
 
 use focus::core::prelude::*;
 use focus::exec::Parallelism;
-use focus::mining::{Apriori, AprioriParams, HashTree};
+use focus::mining::{Apriori, AprioriParams, CountBackend, HashTree};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +63,7 @@ proptest! {
         let model = Apriori::new(AprioriParams::with_minsup(minsup).max_len(5)).mine(&data);
         prop_assume!(!model.is_empty());
         let n_txn = model.n_transactions() as f64;
+        let vindex = VerticalIndex::build(&data);
 
         // Group the mined itemsets by length: one hash tree per level,
         // exactly how the original algorithm counts candidates.
@@ -94,14 +100,49 @@ proptest! {
                                 "apriori vs hash tree for {:?} at level {}", cand, k);
             }
 
-            // And the bitmap counter in focus-core agrees as a fourth
-            // witness (it backs the measure-extension scans).
+            // And the bitmap counter in focus-core agrees as well (it
+            // backs the measure-extension scans).
             let itemsets: Vec<Itemset> = candidates
                 .iter()
                 .map(|c| Itemset::from_slice(c))
                 .collect();
             prop_assert_eq!(&count_itemsets(&data, &itemsets), &naive,
                             "bitmap counter vs naive at level {}", k);
+
+            // Pairwise leg 4: the vertical tid-bitset index vs naive —
+            // the Eclat-style backend closes the four-way agreement.
+            let vertical = count_itemsets_vertical(&vindex, &itemsets);
+            prop_assert_eq!(&vertical, &naive,
+                            "vertical index vs naive at level {}", k);
+            // ... and vs the hash tree, so vertical is pinned against a
+            // second independent witness rather than one anchor.
+            prop_assert_eq!(&vertical, &ht,
+                            "vertical index vs hash tree at level {}", k);
+        }
+    }
+
+    /// The Apriori miner must produce the identical model — itemsets,
+    /// supports, transaction count — no matter which candidate counting
+    /// backend it runs on. The DFS backend is the reference; hash tree
+    /// and vertical must reproduce it exactly.
+    #[test]
+    fn apriori_backends_mine_identical_models(seed in 0u64..1_000_000,
+                                              n in 30usize..200,
+                                              n_items in 4u32..12,
+                                              density in 0.15f64..0.5,
+                                              minsup in 0.05f64..0.4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = TransactionSet::new(n_items);
+        for _ in 0..n {
+            let t: Vec<u32> = (0..n_items).filter(|_| rng.gen::<f64>() < density).collect();
+            data.push(t);
+        }
+
+        let params = AprioriParams::with_minsup(minsup).max_len(5);
+        let reference = Apriori::new(params.backend(CountBackend::Dfs)).mine(&data);
+        for backend in [CountBackend::HashTree, CountBackend::Vertical] {
+            let model = Apriori::new(params.backend(backend)).mine(&data);
+            prop_assert_eq!(&model, &reference, "backend {:?}", backend);
         }
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! For random datasets and seeds, every parallelized pipeline — deviation
 //! measure scans for all three model classes, Apriori mining, hash-tree
-//! counting, decision-tree induction, k-means Lloyd iterations, monitor
+//! counting, vertical tid-bitset counting, decision-tree induction,
+//! k-means Lloyd iterations, monitor
 //! calibration, per-region `f`/`g` aggregation, and the bootstrap
 //! qualification fan-out — must produce **bit-identical** results for any
 //! worker-thread count. Floating-point results are compared via their
@@ -360,6 +361,40 @@ proptest! {
         }
     }
 
+    /// Vertical tid-bitset counting: the word-chunked popcount fold is
+    /// thread-count-invariant, and every count is `u64`-identical to the
+    /// horizontal sequential scan (the counts are integers, so exact
+    /// equality is the bit-identity contract here). The auto-dispatch
+    /// seam must land on the same counts too, whichever side of its
+    /// gate this dataset falls on.
+    #[test]
+    fn vertical_counting_bit_identical(seed in 0u64..1_000_000,
+                                       n in 50usize..400,
+                                       n_items in 4u32..14,
+                                       density in 0.1f64..0.5) {
+        let data = random_transactions(n, n_items, density, seed);
+        let sets: Vec<Itemset> = (0..n_items.saturating_sub(1))
+            .map(|b| Itemset::from_slice(&[b, b + 1]))
+            .chain((0..n_items).map(|b| Itemset::from_slice(&[b])))
+            .chain(std::iter::once(Itemset::from_slice(&[])))
+            .chain(std::iter::once(Itemset::from_slice(&[n_items + 3])))
+            .collect();
+        let horizontal = count_itemsets_par(&data, &sets, Parallelism::Sequential);
+
+        let index = VerticalIndex::build(&data);
+        let seq = count_itemsets_vertical_par(&index, &sets, Parallelism::Sequential);
+        prop_assert_eq!(&seq, &horizontal, "vertical vs horizontal, sequential");
+        for t in THREADS {
+            let par = count_itemsets_vertical_par(&index, &sets, Parallelism::Threads(t));
+            prop_assert_eq!(&par, &horizontal, "vertical counts, threads = {}", t);
+            prop_assert_eq!(
+                &count_itemsets_auto_par(&data, &sets, Parallelism::Threads(t)),
+                &horizontal,
+                "auto-dispatched counts, threads = {}", t
+            );
+        }
+    }
+
     /// Hash-tree support counting over transaction chunks is
     /// thread-count-invariant and agrees with the sequential iterator walk.
     #[test]
@@ -392,6 +427,25 @@ fn large_scan_splits_chunks_and_stays_identical() {
             "threads = {t}"
         );
     }
+    // Vertical side: the word fold chunks by bitset *words*, so splitting
+    // it needs > WORD_GRAIN (512) words per item — i.e. > 32768
+    // transactions. 40000 rows give 625 words and a genuine multi-chunk
+    // partial-vector merge at every thread count.
+    let data = random_transactions(40_000, 12, 0.3, 123);
+    let sets: Vec<Itemset> = (0..11u32)
+        .map(|b| Itemset::from_slice(&[b, b + 1]))
+        .chain(std::iter::once(Itemset::from_slice(&[2, 5, 9])))
+        .collect();
+    let horizontal = count_itemsets_par(&data, &sets, Parallelism::Sequential);
+    let index = VerticalIndex::build(&data);
+    for t in THREADS {
+        assert_eq!(
+            count_itemsets_vertical_par(&index, &sets, Parallelism::Threads(t)),
+            horizontal,
+            "vertical word chunks, threads = {t}"
+        );
+    }
+
     // Labeled side too: 6000 rows > SCAN_GRAIN guarantees ≥ 2 chunks.
     let labeled = random_labeled(6000, 50.0, 0.1, 7);
     let schema = labeled.table.schema();

@@ -10,7 +10,7 @@
 //! focus-cli qualify    --d1 D1.txt --d2 D2.txt --minsup 0.01 [--reps 99 --seed 7]
 //! focus-cli tree       --data D1.tbl [--max-depth 10 --min-leaf 50] [--render]
 //! focus-cli deviate-dt --d1 D1.tbl --d2 D2.tbl
-//! focus-cli registry-add --dir REG --data D1.txt --name day-01 [--kind lits|dt|cluster] [--minsup 0.01]
+//! focus-cli registry-add --dir REG --data D1.txt --name day-01 [--kind lits|dt|cluster] [--minsup 0.01] [--format text|bin --shards N]
 //! focus-cli matrix     --dir REG [--kind k] [--threshold t | --top K] [--f fa|fs] [--g sum|max]
 //! focus-cli embed      --dir REG [--kind k] [--k 2]
 //! ```
@@ -36,8 +36,12 @@
 //! and the bootstrap fan-out run on that many threads with bit-identical
 //! results. `FOCUS_THREADS` is the env-var equivalent.
 //!
-//! All datasets and models use the plain-text formats of
-//! `focus_data::io` / `focus_core::persist`.
+//! Standalone datasets and models use the plain-text formats of
+//! `focus_data::io` / `focus_core::persist`. Registries default to the
+//! same text artifacts, but `registry-add --format bin [--shards N]`
+//! creates one in the binary columnar format (per-section checksums,
+//! zero-copy mmap loads) and/or a hash-sharded directory layout; `matrix`
+//! and `embed` detect the layout automatically from `registry.layout`.
 
 use focus_cluster::{KMeans, KMeansParams};
 use focus_core::bound::lits_upper_bound;
@@ -52,7 +56,10 @@ use focus_data::io::{
     read_labeled_table, read_transactions, write_labeled_table, write_transactions,
 };
 use focus_mining::{Apriori, AprioriParams, CountBackend};
-use focus_registry::{DeviationMatrix, MatrixParams, Registry, SnapshotFamily, SnapshotKind};
+use focus_registry::{
+    DeviationMatrix, MatrixParams, Registry, RegistryLayout, SnapshotFamily, SnapshotKind,
+    StorageFormat,
+};
 use focus_tree::{DecisionTree, TreeParams};
 use std::collections::HashMap;
 use std::fs::File;
@@ -130,6 +137,11 @@ commands:
              [--minsup <f>]                      lits: mining threshold
              [--max-depth D --min-leaf N]        dt: tree induction
              [--clusters K --seed S]             cluster: k-means
+             [--format text|bin] [--shards N]    layout of a *new* registry
+                                                 (an existing one keeps its
+                                                 own; bin = checksummed
+                                                 columnar artifacts, mmap
+                                                 reads; N hash shards)
   matrix     --dir <registry> [--kind k] [--threshold <t> | --top <K>]
              [--f fa|fs] [--g sum|max]
   embed      --dir <registry> [--kind k] [--k <dims>]
@@ -397,12 +409,41 @@ fn registry_kind(reg: &Registry, flags: &Flags) -> Result<SnapshotKind, String> 
     }
 }
 
+/// A crashed append can leave one unterminated manifest line; the registry
+/// ignores it on open, but the operator should hear about it.
+fn warn_torn(reg: &Registry) {
+    let torn = reg.torn_lines();
+    if torn > 0 {
+        eprintln!(
+            "warning: ignored {torn} torn trailing manifest line(s) (crashed append); \
+             the affected snapshot can be re-added"
+        );
+    }
+}
+
 fn registry_add(flags: &Flags) -> Result<(), String> {
     let dir = req(flags, "dir")?;
     let name = req(flags, "name")?;
     let data_path = req(flags, "data")?;
     let kind = parse_kind(flags, Some(SnapshotKind::Lits))?.expect("defaulted");
-    let mut reg = Registry::open_or_create(dir).map_err(io_err)?;
+    // --format/--shards pick the layout of a *new* registry; an existing
+    // one keeps the layout it was created with (a mismatch errors).
+    let mut reg = if flags.contains_key("format") || flags.contains_key("shards") {
+        let format = match flags.get("format") {
+            None => StorageFormat::Text,
+            Some(s) => StorageFormat::parse(s)
+                .ok_or_else(|| format!("--format must be text or bin, got {s:?}"))?,
+        };
+        let layout = RegistryLayout {
+            shards: opt(flags, "shards", 0)?,
+            format,
+        };
+        Registry::open_or_create_with(dir, layout)
+    } else {
+        Registry::open_or_create(dir)
+    }
+    .map_err(io_err)?;
+    warn_torn(&reg);
     let entry = match kind {
         SnapshotKind::Lits => {
             let minsup: f64 = opt(flags, "minsup", 0.01)?;
@@ -453,6 +494,7 @@ fn matrix(flags: &Flags) -> Result<(), String> {
         return Err("--top replaces --threshold; pass only one".to_string());
     }
     let reg = Registry::open(dir).map_err(io_err)?;
+    warn_torn(&reg);
     let kind = registry_kind(&reg, flags)?;
     let params = MatrixParams {
         diff: diff_fn(flags)?,
@@ -513,6 +555,7 @@ fn embed(flags: &Flags) -> Result<(), String> {
     let dir = req(flags, "dir")?;
     let k: usize = opt(flags, "k", 2)?;
     let reg = Registry::open(dir).map_err(io_err)?;
+    warn_torn(&reg);
     // Metric families (lits, dt) embed straight off the δ* bound grid, so
     // every exact scan can be pruned by screening at +∞. Cluster bounds are
     // not a metric — the embedding needs the exact deviations, so scan all

@@ -234,6 +234,98 @@ fn dt_pipeline_end_to_end() {
 }
 
 #[test]
+fn binary_sharded_registry_matrix_matches_text() {
+    let dir = scratch("registry-bin");
+    let d1 = dir.join("d1.txt");
+    let d2 = dir.join("d2.txt");
+    for (out, seed) in [(&d1, "2"), (&d2, "9")] {
+        run(&[
+            "gen-assoc",
+            "--out",
+            path_str(out),
+            "--n",
+            "300",
+            "--pats",
+            "40",
+            "--patlen",
+            "3",
+            "--pattern-seed",
+            "1",
+            "--seed",
+            seed,
+        ]);
+    }
+
+    // The same snapshots into a classic text registry and a sharded
+    // binary one.
+    let reg_text = dir.join("reg-text");
+    let reg_bin = dir.join("reg-bin");
+    for (reg, extra) in [
+        (&reg_text, &[][..]),
+        (&reg_bin, &["--format", "bin", "--shards", "2"][..]),
+    ] {
+        for (data, name) in [(&d1, "day-01"), (&d2, "day-02")] {
+            let mut args = vec![
+                "registry-add",
+                "--dir",
+                path_str(reg),
+                "--data",
+                path_str(data),
+                "--name",
+                name,
+                "--minsup",
+                "0.05",
+            ];
+            args.extend_from_slice(extra);
+            run(&args);
+        }
+    }
+    // The binary registry's artifacts live in shard directories as .bin
+    // files; nothing readable as text sits in the root.
+    assert!(reg_bin.join("registry.layout").exists());
+    assert!(reg_bin.join("shard-000").is_dir() && reg_bin.join("shard-001").is_dir());
+
+    // The matrix over both registries is byte-identical on stdout.
+    let matrix_args = |reg: &Path| {
+        let r = path_str(reg).to_string();
+        ["matrix", "--dir"]
+            .into_iter()
+            .map(String::from)
+            .chain([r])
+            .collect::<Vec<_>>()
+    };
+    let text_out = run(&matrix_args(&reg_text)
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>());
+    let bin_out = run(&matrix_args(&reg_bin)
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>());
+    assert_eq!(stdout(&text_out), stdout(&bin_out));
+    assert!(stdout(&text_out).contains("pairs 1"));
+
+    // Asking an existing registry for a different layout is refused.
+    let clash = Command::new(bin())
+        .args([
+            "registry-add",
+            "--dir",
+            path_str(&reg_bin),
+            "--data",
+            path_str(&d1),
+            "--name",
+            "day-03",
+            "--format",
+            "text",
+        ])
+        .output()
+        .expect("failed to spawn focus-cli");
+    assert!(!clash.status.success(), "layout mismatch must fail");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_lists_all_commands() {
     let out = run(&["help"]);
     let text = stdout(&out);

@@ -225,6 +225,36 @@ impl Table {
         self.values.chunks_exact(w.max(1)).take(self.n_rows)
     }
 
+    /// Builds a table directly from row-major values — the bulk-load path
+    /// used by the binary snapshot decoder, which already holds the whole
+    /// value buffer and must not pay a per-row `push_row` round trip.
+    /// Every row is still validated against the schema; the error string
+    /// describes the first violation.
+    pub fn from_values(
+        schema: Arc<Schema>,
+        values: Vec<Value>,
+        n_rows: usize,
+    ) -> Result<Table, String> {
+        let width = schema.len();
+        let want = n_rows
+            .checked_mul(width)
+            .ok_or_else(|| "row count × width overflows".to_string())?;
+        if values.len() != want {
+            return Err(format!(
+                "value buffer holds {} values but {n_rows} rows × {width} attributes needs {want}",
+                values.len()
+            ));
+        }
+        for (i, row) in values.chunks_exact(width.max(1)).take(n_rows).enumerate() {
+            schema.check_row(row).map_err(|e| format!("row {i}: {e}"))?;
+        }
+        Ok(Table {
+            schema,
+            values,
+            n_rows,
+        })
+    }
+
     /// Builds a new table containing the rows at `indices` (in order;
     /// duplicates allowed, which is what bootstrap resampling needs).
     pub fn subset(&self, indices: &[usize]) -> Table {
@@ -394,6 +424,54 @@ impl TransactionSet {
         }
         self.items.extend_from_slice(&items);
         self.offsets.push(self.items.len());
+    }
+
+    /// Builds a transaction set directly from its CSR parts — the
+    /// bulk-load path used by the binary snapshot decoder, avoiding the
+    /// per-transaction `Vec` + sort that [`TransactionSet::push`] pays.
+    /// The parts must already satisfy the representation invariants
+    /// (offsets start at 0, are non-decreasing and end at `items.len()`;
+    /// each transaction strictly increasing with items `< n_items`);
+    /// violations are reported, not repaired, so a corrupt binary artifact
+    /// surfaces as an error instead of silently re-sorted data.
+    pub fn from_parts(
+        n_items: u32,
+        offsets: Vec<usize>,
+        items: Vec<u32>,
+    ) -> Result<TransactionSet, String> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets must start at 0".to_string());
+        }
+        if *offsets.last().expect("non-empty by the check above") != items.len() {
+            return Err(format!(
+                "last offset {} does not cover the {} items",
+                offsets.last().unwrap(),
+                items.len()
+            ));
+        }
+        for (t, w) in offsets.windows(2).enumerate() {
+            if w[1] < w[0] {
+                return Err(format!("offsets decrease at transaction {t}"));
+            }
+            let txn = &items[w[0]..w[1]];
+            if let Some(&max) = txn.last() {
+                if max >= n_items {
+                    return Err(format!(
+                        "transaction {t}: item {max} out of range 0..{n_items}"
+                    ));
+                }
+            }
+            if txn.windows(2).any(|p| p[1] <= p[0]) {
+                return Err(format!(
+                    "transaction {t} is not strictly increasing (sorted + deduplicated)"
+                ));
+            }
+        }
+        Ok(TransactionSet {
+            n_items,
+            offsets,
+            items,
+        })
     }
 
     /// The `i`-th transaction as a sorted item slice.
@@ -572,6 +650,60 @@ mod tests {
         assert_eq!(sub.labels, vec![0, 0, 1]);
         let cat = t.concat(&sub);
         assert_eq!(cat.len(), 13);
+    }
+
+    #[test]
+    fn table_from_values_validates_and_matches_push_row() {
+        let s = demo_schema();
+        let mut pushed = Table::new(Arc::clone(&s));
+        let rows = [
+            [Value::Num(30.0), Value::Num(50_000.0), Value::Cat(2)],
+            [Value::Num(61.0), Value::Num(90_000.0), Value::Cat(4)],
+        ];
+        let mut flat = Vec::new();
+        for row in &rows {
+            pushed.push_row(row);
+            flat.extend_from_slice(row);
+        }
+        let bulk = Table::from_values(Arc::clone(&s), flat.clone(), 2).unwrap();
+        assert_eq!(bulk, pushed);
+        // Shape and value violations are errors, not panics.
+        assert!(Table::from_values(Arc::clone(&s), flat.clone(), 3).is_err());
+        let mut bad = flat.clone();
+        bad[2] = Value::Cat(9); // cardinality is 5
+        assert!(Table::from_values(Arc::clone(&s), bad, 2).is_err());
+        let mut wrong_kind = flat;
+        wrong_kind[0] = Value::Cat(0);
+        assert!(Table::from_values(Arc::clone(&s), wrong_kind, 2).is_err());
+        // Empty-schema tables carry their row count explicitly.
+        let empty = Arc::new(Schema::new(Vec::new()));
+        assert_eq!(Table::from_values(empty, Vec::new(), 7).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn transactions_from_parts_validates_and_matches_push() {
+        let mut pushed = TransactionSet::new(10);
+        pushed.push(vec![1, 3, 5]);
+        pushed.push(vec![]);
+        pushed.push(vec![0, 9]);
+        let bulk = TransactionSet::from_parts(10, vec![0, 3, 3, 5], vec![1, 3, 5, 0, 9]).unwrap();
+        assert_eq!(bulk, pushed);
+        // Each representation invariant is reported, never repaired.
+        assert!(TransactionSet::from_parts(10, vec![1, 3], vec![1, 3, 5]).is_err());
+        assert!(TransactionSet::from_parts(10, vec![0, 2], vec![1, 3, 5]).is_err());
+        assert!(TransactionSet::from_parts(10, vec![0, 2, 1], vec![1, 3]).is_err());
+        assert!(
+            TransactionSet::from_parts(10, vec![0, 2], vec![3, 1]).is_err(),
+            "unsorted transaction"
+        );
+        assert!(
+            TransactionSet::from_parts(10, vec![0, 2], vec![1, 1]).is_err(),
+            "duplicate item"
+        );
+        assert!(
+            TransactionSet::from_parts(10, vec![0, 1], vec![10]).is_err(),
+            "item out of universe"
+        );
     }
 
     #[test]

@@ -271,6 +271,20 @@ fn read_region_line(
     ))
 }
 
+/// Checks that a cluster-model is persistable: its regions must be
+/// class-free, because neither the text nor the binary snapshot format
+/// records a region class — persisting one would silently drop it. Both
+/// writers call this, so they reject the same models with `InvalidInput`.
+pub fn check_cluster_model_persistable(model: &ClusterModel) -> std::io::Result<()> {
+    if model.clusters().iter().any(|c| c.class.is_some()) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cluster regions must be class-free to persist",
+        ));
+    }
+    Ok(())
+}
+
 /// Writes a cluster-model (schema + cluster boxes + one selectivity per
 /// cluster). Cluster regions must be class-free — a class-carrying region
 /// is rejected with `InvalidInput` rather than silently dropped.
@@ -279,12 +293,7 @@ pub fn write_cluster_model<W: Write>(
     schema: &Schema,
     w: W,
 ) -> std::io::Result<()> {
-    if model.clusters().iter().any(|c| c.class.is_some()) {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            "cluster regions must be class-free to persist",
-        ));
-    }
+    check_cluster_model_persistable(model)?;
     let mut w = BufWriter::new(w);
     writeln!(
         w,

@@ -171,9 +171,20 @@ impl VerticalIndex {
     /// The bit-matrix size [`Self::build`] would allocate for `data`,
     /// without building it: `n_items × ceil(n / 64) × 8` bytes. Used by
     /// [`count_itemsets_auto_par`] to refuse indexes that would dwarf the
-    /// scan they accelerate.
+    /// scan they accelerate. Saturates at `usize::MAX` — a universe big
+    /// enough to wrap the multiplication must read as "too big for the
+    /// auto gate", not as a small wrapped product that would let the gate
+    /// wave an absurd allocation through.
     pub fn estimate_bytes(data: &TransactionSet) -> usize {
-        data.n_items() as usize * data.len().div_ceil(64) * 8
+        Self::estimate_bytes_for(data.n_items(), data.len())
+    }
+
+    /// [`Self::estimate_bytes`] from the raw dimensions (saturating).
+    pub fn estimate_bytes_for(n_items: u32, n_transactions: usize) -> usize {
+        (n_items as usize)
+            .checked_mul(n_transactions.div_ceil(64))
+            .and_then(|words| words.checked_mul(8))
+            .unwrap_or(usize::MAX)
     }
 }
 
@@ -458,6 +469,25 @@ mod tests {
         let idx = VerticalIndex::build(&ts);
         assert_eq!(idx.memory_bytes(), 10 * 3 * 8);
         assert_eq!(VerticalIndex::estimate_bytes(&ts), idx.memory_bytes());
+    }
+
+    #[test]
+    fn estimate_bytes_saturates_instead_of_wrapping() {
+        // A pathological universe whose n_items × words × 8 product
+        // overflows usize must read as "too big", never as a small
+        // wrapped product the AUTO_MAX_INDEX_BYTES gate would accept.
+        assert_eq!(
+            VerticalIndex::estimate_bytes_for(u32::MAX, usize::MAX),
+            usize::MAX
+        );
+        // Wraps in the word multiply, not just the ×8 step.
+        assert_eq!(
+            VerticalIndex::estimate_bytes_for(u32::MAX, usize::MAX / 2),
+            usize::MAX
+        );
+        // Sane inputs are exact.
+        assert_eq!(VerticalIndex::estimate_bytes_for(10, 130), 10 * 3 * 8);
+        assert_eq!(VerticalIndex::estimate_bytes_for(0, 1 << 40), 0);
     }
 
     #[test]

@@ -81,6 +81,21 @@ pub trait SnapshotFamily: ModelFamily {
     /// Reads a model written by [`SnapshotFamily::write_model`].
     fn read_model(r: impl Read) -> std::io::Result<Self::Model>;
 
+    /// Encodes a dataset in the binary columnar format of
+    /// [`crate::binfmt`].
+    fn encode_dataset(data: &Self::Dataset) -> Vec<u8>;
+    /// Decodes a dataset encoded by [`SnapshotFamily::encode_dataset`];
+    /// corruption surfaces as a named [`crate::binfmt::BinError`] wrapped
+    /// in `InvalidData`.
+    fn decode_dataset(bytes: &[u8]) -> std::io::Result<Self::Dataset>;
+    /// Encodes a model in the binary format; `data` supplies the schema
+    /// where the model does not carry one (dt and cluster). Enforces the
+    /// same persistability rules as [`SnapshotFamily::write_model`], so a
+    /// model the text format rejects is rejected here too.
+    fn encode_model(model: &Self::Model, data: &Self::Dataset) -> std::io::Result<Vec<u8>>;
+    /// Decodes a model encoded by [`SnapshotFamily::encode_model`].
+    fn decode_model(bytes: &[u8]) -> std::io::Result<Self::Model>;
+
     /// The minsup recorded in the manifest (`Some` for lits only).
     fn model_minsup(model: &Self::Model) -> Option<f64>;
     /// Number of structural regions recorded in the manifest (itemsets,
@@ -114,6 +129,22 @@ impl SnapshotFamily for LitsFamily {
 
     fn read_model(r: impl Read) -> std::io::Result<Self::Model> {
         read_lits_model(r)
+    }
+
+    fn encode_dataset(data: &TransactionSet) -> Vec<u8> {
+        crate::binfmt::encode_transactions(data)
+    }
+
+    fn decode_dataset(bytes: &[u8]) -> std::io::Result<TransactionSet> {
+        Ok(crate::binfmt::decode_transactions(bytes)?)
+    }
+
+    fn encode_model(model: &Self::Model, _data: &TransactionSet) -> std::io::Result<Vec<u8>> {
+        Ok(crate::binfmt::encode_lits_model(model))
+    }
+
+    fn decode_model(bytes: &[u8]) -> std::io::Result<Self::Model> {
+        Ok(crate::binfmt::decode_lits_model(bytes)?)
     }
 
     fn model_minsup(model: &Self::Model) -> Option<f64> {
@@ -150,6 +181,23 @@ impl SnapshotFamily for DtFamily {
         read_dt_model(r).map(|(model, _schema)| model)
     }
 
+    fn encode_dataset(data: &LabeledTable) -> Vec<u8> {
+        crate::binfmt::encode_labeled_table(data)
+    }
+
+    fn decode_dataset(bytes: &[u8]) -> std::io::Result<LabeledTable> {
+        Ok(crate::binfmt::decode_labeled_table(bytes)?)
+    }
+
+    fn encode_model(model: &Self::Model, data: &LabeledTable) -> std::io::Result<Vec<u8>> {
+        Ok(crate::binfmt::encode_dt_model(model, data.table.schema()))
+    }
+
+    fn decode_model(bytes: &[u8]) -> std::io::Result<Self::Model> {
+        let (model, _schema) = crate::binfmt::decode_dt_model(bytes)?;
+        Ok(model)
+    }
+
     fn model_minsup(_model: &Self::Model) -> Option<f64> {
         None
     }
@@ -182,6 +230,23 @@ impl SnapshotFamily for ClusterFamily {
 
     fn read_model(r: impl Read) -> std::io::Result<Self::Model> {
         read_cluster_model(r).map(|(model, _schema)| model)
+    }
+
+    fn encode_dataset(data: &Table) -> Vec<u8> {
+        crate::binfmt::encode_table(data)
+    }
+
+    fn decode_dataset(bytes: &[u8]) -> std::io::Result<Table> {
+        Ok(crate::binfmt::decode_table(bytes)?)
+    }
+
+    fn encode_model(model: &Self::Model, data: &Table) -> std::io::Result<Vec<u8>> {
+        crate::binfmt::encode_cluster_model(model, data.schema())
+    }
+
+    fn decode_model(bytes: &[u8]) -> std::io::Result<Self::Model> {
+        let (model, _schema) = crate::binfmt::decode_cluster_model(bytes)?;
+        Ok(model)
     }
 
     fn model_minsup(_model: &Self::Model) -> Option<f64> {

@@ -8,9 +8,12 @@
 //! δ*" column of Figure 13). This crate packages that loop:
 //!
 //! * [`Registry`] — a directory of named snapshots: each one a persisted
-//!   transaction dataset plus its mined lits-model, indexed by a
-//!   line-oriented manifest (`focus_data::io` + `focus_core::persist`
-//!   formats, so every artifact stays diff-friendly plain text);
+//!   dataset plus its mined model, indexed by a line-oriented manifest.
+//!   Artifacts default to diff-friendly plain text (`focus_data::io` +
+//!   `focus_core::persist`); production registries can instead choose the
+//!   checksummed binary columnar format of [`binfmt`] (loaded zero-copy
+//!   via mmap where available) and a hash-sharded directory layout
+//!   ([`RegistryLayout`]) that scales to 10⁴–10⁵ snapshots;
 //! * [`DeviationMatrix`] — all `N·(N−1)/2` pairwise deviations of a
 //!   collection, computed with **two-phase δ* screening**: phase one
 //!   evaluates the scan-free upper bound for every pair, phase two runs
@@ -31,16 +34,23 @@
 //! itself wherever the dominance argument does not apply.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one mmap module in `binfmt` carries a scoped
+// `allow(unsafe_code)` with its safety argument; everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 
+pub mod binfmt;
 mod family;
 mod matrix;
 mod registry;
+mod shard;
 #[cfg(test)]
 mod testutil;
 
+pub use binfmt::{mmap_active, BinError, MappedBytes};
 pub use family::{SnapshotFamily, SnapshotKind};
 pub use matrix::{
     deviation_matrix, deviation_matrix_par, DeviationMatrix, MatrixError, MatrixParams,
 };
 pub use registry::{Registry, SnapshotEntry};
+pub use shard::{RegistryLayout, StorageFormat};

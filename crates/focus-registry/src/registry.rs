@@ -2,14 +2,15 @@
 //! model family.
 //!
 //! On disk a registry is a directory holding, per snapshot, a dataset file
-//! and a model file in the owning family's plain-text formats (see
-//! [`SnapshotFamily`]):
+//! and a model file (see [`SnapshotFamily`]) plus a line-oriented index:
 //!
 //! ```text
 //! registry.manifest        line-oriented index (see below)
+//! registry.layout          optional root index (see crate::shard)
 //! <name>.txns / <name>.lits    lits snapshots  (focus_data::io / persist)
 //! <name>.tbl  / <name>.dt      dt snapshots
 //! <name>.rows / <name>.clu     cluster snapshots
+//! shard-NNN/...                sharded layouts only
 //! ```
 //!
 //! with the manifest
@@ -22,24 +23,55 @@
 //! one line per snapshot, in insertion order. The manifest is append-only:
 //! adding a snapshot writes the two artifact files, then appends its line,
 //! so a torn write can at worst lose the line for artifacts that already
-//! exist — never index artifacts that don't. Version-1 manifests (the
+//! exist — never index artifacts that don't. Accordingly, a final manifest
+//! line without its terminating newline is treated as that lost line: it
+//! is ignored on open (whether or not it happens to parse — the writer
+//! always terminates and fsyncs, so an unterminated tail is suspect by
+//! construction) and surfaced through [`Registry::torn_lines`]; malformed
+//! *interior* lines still fail the open. Version-1 manifests (the
 //! lits-only format of earlier releases, `snapshot <name> minsup <ms> n
 //! <txns> itemsets <count>`) still open — every entry reads as a lits
 //! snapshot — and are upgraded in place on the first write.
+//!
+//! ## Layouts and formats
+//!
+//! [`RegistryLayout`] — fixed at creation, recorded in `registry.layout`,
+//! absent for the classic flat/text layout — selects hash-sharded
+//! directories (`shard-NNN/`, each with its own append-only manifest
+//! carrying global `seq` numbers so insertion order survives the split)
+//! and/or the binary columnar artifact format of [`crate::binfmt`]
+//! (artifact files gain a `.bin` suffix and load zero-copy through
+//! [`crate::binfmt::MappedBytes`]).
+//!
+//! ## Concurrency contract
+//!
+//! Artifact writes use unique temp names, so concurrent `add_snapshot`
+//! calls from different handles or processes cannot clobber each other's
+//! in-flight files. The *manifest append* however assumes a **single
+//! writer per registry** (per shard, for sharded layouts): two writers
+//! appending concurrently could interleave bytes within a line or mint
+//! duplicate `seq` numbers. Readers are always safe alongside one writer.
 
+use crate::binfmt::MappedBytes;
 use crate::family::{SnapshotFamily, SnapshotKind};
 use crate::matrix::{DeviationMatrix, MatrixError, MatrixParams};
+use crate::shard::{RegistryLayout, LAYOUT_FILE};
 use focus_core::data::TransactionSet;
 use focus_core::family::LitsFamily;
 use focus_core::model::LitsModel;
 use focus_mining::{Apriori, AprioriParams};
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::shard::StorageFormat;
 
 const MANIFEST: &str = "registry.manifest";
 const HEADER_V2: &str = "#focus-registry v2";
 const HEADER_V1: &str = "#focus-registry v1";
+const HEADER_SHARD: &str = "#focus-registry-shard v1";
 
 fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
@@ -59,24 +91,79 @@ fn sync_dir(dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Per-process counter making temp names unique within one process; the
+/// pid in the name makes them unique across processes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Durably writes one file: temp file in the same directory, `write`
 /// callback, `sync_all` (flush + fsync the data), atomic rename over the
 /// destination, then directory fsync so the rename itself survives a
 /// crash. A crash at any point leaves either the old file or the new one,
 /// never a torn or vanished entry.
-fn persist_file(
+///
+/// The temp name is unique (pid + per-process counter) and created with
+/// `create_new`, so concurrent writers — even other processes targeting
+/// the same destination — can never open each other's temp file or
+/// rename a half-written one into place; last completed rename wins. A
+/// stale temp file left by a crashed process is never reused or
+/// clobbered. On error the temp file is removed best-effort.
+pub(crate) fn persist_file(
     path: &Path,
     write: impl FnOnce(&mut File) -> std::io::Result<()>,
 ) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = PathBuf::from(tmp);
-    let mut f = File::create(&tmp)?;
-    write(&mut f)?;
-    f.sync_all()?;
+    let mut f = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+    let written = write(&mut f).and_then(|()| f.sync_all());
     drop(f);
-    std::fs::rename(&tmp, path)?;
+    let renamed = written.and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = renamed {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
     sync_dir(path.parent().unwrap_or_else(|| Path::new(".")))
+}
+
+/// Makes a manifest safe to append to: if a crashed append left an
+/// unterminated final line, rewrites the file (durably) without it. A
+/// no-op — one metadata read plus one byte — on the healthy path.
+fn repair_manifest_tail(path: &Path) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = File::open(path)?;
+    if f.metadata()?.len() == 0 {
+        return Ok(());
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    drop(f);
+    if last[0] == b'\n' {
+        return Ok(());
+    }
+    let (text, _) = read_manifest_text(path)?;
+    persist_file(path, |f| f.write_all(text.as_bytes()))
+}
+
+/// Reads a manifest file, dropping an unterminated final line (a torn
+/// tail from a crashed append — see the module docs). Returns the
+/// surviving text and how many lines were dropped (0 or 1).
+fn read_manifest_text(path: &Path) -> std::io::Result<(String, usize)> {
+    let mut text = std::fs::read_to_string(path)?;
+    if text.is_empty() || text.ends_with('\n') {
+        return Ok((text, 0));
+    }
+    match text.rfind('\n') {
+        Some(pos) => text.truncate(pos + 1),
+        // The whole file is one unterminated line: even the header is
+        // torn, so nothing survives (and the header check will fail).
+        None => text.clear(),
+    }
+    Ok((text, 1))
 }
 
 /// One manifest entry: a named snapshot and its summary statistics.
@@ -113,8 +200,17 @@ impl SnapshotEntry {
 pub struct Registry {
     root: PathBuf,
     entries: Vec<SnapshotEntry>,
+    /// Snapshot names, for O(1) duplicate/membership checks at scale.
+    names_idx: HashSet<String>,
     /// Manifest format found on open; v1 manifests upgrade on first write.
     version: u8,
+    /// Directory layout and artifact format (fixed at creation).
+    layout: RegistryLayout,
+    /// Torn trailing manifest lines ignored on open (at most one per
+    /// manifest file — see the module docs).
+    torn: usize,
+    /// Next global sequence number for sharded manifest lines.
+    next_seq: u64,
 }
 
 /// A snapshot name must be usable verbatim as a file stem.
@@ -198,11 +294,33 @@ fn parse_entry(line: &str, version: u8) -> std::io::Result<SnapshotEntry> {
     Ok(entry)
 }
 
+/// Parses a sharded manifest line: a v2 entry line plus ` seq <n>`.
+fn parse_shard_entry(line: &str) -> std::io::Result<(u64, SnapshotEntry)> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 12 || fields[10] != "seq" {
+        return Err(bad(&format!("malformed shard manifest line {line:?}")));
+    }
+    let seq: u64 = fields[11]
+        .parse()
+        .map_err(|e| bad(&format!("bad seq in manifest: {e}")))?;
+    let entry = parse_entry(&fields[..10].join(" "), 2)?;
+    Ok((seq, entry))
+}
+
 impl Registry {
-    /// Opens an existing registry, reading its manifest (either version).
+    /// Opens an existing registry, reading its layout file (if any) and
+    /// manifest(s).
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
-        let text = std::fs::read_to_string(root.join(MANIFEST))?;
+        match RegistryLayout::read(&root)? {
+            Some(layout) if layout.shards > 0 => Self::open_sharded(root, layout),
+            Some(layout) => Self::open_flat(root, layout),
+            None => Self::open_flat(root, RegistryLayout::flat_text()),
+        }
+    }
+
+    fn open_flat(root: PathBuf, layout: RegistryLayout) -> std::io::Result<Self> {
+        let (text, torn) = read_manifest_text(&root.join(MANIFEST))?;
         let mut lines = text.lines();
         let version = match lines.next() {
             Some(HEADER_V2) => 2,
@@ -210,14 +328,66 @@ impl Registry {
             _ => return Err(bad("missing registry manifest header")),
         };
         let mut entries = Vec::new();
+        let mut names_idx = HashSet::new();
         for line in lines {
             if line.trim().is_empty() {
                 continue;
             }
             let entry = parse_entry(line, version)?;
-            if entries.iter().any(|e: &SnapshotEntry| e.name == entry.name) {
+            if !names_idx.insert(entry.name.clone()) {
                 return Err(bad(&format!(
                     "duplicate snapshot {:?} in manifest",
+                    entry.name
+                )));
+            }
+            entries.push(entry);
+        }
+        let next_seq = entries.len() as u64;
+        Ok(Self {
+            root,
+            entries,
+            names_idx,
+            version,
+            layout,
+            torn,
+            next_seq,
+        })
+    }
+
+    fn open_sharded(root: PathBuf, layout: RegistryLayout) -> std::io::Result<Self> {
+        let mut tagged: Vec<(u64, SnapshotEntry)> = Vec::new();
+        let mut torn = 0;
+        for s in 0..layout.shards {
+            let dir = RegistryLayout::shard_dir(s);
+            let (text, t) = read_manifest_text(&root.join(&dir).join(MANIFEST))?;
+            torn += t;
+            let mut lines = text.lines();
+            if lines.next() != Some(HEADER_SHARD) {
+                return Err(bad(&format!("missing shard manifest header in {dir}")));
+            }
+            for line in lines {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                tagged.push(parse_shard_entry(line)?);
+            }
+        }
+        // Global insertion order is the seq order; per-shard order is
+        // only the per-shard subsequence of it.
+        tagged.sort_by_key(|(seq, _)| *seq);
+        if let Some(w) = tagged.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(bad(&format!(
+                "duplicate seq {} in shard manifests ({:?} and {:?})",
+                w[0].0, w[0].1.name, w[1].1.name
+            )));
+        }
+        let next_seq = tagged.last().map_or(0, |(s, _)| s + 1);
+        let mut entries = Vec::with_capacity(tagged.len());
+        let mut names_idx = HashSet::with_capacity(tagged.len());
+        for (_, entry) in tagged {
+            if !names_idx.insert(entry.name.clone()) {
+                return Err(bad(&format!(
+                    "duplicate snapshot {:?} in shard manifests",
                     entry.name
                 )));
             }
@@ -226,30 +396,98 @@ impl Registry {
         Ok(Self {
             root,
             entries,
-            version,
+            names_idx,
+            version: 2,
+            layout,
+            torn,
+            next_seq,
         })
     }
 
-    /// Opens the registry at `root`, creating an empty one (directory and
-    /// manifest) if none exists yet.
+    /// True when `root` already holds a registry (a manifest or a layout
+    /// file).
+    fn registry_exists(root: &Path) -> bool {
+        root.join(MANIFEST).exists() || root.join(LAYOUT_FILE).exists()
+    }
+
+    /// Opens the registry at `root`, creating an empty one (classic
+    /// flat/text layout) if none exists yet. An existing registry opens
+    /// with whatever layout it was created with.
     pub fn open_or_create(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
-        if root.join(MANIFEST).exists() {
+        if Self::registry_exists(&root) {
             return Self::open(root);
         }
+        Self::create(root, RegistryLayout::flat_text())
+    }
+
+    /// Like [`Registry::open_or_create`], but a freshly created registry
+    /// uses `layout`; opening an existing registry whose recorded layout
+    /// differs from `layout` is an error (the layout is fixed at
+    /// creation — re-laying-out means building a new registry).
+    pub fn open_or_create_with(
+        root: impl Into<PathBuf>,
+        layout: RegistryLayout,
+    ) -> std::io::Result<Self> {
+        let root = root.into();
+        if Self::registry_exists(&root) {
+            let reg = Self::open(root)?;
+            if reg.layout != layout {
+                return Err(bad(&format!(
+                    "registry already exists with shards={} format={}; asked for shards={} format={}",
+                    reg.layout.shards, reg.layout.format, layout.shards, layout.format
+                )));
+            }
+            return Ok(reg);
+        }
+        Self::create(root, layout)
+    }
+
+    /// Creates an empty registry. Shard directories and manifests are
+    /// written first and the layout file last, so its presence certifies
+    /// the structure beneath it; a crash mid-creation leaves a directory
+    /// [`Registry::open`] refuses and a re-run repairs idempotently.
+    fn create(root: PathBuf, layout: RegistryLayout) -> std::io::Result<Self> {
         std::fs::create_dir_all(&root)?;
-        let mut f = File::create(root.join(MANIFEST))?;
-        writeln!(f, "{HEADER_V2}")?;
+        if layout.shards > 0 {
+            for s in 0..layout.shards {
+                let dir = root.join(RegistryLayout::shard_dir(s));
+                std::fs::create_dir_all(&dir)?;
+                persist_file(&dir.join(MANIFEST), |f| writeln!(f, "{HEADER_SHARD}"))?;
+            }
+        } else {
+            persist_file(&root.join(MANIFEST), |f| writeln!(f, "{HEADER_V2}"))?;
+        }
+        if !layout.is_classic() {
+            layout.write(&root)?;
+        }
         Ok(Self {
             root,
             entries: Vec::new(),
+            names_idx: HashSet::new(),
             version: 2,
+            layout,
+            torn: 0,
+            next_seq: 0,
         })
     }
 
     /// The registry's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The registry's directory layout and artifact format.
+    pub fn layout(&self) -> RegistryLayout {
+        self.layout
+    }
+
+    /// Number of torn trailing manifest lines ignored on open — nonzero
+    /// after recovering from a crash that interrupted a manifest append.
+    /// The lost line's artifacts may exist on disk unindexed; re-adding
+    /// the snapshot reconciles them.
+    pub fn torn_lines(&self) -> usize {
+        self.torn
     }
 
     /// Manifest entries in insertion order.
@@ -290,15 +528,33 @@ impl Registry {
 
     /// True if a snapshot with this name exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.iter().any(|e| e.name == name)
+        self.names_idx.contains(name)
     }
 
     fn entry(&self, name: &str) -> Option<&SnapshotEntry> {
         self.entries.iter().find(|e| e.name == name)
     }
 
+    /// The directory a snapshot's artifacts live in: the root for flat
+    /// layouts, its hash shard otherwise.
+    fn snapshot_dir(&self, name: &str) -> PathBuf {
+        match self.layout.shard_of(name) {
+            Some(s) => self.root.join(RegistryLayout::shard_dir(s)),
+            None => self.root.clone(),
+        }
+    }
+
     fn artifact_path(&self, name: &str, ext: &str) -> PathBuf {
-        self.root.join(format!("{name}.{ext}"))
+        let dir = self.snapshot_dir(name);
+        match self.layout.format {
+            StorageFormat::Text => dir.join(format!("{name}.{ext}")),
+            StorageFormat::Binary => dir.join(format!("{name}.{ext}.bin")),
+        }
+    }
+
+    /// The manifest file a snapshot's index line belongs in.
+    fn manifest_path(&self, name: &str) -> PathBuf {
+        self.snapshot_dir(name).join(MANIFEST)
     }
 
     /// Rewrites a v1 manifest in v2 format so new kind-tagged lines can be
@@ -321,7 +577,7 @@ impl Registry {
     }
 
     /// Adds a snapshot of any family: persists the dataset and model in
-    /// the family's plain-text formats and appends the manifest line.
+    /// the registry's storage format and appends the manifest line.
     /// Fails on duplicate or invalid names without touching the directory.
     pub fn add_snapshot<F: SnapshotFamily>(
         &mut self,
@@ -333,12 +589,29 @@ impl Registry {
         if self.contains(name) {
             return Err(bad(&format!("snapshot {name:?} already registered")));
         }
-        persist_file(&self.artifact_path(name, F::DATA_EXT), |f| {
-            F::write_dataset(data, f)
-        })?;
-        persist_file(&self.artifact_path(name, F::MODEL_EXT), |f| {
-            F::write_model(model, data, f)
-        })?;
+        match self.layout.format {
+            StorageFormat::Text => {
+                persist_file(&self.artifact_path(name, F::DATA_EXT), |f| {
+                    F::write_dataset(data, f)
+                })?;
+                persist_file(&self.artifact_path(name, F::MODEL_EXT), |f| {
+                    F::write_model(model, data, f)
+                })?;
+            }
+            StorageFormat::Binary => {
+                // Encode the model first: an unpersistable model (e.g.
+                // classful cluster regions) must fail before any file
+                // lands, exactly as the text path's first write does.
+                let model_bytes = F::encode_model(model, data)?;
+                let data_bytes = F::encode_dataset(data);
+                persist_file(&self.artifact_path(name, F::DATA_EXT), |f| {
+                    f.write_all(&data_bytes)
+                })?;
+                persist_file(&self.artifact_path(name, F::MODEL_EXT), |f| {
+                    f.write_all(&model_bytes)
+                })?;
+            }
+        }
         let entry = SnapshotEntry {
             name: name.to_string(),
             kind: F::KIND,
@@ -346,15 +619,24 @@ impl Registry {
             n_rows: F::data_len(data),
             n_regions: F::model_regions(model),
         };
-        self.upgrade_manifest()?;
-        let mut manifest = OpenOptions::new()
-            .append(true)
-            .open(self.root.join(MANIFEST))?;
-        writeln!(manifest, "{}", entry.manifest_line())?;
+        let line = if self.layout.shards > 0 {
+            format!("{} seq {}", entry.manifest_line(), self.next_seq)
+        } else {
+            self.upgrade_manifest()?;
+            entry.manifest_line()
+        };
+        let manifest_path = self.manifest_path(name);
+        // Appending after an unterminated torn tail would weld two lines
+        // together; drop the tail (durably) before extending the file.
+        repair_manifest_tail(&manifest_path)?;
+        let mut manifest = OpenOptions::new().append(true).open(manifest_path)?;
+        writeln!(manifest, "{line}")?;
         // The artifacts are already durable; make the index line durable
         // too before reporting success, or a crash could land a snapshot
         // whose files exist but which the manifest has never heard of.
         manifest.sync_all()?;
+        self.next_seq += 1;
+        self.names_idx.insert(entry.name.clone());
         self.entries.push(entry);
         Ok(self.entries.last().expect("just pushed"))
     }
@@ -362,16 +644,26 @@ impl Registry {
     /// Loads one snapshot's model, checking the stored kind matches `F`.
     pub fn load_snapshot_model<F: SnapshotFamily>(&self, name: &str) -> std::io::Result<F::Model> {
         self.check_kind::<F>(name)?;
-        F::read_model(File::open(self.artifact_path(name, F::MODEL_EXT))?)
+        let path = self.artifact_path(name, F::MODEL_EXT);
+        match self.layout.format {
+            StorageFormat::Text => F::read_model(File::open(path)?),
+            StorageFormat::Binary => F::decode_model(&MappedBytes::open(&path)?),
+        }
     }
 
     /// Loads one snapshot's dataset, checking the stored kind matches `F`.
+    /// Binary registries read zero-copy through
+    /// [`crate::binfmt::MappedBytes`] where the platform allows.
     pub fn load_snapshot_dataset<F: SnapshotFamily>(
         &self,
         name: &str,
     ) -> std::io::Result<F::Dataset> {
         self.check_kind::<F>(name)?;
-        F::read_dataset(File::open(self.artifact_path(name, F::DATA_EXT))?)
+        let path = self.artifact_path(name, F::DATA_EXT);
+        match self.layout.format {
+            StorageFormat::Text => F::read_dataset(File::open(path)?),
+            StorageFormat::Binary => F::decode_dataset(&MappedBytes::open(&path)?),
+        }
     }
 
     fn check_kind<F: SnapshotFamily>(&self, name: &str) -> std::io::Result<()> {
@@ -581,8 +873,8 @@ mod tests {
     use super::*;
     use crate::testutil::random_dataset;
     use focus_core::data::{LabeledTable, Schema, Value};
-    use focus_core::family::DtFamily;
-    use focus_core::model::induce_dt_measures;
+    use focus_core::family::{ClusterFamily, DtFamily};
+    use focus_core::model::{induce_dt_measures, ClusterModel};
     use focus_core::region::BoxBuilder;
     use focus_exec::Parallelism;
     use std::sync::Arc;
@@ -971,6 +1263,259 @@ mod tests {
         assert!(reg.add_to_matrix::<LitsFamily>(&base, &other_agg).is_err());
         // A matching call succeeds.
         assert!(reg.add_to_matrix::<LitsFamily>(&base, &params).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_trailing_manifest_line_is_tolerated_at_every_offset() {
+        let dir = scratch("torn");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        reg.add("day-01", &random_dataset(1, 80, 0.0), 0.3).unwrap();
+        reg.add("day-02", &random_dataset(2, 80, 1.0), 0.3).unwrap();
+        let full = std::fs::read(dir.join(MANIFEST)).unwrap();
+        assert_eq!(*full.last().unwrap(), b'\n', "writer terminates lines");
+
+        // Crash-inject: truncate the manifest at every byte offset. The
+        // complete lines must survive, an unterminated tail must be
+        // dropped (and counted), and a manifest whose header never made
+        // it to disk must refuse to open.
+        for cut in 0..=full.len() {
+            let prefix = &full[..cut];
+            std::fs::write(dir.join(MANIFEST), prefix).unwrap();
+            let newlines = prefix.iter().filter(|&&b| b == b'\n').count();
+            let opened = Registry::open(&dir);
+            if newlines == 0 {
+                assert!(opened.is_err(), "cut {cut}: headerless must fail");
+                continue;
+            }
+            let back = opened.unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            assert_eq!(back.len(), newlines - 1, "cut {cut}");
+            let torn = usize::from(!prefix.ends_with(b"\n"));
+            assert_eq!(back.torn_lines(), torn, "cut {cut}");
+            for (i, e) in back.entries().iter().enumerate() {
+                assert_eq!(e.name, format!("day-0{}", i + 1), "cut {cut}");
+            }
+        }
+
+        // Recovery: re-adding the snapshot whose line was torn works on
+        // the reopened handle (its artifacts are simply overwritten).
+        std::fs::write(dir.join(MANIFEST), &full[..full.len() - 1]).unwrap();
+        let mut back = Registry::open(&dir).unwrap();
+        assert_eq!((back.len(), back.torn_lines()), (1, 1));
+        back.add("day-02", &random_dataset(2, 80, 1.0), 0.3)
+            .unwrap();
+        assert_eq!(
+            Registry::open(&dir).unwrap().names(),
+            vec!["day-01", "day-02"]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_terminated_lines_still_error() {
+        let dir = scratch("interior");
+        let mut reg = Registry::open_or_create(&dir).unwrap();
+        reg.add("day-01", &random_dataset(1, 80, 0.0), 0.3).unwrap();
+        let full = std::fs::read_to_string(dir.join(MANIFEST)).unwrap();
+
+        // A malformed *interior* line is corruption, not a torn append.
+        let (header, entry) = full.split_once('\n').unwrap();
+        std::fs::write(dir.join(MANIFEST), format!("{header}\nwat wat\n{entry}")).unwrap();
+        assert!(Registry::open(&dir).is_err());
+        // So is a malformed *final* line that carries its newline: the
+        // writer terminated it, so truncation cannot explain the damage.
+        std::fs::write(dir.join(MANIFEST), format!("{full}wat wat\n")).unwrap();
+        assert!(Registry::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persist_file_ignores_stale_tmp_files_and_cleans_up() {
+        let dir = scratch("tmpfiles");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.txt");
+        // A stale temp from the old fixed-name scheme (or any crashed
+        // writer) must be neither reused nor clobbered.
+        let stale = dir.join("out.txt.tmp");
+        std::fs::write(&stale, "stale").unwrap();
+        persist_file(&target, |f| f.write_all(b"fresh")).unwrap();
+        assert_eq!(std::fs::read_to_string(&target).unwrap(), "fresh");
+        assert_eq!(std::fs::read_to_string(&stale).unwrap(), "stale");
+
+        // A failed write leaves no temp droppings and no target.
+        let missing = dir.join("never.txt");
+        let err = persist_file(&missing, |_| Err(bad("boom"))).unwrap_err();
+        assert_eq!(err.to_string(), "boom");
+        assert!(!missing.exists());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn cluster_snapshot(split: f64) -> (focus_core::data::Table, ClusterModel) {
+        let schema = Arc::new(Schema::new(vec![Schema::numeric("x")]));
+        let mut t = focus_core::data::Table::new(Arc::clone(&schema));
+        for r in 0..80 {
+            t.push_row(&[Value::Num(r as f64)]);
+        }
+        let clusters = vec![
+            BoxBuilder::new(&schema).lt("x", split).build(),
+            BoxBuilder::new(&schema).ge("x", split).build(),
+        ];
+        let lo = (split.clamp(0.0, 80.0) / 80.0 * 80.0).round() / 80.0;
+        let model = ClusterModel::new(clusters, vec![lo, 1.0 - lo], t.len() as u64);
+        (t, model)
+    }
+
+    #[test]
+    fn sharded_binary_registry_round_trips_all_families() {
+        let dir = scratch("sharded-bin");
+        let layout = RegistryLayout {
+            shards: 3,
+            format: StorageFormat::Binary,
+        };
+        let mut reg = Registry::open_or_create_with(&dir, layout).unwrap();
+        assert_eq!(reg.layout(), layout);
+
+        let lits_data = random_dataset(1, 200, 0.4);
+        reg.add("txn-day", &lits_data, 0.2).unwrap();
+        let (dt_data, dt_model) = dt_snapshot(40.0);
+        reg.add_snapshot::<DtFamily>("dt-day", &dt_data, &dt_model)
+            .unwrap();
+        let (clu_data, clu_model) = cluster_snapshot(30.0);
+        reg.add_snapshot::<ClusterFamily>("clu-day", &clu_data, &clu_model)
+            .unwrap();
+
+        // Artifacts live in shard directories with a `.bin` suffix; the
+        // root holds only the layout file and the shard directories.
+        for name in ["txn-day", "dt-day", "clu-day"] {
+            let shard = layout.shard_of(name).unwrap();
+            let sdir = dir.join(RegistryLayout::shard_dir(shard));
+            let found = std::fs::read_dir(&sdir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .filter(|f| f.starts_with(name))
+                .collect::<Vec<_>>();
+            assert_eq!(found.len(), 2, "{name}: {found:?}");
+            assert!(found.iter().all(|f| f.ends_with(".bin")), "{found:?}");
+        }
+        let root_files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            root_files
+                .iter()
+                .all(|f| f == LAYOUT_FILE || f.starts_with("shard-")),
+            "{root_files:?}"
+        );
+
+        // A fresh handle merges the shard manifests back into insertion
+        // order and decodes identical artifacts.
+        let back = Registry::open(&dir).unwrap();
+        assert_eq!(back.entries(), reg.entries());
+        assert_eq!(back.names(), vec!["txn-day", "dt-day", "clu-day"]);
+        assert_eq!(back.load_dataset("txn-day").unwrap(), lits_data);
+        assert_eq!(
+            back.load_snapshot_dataset::<DtFamily>("dt-day").unwrap(),
+            dt_data
+        );
+        assert_eq!(
+            back.load_snapshot_model::<DtFamily>("dt-day").unwrap(),
+            dt_model
+        );
+        assert_eq!(
+            back.load_snapshot_dataset::<ClusterFamily>("clu-day")
+                .unwrap(),
+            clu_data
+        );
+        assert_eq!(
+            back.load_snapshot_model::<ClusterFamily>("clu-day")
+                .unwrap(),
+            clu_model
+        );
+
+        // `open_or_create` respects the existing layout instead of
+        // clobbering it; asking for a *different* layout is an error.
+        assert_eq!(Registry::open_or_create(&dir).unwrap().layout(), layout);
+        assert!(Registry::open_or_create_with(&dir, RegistryLayout::flat_text()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_manifest_torn_tail_is_tolerated() {
+        let dir = scratch("shard-torn");
+        let layout = RegistryLayout {
+            shards: 2,
+            format: StorageFormat::Text,
+        };
+        let mut reg = Registry::open_or_create_with(&dir, layout).unwrap();
+        for (name, seed) in [("a", 1), ("b", 2), ("c", 3)] {
+            reg.add(name, &random_dataset(seed, 80, 0.0), 0.3).unwrap();
+        }
+        // "c" holds the greatest seq, so it is the last line of its
+        // shard's manifest; tear that line mid-byte.
+        let shard = layout.shard_of("c").unwrap();
+        let manifest = dir.join(RegistryLayout::shard_dir(shard)).join(MANIFEST);
+        let text = std::fs::read(&manifest).unwrap();
+        std::fs::write(&manifest, &text[..text.len() - 3]).unwrap();
+
+        let mut back = Registry::open(&dir).unwrap();
+        assert_eq!(back.torn_lines(), 1);
+        assert_eq!(back.names(), vec!["a", "b"]);
+        // Re-adding the lost snapshot reconciles; insertion order and seq
+        // numbering pick up where the survivors left off.
+        back.add("c", &random_dataset(3, 80, 0.0), 0.3).unwrap();
+        let healed = Registry::open(&dir).unwrap();
+        assert_eq!(healed.names(), vec!["a", "b", "c"]);
+        assert_eq!(healed.torn_lines(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_add_of_unpersistable_model_leaves_directory_untouched() {
+        let dir = scratch("bin-reject");
+        let layout = RegistryLayout {
+            shards: 0,
+            format: StorageFormat::Binary,
+        };
+        let mut reg = Registry::open_or_create_with(&dir, layout).unwrap();
+        let (t, clu) = cluster_snapshot(30.0);
+        let classful = ClusterModel::new(
+            clu.clusters()
+                .iter()
+                .map(|c| c.clone().with_class(0))
+                .collect(),
+            clu.measures().to_vec(),
+            clu.n_rows(),
+        );
+        assert!(reg
+            .add_snapshot::<ClusterFamily>("nope", &t, &classful)
+            .is_err());
+        assert_eq!(reg.len(), 0);
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            files.iter().all(|f| f == MANIFEST || f == LAYOUT_FILE),
+            "{files:?}"
+        );
+
+        // The persistable model goes through, with `.bin` artifacts in
+        // the (flat) root.
+        reg.add_snapshot::<ClusterFamily>("ok", &t, &clu).unwrap();
+        assert!(dir.join("ok.rows.bin").exists());
+        assert!(dir.join("ok.clu.bin").exists());
+        let back = Registry::open(&dir).unwrap();
+        assert_eq!(
+            back.load_snapshot_model::<ClusterFamily>("ok").unwrap(),
+            clu
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -34,7 +34,10 @@
 //! Every command additionally accepts `--threads N` (0 = one worker per
 //! core): dataset scans, model induction (decision-tree fitting included),
 //! and the bootstrap fan-out run on that many threads with bit-identical
-//! results. `FOCUS_THREADS` is the env-var equivalent.
+//! results. `FOCUS_THREADS` is the env-var equivalent. `--index-budget B`
+//! caps the bytes the counting cost model may spend on vertical tid-bitset
+//! indexes (`FOCUS_INDEX_BUDGET` is the env-var equivalent; `0` forces the
+//! horizontal scan). Counts are bit-identical for every budget.
 //!
 //! Standalone datasets and models use the plain-text formats of
 //! `focus_data::io` / `focus_core::persist`. Registries default to the
@@ -88,6 +91,17 @@ fn main() -> ExitCode {
                 focus_exec::set_global_threads(n);
             }
         }
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Global flag: byte budget for vertical tid-bitset indexes, consulted
+    // by the counting cost model (0 = never build one). Overrides the
+    // FOCUS_INDEX_BUDGET environment variable for this invocation.
+    match index_budget(&flags) {
+        Ok(Some(bytes)) => focus_core::source::set_global_index_budget(bytes),
+        Ok(None) => {}
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::FAILURE;
@@ -151,9 +165,15 @@ global flags:
                 fan-out (0 = one per core; default: FOCUS_THREADS env var,
                 else core count). Results are bit-identical for every
                 thread count.
-  --count-backend dfs|hashtree|vertical
+  --count-backend dfs|hashtree|vertical|auto
                 Apriori support-counting backend for mine/deviate/qualify
-                (default dfs). Mined models are backend-independent.";
+                (default dfs; auto = cost-model dispatch). Mined models
+                are backend-independent.
+  --index-budget B
+                byte cap on vertical tid-bitset indexes, consulted by the
+                counting cost model; accepts k/M/G suffixes (e.g. 512M),
+                0 disables index builds (default: FOCUS_INDEX_BUDGET env
+                var, else 128M). Counts are budget-independent.";
 
 type Flags = HashMap<String, String>;
 
@@ -237,8 +257,26 @@ fn gen_class(flags: &Flags) -> Result<(), String> {
 fn count_backend(flags: &Flags) -> Result<CountBackend, String> {
     match flags.get("count-backend") {
         None => Ok(CountBackend::default()),
-        Some(s) => CountBackend::parse(s)
-            .ok_or_else(|| format!("--count-backend must be dfs, hashtree or vertical, got {s:?}")),
+        Some(s) => CountBackend::parse(s).ok_or_else(|| {
+            format!(
+                "--count-backend must be {}, got {s:?}",
+                CountBackend::VALID_VALUES
+            )
+        }),
+    }
+}
+
+fn index_budget(flags: &Flags) -> Result<Option<usize>, String> {
+    match flags.get("index-budget") {
+        None => Ok(None),
+        Some(s) => focus_core::source::parse_index_budget(s)
+            .map(Some)
+            .ok_or_else(|| {
+                format!(
+                    "--index-budget must be a byte count with an optional k, M or G suffix \
+                 (e.g. 512M), or 0 to disable index builds, got {s:?}"
+                )
+            }),
     }
 }
 
@@ -648,8 +686,37 @@ mod tests {
             count_backend(&flags_of(&["--count-backend", "hash-tree"])).unwrap(),
             CountBackend::HashTree
         );
-        assert!(count_backend(&flags_of(&["--count-backend", "nope"])).is_err());
+        assert_eq!(
+            count_backend(&flags_of(&["--count-backend", "AUTO"])).unwrap(),
+            CountBackend::Auto
+        );
+        // The rejection names every valid spelling, so a typo is
+        // self-correcting from the error alone.
+        let err = count_backend(&flags_of(&["--count-backend", "nope"])).unwrap_err();
+        for valid in ["dfs", "hashtree", "vertical", "auto"] {
+            assert!(err.contains(valid), "{err:?} should mention {valid:?}");
+        }
+        assert!(err.contains("nope"));
         assert!(miner(&flags_of(&["--count-backend", "nope"]), 0.1).is_err());
+    }
+
+    #[test]
+    fn index_budget_flag_parsing() {
+        assert_eq!(index_budget(&flags_of(&[])).unwrap(), None);
+        assert_eq!(
+            index_budget(&flags_of(&["--index-budget", "64M"])).unwrap(),
+            Some(64 << 20)
+        );
+        assert_eq!(
+            index_budget(&flags_of(&["--index-budget", "0"])).unwrap(),
+            Some(0)
+        );
+        // The rejection spells out the accepted forms.
+        let err = index_budget(&flags_of(&["--index-budget", "lots"])).unwrap_err();
+        for hint in ["byte count", "k", "M", "G", "0"] {
+            assert!(err.contains(hint), "{err:?} should mention {hint:?}");
+        }
+        assert!(err.contains("lots"));
     }
 
     #[test]

@@ -484,6 +484,12 @@ impl TransactionSet {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// Total number of stored items across all transactions (the length
+    /// of the CSR item column) — an input to the counting cost model.
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
     /// Average transaction length.
     pub fn avg_len(&self) -> f64 {
         if self.is_empty() {

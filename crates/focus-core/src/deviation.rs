@@ -209,10 +209,46 @@ pub fn deviate_over<F: ModelFamily>(
     g: AggFn,
     par: Parallelism,
 ) -> FamilyDeviation<F> {
-    let n1 = F::data_len(d1);
-    let n2 = F::data_len(d2);
-    let raw1 = F::measures(&gcr, m1, m2, d1, Side::Left, par);
-    let raw2 = F::measures(&gcr, m1, m2, d2, Side::Right, par);
+    let s1 = F::source(d1);
+    let s2 = F::source(d2);
+    deviate_over_sources::<F>(gcr, m1, &s1, m2, &s2, f, g, par)
+}
+
+/// [`deviate_par`] over pre-built access handles instead of raw datasets:
+/// the batch engines in `focus-registry` keep one [`ModelFamily::Source`]
+/// per surviving snapshot for a whole matrix run, so the expensive
+/// structures inside a handle (the lits vertical index) are built at most
+/// once per snapshot instead of once per pair.
+#[allow(clippy::too_many_arguments)]
+pub fn deviate_sources_par<F: ModelFamily>(
+    m1: &F::Model,
+    s1: &F::Source<'_>,
+    m2: &F::Model,
+    s2: &F::Source<'_>,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> FamilyDeviation<F> {
+    deviate_over_sources::<F>(F::gcr(m1, m2), m1, s1, m2, s2, f, g, par)
+}
+
+/// [`deviate_over`] over pre-built access handles — the innermost form of
+/// the generic engine; everything above delegates here.
+#[allow(clippy::too_many_arguments)]
+pub fn deviate_over_sources<F: ModelFamily>(
+    gcr: F::Gcr,
+    m1: &F::Model,
+    s1: &F::Source<'_>,
+    m2: &F::Model,
+    s2: &F::Source<'_>,
+    f: DiffFn,
+    g: AggFn,
+    par: Parallelism,
+) -> FamilyDeviation<F> {
+    let n1 = F::source_len(s1);
+    let n2 = F::source_len(s2);
+    let raw1 = F::measures(&gcr, m1, m2, s1, Side::Left, par);
+    let raw2 = F::measures(&gcr, m1, m2, s2, Side::Right, par);
     debug_assert_eq!(raw1.len(), F::n_regions(&gcr));
     debug_assert_eq!(raw2.len(), F::n_regions(&gcr));
     let (n1f, n2f) = (n1 as f64, n2 as f64);

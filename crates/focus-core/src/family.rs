@@ -30,7 +30,7 @@ use crate::diff::{AggFn, DiffFn};
 use crate::gcr::{gcr_boxes, gcr_lits, gcr_partition, OverlayCell};
 use crate::model::{count_boxes_par, ClusterModel, DtModel, LitsModel};
 use crate::region::{BoxRegion, Itemset};
-use crate::vertical::count_itemsets_auto_par;
+use crate::source::CountSource;
 use focus_exec::{map_chunks, merge_counts, Parallelism};
 use std::collections::HashMap;
 
@@ -64,6 +64,15 @@ pub trait ModelFamily {
     /// The focussing-region type ρ of Definition 5.2 (a sorted item
     /// universe for lits, a box for dt/cluster).
     type Focus: ?Sized;
+    /// The per-dataset access handle the measure scans read through
+    /// (`Sync` so one handle is shared across a batch run's worker
+    /// threads). Lits uses a [`CountSource`] — a counting handle that
+    /// caches its vertical index and picks a backend per workload via the
+    /// deterministic cost model — so repeated scans of one snapshot build
+    /// the index at most once; dt and cluster scan their tables directly.
+    type Source<'a>: Sync
+    where
+        Self: 'a;
 
     /// Human-readable family name (`lits`, `dt`, `cluster`).
     const NAME: &'static str;
@@ -91,17 +100,26 @@ pub trait ModelFamily {
     /// this is `cells × classes`, not the cell count alone.
     fn n_regions(gcr: &Self::Gcr) -> usize;
 
-    /// The canonical measure of every evaluation region w.r.t. `data`
-    /// (one scan, fanned out over `par`, bit-identical for any thread
-    /// count). `m1`/`m2` are the pair's models in pair order; `side` says
-    /// which of the two datasets is being scanned. Lits returns support
-    /// *fractions* (reusing the side's model where possible); dt and
-    /// cluster return absolute counts as `f64`.
+    /// Wraps a dataset in the family's access handle. Constructing a
+    /// source is cheap (no index build, no copy); the expensive structures
+    /// are built lazily inside the handle, at most once per handle.
+    fn source(data: &Self::Dataset) -> Self::Source<'_>;
+
+    /// Number of rows/transactions behind an access handle.
+    fn source_len(source: &Self::Source<'_>) -> u64;
+
+    /// The canonical measure of every evaluation region w.r.t. the
+    /// dataset behind `source` (one scan, fanned out over `par`,
+    /// bit-identical for any thread count). `m1`/`m2` are the pair's
+    /// models in pair order; `side` says which of the two datasets is
+    /// being scanned. Lits returns support *fractions* (reusing the
+    /// side's model where possible); dt and cluster return absolute
+    /// counts as `f64`.
     fn measures(
         gcr: &Self::Gcr,
         m1: &Self::Model,
         m2: &Self::Model,
-        data: &Self::Dataset,
+        source: &Self::Source<'_>,
         side: Side,
         par: Parallelism,
     ) -> Vec<f64>;
@@ -153,6 +171,10 @@ impl ModelFamily for LitsFamily {
     type Dataset = TransactionSet;
     type Gcr = Vec<Itemset>;
     type Focus = [u32];
+    type Source<'a>
+        = CountSource<'a>
+    where
+        Self: 'a;
 
     const NAME: &'static str = "lits";
     const HAS_BOUND: bool = true;
@@ -160,6 +182,14 @@ impl ModelFamily for LitsFamily {
 
     fn gcr(m1: &LitsModel, m2: &LitsModel) -> Vec<Itemset> {
         gcr_lits(m1.itemsets(), m2.itemsets())
+    }
+
+    fn source(data: &TransactionSet) -> CountSource<'_> {
+        CountSource::borrowed(data)
+    }
+
+    fn source_len(source: &CountSource<'_>) -> u64 {
+        source.len() as u64
     }
 
     fn restrict(gcr: Vec<Itemset>, universe: &[u32]) -> Vec<Itemset> {
@@ -177,7 +207,7 @@ impl ModelFamily for LitsFamily {
         gcr: &Vec<Itemset>,
         m1: &LitsModel,
         m2: &LitsModel,
-        data: &TransactionSet,
+        source: &CountSource<'_>,
         side: Side,
         par: Parallelism,
     ) -> Vec<f64> {
@@ -185,7 +215,7 @@ impl ModelFamily for LitsFamily {
             Side::Left => m1,
             Side::Right => m2,
         };
-        extend_supports(gcr, own, data, par)
+        extend_supports(gcr, own, source, par)
     }
 
     fn abs_measure(raw: f64, n: u64) -> f64 {
@@ -213,13 +243,14 @@ impl ModelFamily for LitsFamily {
     }
 }
 
-/// The measure-extension step: supports of `regions` w.r.t. `data`, reusing
-/// the supports recorded in `model` where available so only the itemsets
-/// missing from the model's structure trigger counting work.
+/// The measure-extension step: supports of `regions` w.r.t. the dataset
+/// behind `source`, reusing the supports recorded in `model` where
+/// available so only the itemsets missing from the model's structure
+/// trigger counting work.
 pub(crate) fn extend_supports(
     regions: &[Itemset],
     model: &LitsModel,
-    data: &TransactionSet,
+    source: &CountSource<'_>,
     par: Parallelism,
 ) -> Vec<f64> {
     let mut supports = vec![0.0f64; regions.len()];
@@ -232,12 +263,12 @@ pub(crate) fn extend_supports(
     }
     if !missing.is_empty() {
         let to_count: Vec<Itemset> = missing.iter().map(|&i| regions[i].clone()).collect();
-        // Auto-dispatched: large workloads build a throwaway vertical
-        // tid-bitset index instead of re-walking every transaction per
-        // itemset. Counts are identical either way, so measures stay
-        // bit-identical to the horizontal scan.
-        let counts = count_itemsets_auto_par(data, &to_count, par);
-        let n = data.len().max(1) as f64;
+        // Cost-model dispatched: large workloads count through the
+        // source's cached vertical tid-bitset index instead of re-walking
+        // every transaction per itemset. Counts are identical either way,
+        // so measures stay bit-identical to the horizontal scan.
+        let counts = source.counts(&to_count, par);
+        let n = source.len().max(1) as f64;
         for (slot, &c) in missing.iter().zip(&counts) {
             supports[*slot] = c as f64 / n;
         }
@@ -268,6 +299,10 @@ impl ModelFamily for DtFamily {
     type Dataset = LabeledTable;
     type Gcr = DtGcr;
     type Focus = BoxRegion;
+    type Source<'a>
+        = &'a LabeledTable
+    where
+        Self: 'a;
 
     const NAME: &'static str = "dt";
     const HAS_BOUND: bool = true;
@@ -279,6 +314,14 @@ impl ModelFamily for DtFamily {
             cells: gcr_partition(m1.leaves(), m2.leaves()),
             n_classes: m1.n_classes(),
         }
+    }
+
+    fn source(data: &LabeledTable) -> &LabeledTable {
+        data
+    }
+
+    fn source_len(source: &&LabeledTable) -> u64 {
+        source.len() as u64
     }
 
     fn restrict(gcr: DtGcr, focus: &BoxRegion) -> DtGcr {
@@ -306,7 +349,7 @@ impl ModelFamily for DtFamily {
         gcr: &DtGcr,
         m1: &DtModel,
         m2: &DtModel,
-        data: &LabeledTable,
+        data: &&LabeledTable,
         _side: Side,
         par: Parallelism,
     ) -> Vec<f64> {
@@ -415,6 +458,10 @@ impl ModelFamily for ClusterFamily {
     type Dataset = Table;
     type Gcr = Vec<BoxRegion>;
     type Focus = BoxRegion;
+    type Source<'a>
+        = &'a Table
+    where
+        Self: 'a;
 
     const NAME: &'static str = "cluster";
     const HAS_BOUND: bool = true;
@@ -424,6 +471,14 @@ impl ModelFamily for ClusterFamily {
 
     fn gcr(m1: &ClusterModel, m2: &ClusterModel) -> Vec<BoxRegion> {
         gcr_boxes(m1.clusters(), m2.clusters())
+    }
+
+    fn source(data: &Table) -> &Table {
+        data
+    }
+
+    fn source_len(source: &&Table) -> u64 {
+        source.len() as u64
     }
 
     fn restrict(gcr: Vec<BoxRegion>, focus: &BoxRegion) -> Vec<BoxRegion> {
@@ -438,7 +493,7 @@ impl ModelFamily for ClusterFamily {
         gcr: &Vec<BoxRegion>,
         _m1: &ClusterModel,
         _m2: &ClusterModel,
-        data: &Table,
+        data: &&Table,
         _side: Side,
         par: Parallelism,
     ) -> Vec<f64> {
@@ -557,7 +612,7 @@ mod tests {
             &gcr,
             &model,
             &model,
-            &wide,
+            &&wide,
             Side::Left,
             Parallelism::Sequential,
         );

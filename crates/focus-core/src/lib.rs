@@ -23,6 +23,9 @@
 //! * [`model`] — 2-component models and the measure (selectivity) scans;
 //! * [`vertical`] — Eclat-style vertical tid-bitset counting (the fast
 //!   backend behind the itemset-support scans);
+//! * [`source`] — the counting-source layer: per-dataset handles that
+//!   cache the vertical index and pick a backend by a deterministic cost
+//!   model;
 //! * [`gcr`] — greatest common refinements (Defs. 3.4, 4.2);
 //! * [`diff`] — difference functions `f_a`, `f_s`, `f_χ²` and aggregates
 //!   `sum`, `max` (Def. 3.7);
@@ -82,6 +85,7 @@ pub mod persist;
 pub mod qualify;
 pub mod region;
 pub mod report;
+pub mod source;
 pub mod stream;
 pub mod vertical;
 
@@ -93,10 +97,11 @@ pub mod prelude {
     };
     pub use crate::deviation::{
         cluster_deviation, cluster_deviation_focussed, cluster_deviation_par, deviate,
-        deviate_focussed, deviate_over, deviate_par, deviation_fixed, deviation_fixed_par,
-        dt_deviation, dt_deviation_focussed, dt_deviation_par, lits_deviation,
-        lits_deviation_focussed, lits_deviation_over, lits_deviation_over_par, lits_deviation_par,
-        ClusterDeviation, DtDeviation, FamilyDeviation, LitsDeviation,
+        deviate_focussed, deviate_over, deviate_over_sources, deviate_par, deviate_sources_par,
+        deviation_fixed, deviation_fixed_par, dt_deviation, dt_deviation_focussed,
+        dt_deviation_par, lits_deviation, lits_deviation_focussed, lits_deviation_over,
+        lits_deviation_over_par, lits_deviation_par, ClusterDeviation, DtDeviation,
+        FamilyDeviation, LitsDeviation,
     };
     pub use crate::diff::{AggFn, DiffFn};
     pub use crate::embed::DistanceMatrix;
@@ -126,6 +131,10 @@ pub mod prelude {
     };
     pub use crate::region::{AttrConstraint, BoxBuilder, BoxRegion, CatMask, Itemset};
     pub use crate::report::{dt_report, lits_report, ComparisonReport, ReportOptions};
+    pub use crate::source::{
+        global_index_budget, parse_index_budget, prefers_vertical, set_global_index_budget,
+        CountSource, DEFAULT_INDEX_BUDGET,
+    };
     pub use crate::stream::{
         calibrate_threshold_par, BlockVerdict, ChangeMonitor, DEFAULT_HISTORY_CAP,
     };

@@ -1,0 +1,517 @@
+//! The counting-source layer: one handle per dataset that serves itemset
+//! support counts through whichever backend a deterministic cost model
+//! picks, building the vertical index at most once per handle.
+//!
+//! Every measure-extension scan in the FOCUS pipeline ultimately asks the
+//! same question — "how many transactions support each of these itemsets?"
+//! — yet before this module each call site chose its own access structure:
+//! the auto dispatcher built a throwaway [`VerticalIndex`] per call, and a
+//! `matrix` run re-indexed every snapshot for every surviving pair. A
+//! [`CountSource`] is the snapshot-scoped answer: it wraps the horizontal
+//! [`TransactionSet`] view (borrowed or owned) or a pre-built index, and
+//! lazily caches the index behind a [`OnceLock`] so `Fn + Sync` parallel
+//! closures can share one handle across worker threads.
+//!
+//! ## The cost model
+//!
+//! [`prefers_vertical`] replaces the old static gate (≥ 8 itemsets over
+//! ≥ 1024 transactions) with an explicit cost comparison:
+//!
+//! * horizontal scan ≈ `rows × Σ|itemset|` subset probes plus one bitmap
+//!   build per transaction (`total_items` touches);
+//! * vertical count ≈ `Σ|itemset| × words` AND/popcount word ops, plus —
+//!   when no index exists yet — a build pass weighted by
+//!   [`INDEX_BUILD_WEIGHT`] so a throwaway index never wins on a workload
+//!   too small to amortise it.
+//!
+//! The choice is a **pure function of data shape, workload and budget** —
+//! never thread count, timing, or whether a cache already holds the index
+//! — so dispatch can never violate the workspace's
+//! bit-identical-for-any-thread-count contract. Both backends produce
+//! identical `u64` counts (the differential suite enforces this), so the
+//! model can only change cost, never a result.
+//!
+//! ## The index budget
+//!
+//! A huge sparse item universe over few transactions makes the bit matrix
+//! mostly zeros; the budget caps how large an index the cost model may
+//! choose to build. It resolves like `FOCUS_THREADS`: the CLI override
+//! ([`set_global_index_budget`], the `--index-budget` flag) beats the
+//! `FOCUS_INDEX_BUDGET` environment variable (bytes, with optional
+//! `k`/`m`/`g` binary suffixes; unparseable values warn once and fall
+//! back) beats the [`DEFAULT_INDEX_BUDGET`] of 128 MiB. A budget of `0`
+//! never builds an index — a forced-horizontal knob.
+
+use crate::data::TransactionSet;
+use crate::model::count_itemsets_par;
+use crate::region::Itemset;
+use crate::vertical::{count_itemsets_vertical_par, VerticalIndex};
+use focus_exec::Parallelism;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Index budget plumbing (mirrors focus-exec's FOCUS_THREADS handling)
+
+/// Default cap on the bit-matrix size the cost model may build: 128 MiB.
+pub const DEFAULT_INDEX_BUDGET: usize = 128 << 20;
+
+/// Sentinel for "no process-wide override set".
+const BUDGET_UNSET: usize = usize::MAX;
+
+/// Process-wide budget override (CLI `--index-budget`).
+static GLOBAL_BUDGET: AtomicUsize = AtomicUsize::new(BUDGET_UNSET);
+
+/// Lazily parsed `FOCUS_INDEX_BUDGET` environment setting.
+static ENV_BUDGET: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Parses a byte-count knob: a plain byte count, optionally suffixed with
+/// `k`, `m` or `g` (case-insensitive, binary units). `"0"` is valid and
+/// means "never build an index".
+pub fn parse_index_budget(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, unit) = match t.as_bytes().last()? {
+        b'k' | b'K' => (&t[..t.len() - 1], 1usize << 10),
+        b'm' | b'M' => (&t[..t.len() - 1], 1 << 20),
+        b'g' | b'G' => (&t[..t.len() - 1], 1 << 30),
+        _ => (t, 1),
+    };
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse::<usize>().ok()?.checked_mul(unit)
+}
+
+fn env_index_budget() -> Option<usize> {
+    *ENV_BUDGET.get_or_init(|| {
+        let raw = std::env::var("FOCUS_INDEX_BUDGET").ok()?;
+        match parse_index_budget(&raw) {
+            Some(b) => Some(b),
+            None => {
+                // A typo'd budget silently falling back would be invisible
+                // (counts are bit-identical either way), so say so once.
+                eprintln!(
+                    "focus-core: ignoring unparseable FOCUS_INDEX_BUDGET={raw:?} \
+                     (want a byte count, optionally with a k/m/g suffix); \
+                     using the {} MiB default",
+                    DEFAULT_INDEX_BUDGET >> 20
+                );
+                None
+            }
+        }
+    })
+}
+
+/// Sets the process-wide index budget in bytes (the CLI's `--index-budget`
+/// flag). Takes precedence over the `FOCUS_INDEX_BUDGET` environment
+/// variable. `0` means "never build an index".
+pub fn set_global_index_budget(bytes: usize) {
+    GLOBAL_BUDGET.store(bytes.min(BUDGET_UNSET - 1), Ordering::Relaxed);
+}
+
+/// The process-wide index budget: [`set_global_index_budget`] if called,
+/// else `FOCUS_INDEX_BUDGET`, else [`DEFAULT_INDEX_BUDGET`].
+pub fn global_index_budget() -> usize {
+    match GLOBAL_BUDGET.load(Ordering::Relaxed) {
+        BUDGET_UNSET => env_index_budget().unwrap_or(DEFAULT_INDEX_BUDGET),
+        b => b,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cost model
+
+/// How much more a build-pass touch costs than a steady-state word op.
+/// Building writes scattered cache lines (item-major matrix, row-major
+/// input) while counting streams them, and a throwaway build is pure
+/// overhead if the workload never revisits the index — so the build term
+/// is up-weighted to keep one-shot small workloads on the horizontal scan.
+const INDEX_BUILD_WEIGHT: usize = 4;
+
+/// The deterministic backend choice: `true` when counting `n_itemsets`
+/// itemsets totalling `workload_items` items over the given data shape is
+/// cheaper vertically (including, when `index_built` is false, the
+/// weighted cost of building the index first) and the index fits
+/// `budget_bytes`.
+///
+/// Inputs are data shape and workload only — never thread count, timing,
+/// or cache state — so for a fixed dataset and call sequence the dispatch
+/// decision is identical on every run and every `FOCUS_THREADS` setting.
+/// `index_built` exists for strictly sequential callers that already hold
+/// an index (the Apriori level loop); shared [`CountSource`] handles
+/// always pass `false` so their dispatch never depends on what a previous
+/// call happened to cache.
+pub fn prefers_vertical(
+    n_itemsets: usize,
+    workload_items: usize,
+    n_transactions: usize,
+    n_items: u32,
+    total_items: usize,
+    index_built: bool,
+    budget_bytes: usize,
+) -> bool {
+    if n_itemsets == 0 || n_transactions == 0 {
+        // Nothing to scan; the trivial early-outs of both backends agree.
+        return index_built;
+    }
+    let words = n_transactions.div_ceil(64) as u128;
+    // Horizontal: every transaction is bitmapped once (≈ total_items
+    // touches) and probed once per itemset item.
+    let horizontal = (n_transactions as u128) * (workload_items as u128) + total_items as u128;
+    // Vertical: AND + popcount over each itemset item's word row, plus the
+    // weighted build pass (one touch per stored item, one per matrix byte)
+    // when no index exists yet.
+    let build = if index_built {
+        0
+    } else {
+        if VerticalIndex::estimate_bytes_for(n_items, n_transactions) > budget_bytes {
+            return false;
+        }
+        (INDEX_BUILD_WEIGHT as u128) * (total_items as u128 + (n_items as u128) * words.div_ceil(8))
+    };
+    let vertical = (workload_items as u128) * words + build;
+    vertical < horizontal
+}
+
+// ---------------------------------------------------------------------------
+// CountSource
+
+/// How a [`CountSource`] holds its data.
+enum Repr<'a> {
+    /// A borrowed horizontal view (the common in-process case).
+    Borrowed(&'a TransactionSet),
+    /// An owned horizontal view (e.g. a text-loaded registry snapshot).
+    Owned(TransactionSet),
+    /// A pre-built index with no horizontal view at all — the
+    /// decode-to-index path, where binary snapshot bytes become bitsets
+    /// without ever materialising a `TransactionSet`.
+    Index(VerticalIndex),
+}
+
+/// A snapshot-scoped counting handle: wraps one dataset and serves
+/// [`CountSource::counts`] through whichever backend [`prefers_vertical`]
+/// picks per call, building the [`VerticalIndex`] at most once for the
+/// handle's lifetime.
+///
+/// The handle is `Sync` and interior-mutable ([`OnceLock`]), so parallel
+/// `Fn + Sync` closures — the matrix engine's per-pair fan-out — can share
+/// one source per snapshot and still pay at most one index build between
+/// them. The index budget is snapshotted at construction, so every count
+/// through one handle sees the same budget regardless of later knob turns.
+pub struct CountSource<'a> {
+    repr: Repr<'a>,
+    cache: OnceLock<VerticalIndex>,
+    budget: usize,
+}
+
+impl std::fmt::Debug for CountSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountSource")
+            .field(
+                "repr",
+                &match self.repr {
+                    Repr::Borrowed(_) => "borrowed",
+                    Repr::Owned(_) => "owned",
+                    Repr::Index(_) => "index",
+                },
+            )
+            .field("indexed", &self.index_built())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl<'a> CountSource<'a> {
+    /// A source borrowing `data` (no copy); the usual in-process handle.
+    pub fn borrowed(data: &'a TransactionSet) -> CountSource<'a> {
+        CountSource {
+            repr: Repr::Borrowed(data),
+            cache: OnceLock::new(),
+            budget: global_index_budget(),
+        }
+    }
+
+    /// A source owning `data` — e.g. a registry snapshot loaded from text.
+    pub fn from_owned(data: TransactionSet) -> CountSource<'static> {
+        CountSource {
+            repr: Repr::Owned(data),
+            cache: OnceLock::new(),
+            budget: global_index_budget(),
+        }
+    }
+
+    /// A source that *is* an index: every count goes vertical, no
+    /// horizontal view exists. This is the decode-to-index registry path.
+    pub fn from_index(index: VerticalIndex) -> CountSource<'static> {
+        CountSource {
+            repr: Repr::Index(index),
+            cache: OnceLock::new(),
+            budget: global_index_budget(),
+        }
+    }
+
+    /// Overrides the handle's index budget (tests and benches; production
+    /// callers use the process-wide knob). Has no effect on an
+    /// index-backed source, which never builds anything.
+    pub fn with_index_budget(mut self, bytes: usize) -> CountSource<'a> {
+        self.budget = bytes;
+        self
+    }
+
+    /// Number of transactions behind the handle.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Borrowed(d) => d.len(),
+            Repr::Owned(d) => d.len(),
+            Repr::Index(idx) => idx.n_transactions(),
+        }
+    }
+
+    /// True when the handle holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the item universe behind the handle.
+    pub fn n_items(&self) -> u32 {
+        match &self.repr {
+            Repr::Borrowed(d) => d.n_items(),
+            Repr::Owned(d) => d.n_items(),
+            Repr::Index(idx) => idx.n_items(),
+        }
+    }
+
+    /// The horizontal view, when the handle has one (`None` for an
+    /// index-backed source).
+    pub fn transactions(&self) -> Option<&TransactionSet> {
+        match &self.repr {
+            Repr::Borrowed(d) => Some(d),
+            Repr::Owned(d) => Some(d),
+            Repr::Index(_) => None,
+        }
+    }
+
+    /// True when a vertical index exists — pre-built or already cached.
+    pub fn index_built(&self) -> bool {
+        matches!(self.repr, Repr::Index(_)) || self.cache.get().is_some()
+    }
+
+    /// Support counts for `itemsets`, dispatched by the cost model.
+    ///
+    /// Index-backed sources always count vertically. Horizontal-backed
+    /// sources consult [`prefers_vertical`] with `index_built = false`
+    /// every call — dispatch depends only on the workload's shape, never
+    /// on what an earlier call cached — and the winning vertical path
+    /// reuses (or race-safely builds) the cached index. Counts are
+    /// bit-identical across backends and thread counts.
+    pub fn counts(&self, itemsets: &[Itemset], par: Parallelism) -> Vec<u64> {
+        let data = match &self.repr {
+            Repr::Index(idx) => return count_itemsets_vertical_par(idx, itemsets, par),
+            Repr::Borrowed(d) => d,
+            Repr::Owned(d) => d,
+        };
+        let workload_items: usize = itemsets.iter().map(Itemset::len).sum();
+        if prefers_vertical(
+            itemsets.len(),
+            workload_items,
+            data.len(),
+            data.n_items(),
+            data.total_items(),
+            false,
+            self.budget,
+        ) {
+            let index = self.cache.get_or_init(|| VerticalIndex::build(data));
+            count_itemsets_vertical_par(index, itemsets, par)
+        } else {
+            count_itemsets_par(data, itemsets, par)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Compile-time contract: sources are shared across worker threads.
+    const fn assert_sync<T: Sync>() {}
+    const _: () = assert_sync::<CountSource<'static>>();
+
+    fn toy() -> TransactionSet {
+        let mut ts = TransactionSet::new(2);
+        ts.push(vec![0, 1]);
+        ts.push(vec![0]);
+        ts.push(vec![1]);
+        ts.push(vec![0, 1]);
+        ts
+    }
+
+    fn random_set(seed: u64, n: usize, n_items: u32, density: f64) -> TransactionSet {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = TransactionSet::new(n_items);
+        for _ in 0..n {
+            let t: Vec<u32> = (0..n_items)
+                .filter(|_| rng.gen::<f64>() < density)
+                .collect();
+            ts.push(t);
+        }
+        ts
+    }
+
+    #[test]
+    fn parse_index_budget_accepts_bytes_and_binary_suffixes() {
+        assert_eq!(parse_index_budget("0"), Some(0));
+        assert_eq!(parse_index_budget("4096"), Some(4096));
+        assert_eq!(parse_index_budget("64k"), Some(64 << 10));
+        assert_eq!(parse_index_budget("64K"), Some(64 << 10));
+        assert_eq!(parse_index_budget("128m"), Some(128 << 20));
+        assert_eq!(parse_index_budget("2G"), Some(2 << 30));
+        assert_eq!(parse_index_budget(" 16m "), Some(16 << 20));
+        for bad in ["", "m", "-1", "1.5g", "12kb", "lots", "1 6k"] {
+            assert_eq!(parse_index_budget(bad), None, "{bad:?}");
+        }
+        // Overflow saturates to None, never wraps.
+        assert_eq!(parse_index_budget(&format!("{}g", usize::MAX)), None);
+    }
+
+    #[test]
+    fn cost_model_is_deterministic_and_budget_capped() {
+        // A workload big enough to amortise the build prefers vertical…
+        let big = prefers_vertical(17, 25, 2000, 9, 7200, false, DEFAULT_INDEX_BUDGET);
+        assert!(big);
+        // …and the same inputs always give the same answer.
+        for _ in 0..8 {
+            assert_eq!(
+                prefers_vertical(17, 25, 2000, 9, 7200, false, DEFAULT_INDEX_BUDGET),
+                big
+            );
+        }
+        // A single tiny scan never pays for a throwaway build.
+        assert!(!prefers_vertical(
+            1,
+            2,
+            1000,
+            10,
+            3000,
+            false,
+            DEFAULT_INDEX_BUDGET
+        ));
+        // …but reuses an index that is already there.
+        assert!(prefers_vertical(
+            1,
+            2,
+            1000,
+            10,
+            3000,
+            true,
+            DEFAULT_INDEX_BUDGET
+        ));
+        // Budget 0 forbids building regardless of workload.
+        assert!(!prefers_vertical(
+            1000, 5000, 100_000, 50, 1_000_000, false, 0
+        ));
+        // Degenerate shapes never dispatch a build.
+        assert!(!prefers_vertical(
+            0,
+            0,
+            1000,
+            10,
+            3000,
+            false,
+            DEFAULT_INDEX_BUDGET
+        ));
+        assert!(!prefers_vertical(
+            5,
+            10,
+            0,
+            10,
+            0,
+            false,
+            DEFAULT_INDEX_BUDGET
+        ));
+    }
+
+    #[test]
+    fn counts_match_horizontal_for_all_reprs() {
+        let ts = random_set(21, 600, 11, 0.35);
+        let sets: Vec<Itemset> = (0..11u32)
+            .map(|i| Itemset::from_slice(&[i]))
+            .chain((0..10u32).map(|i| Itemset::from_slice(&[i, i + 1])))
+            .chain([Itemset::new(vec![]), Itemset::from_slice(&[40])])
+            .collect();
+        let reference = count_itemsets_par(&ts, &sets, Parallelism::Sequential);
+        let borrowed = CountSource::borrowed(&ts);
+        assert_eq!(borrowed.counts(&sets, Parallelism::Sequential), reference);
+        let owned = CountSource::from_owned(ts.clone());
+        assert_eq!(owned.counts(&sets, Parallelism::Sequential), reference);
+        let indexed = CountSource::from_index(VerticalIndex::build(&ts));
+        assert_eq!(indexed.counts(&sets, Parallelism::Sequential), reference);
+        // Forced-horizontal budget: still the same counts.
+        let capped = CountSource::borrowed(&ts).with_index_budget(0);
+        assert_eq!(capped.counts(&sets, Parallelism::Sequential), reference);
+        assert!(!capped.index_built(), "budget 0 must never build");
+    }
+
+    #[test]
+    fn index_is_cached_across_calls() {
+        let ts = random_set(5, 2000, 9, 0.4);
+        let sets: Vec<Itemset> = (0..9u32)
+            .map(|i| Itemset::from_slice(&[i]))
+            .chain((0..8u32).map(|i| Itemset::from_slice(&[i, i + 1])))
+            .collect();
+        // Pin the budget: another test in this binary may be exercising
+        // the process-wide setter concurrently.
+        let source = CountSource::borrowed(&ts).with_index_budget(DEFAULT_INDEX_BUDGET);
+        assert!(!source.index_built());
+        let first = source.counts(&sets, Parallelism::Sequential);
+        assert!(source.index_built(), "this workload should go vertical");
+        // The second call reuses the cached index and agrees bit-for-bit.
+        let second = source.counts(&sets, Parallelism::Sequential);
+        assert_eq!(first, second);
+        assert_eq!(
+            first,
+            count_itemsets_par(&ts, &sets, Parallelism::Sequential)
+        );
+    }
+
+    #[test]
+    fn accessors_cover_every_repr() {
+        let ts = toy();
+        let borrowed = CountSource::borrowed(&ts);
+        assert_eq!(borrowed.len(), 4);
+        assert_eq!(borrowed.n_items(), 2);
+        assert!(!borrowed.is_empty());
+        assert!(borrowed.transactions().is_some());
+        let indexed = CountSource::from_index(VerticalIndex::build(&ts));
+        assert_eq!(indexed.len(), 4);
+        assert_eq!(indexed.n_items(), 2);
+        assert!(indexed.transactions().is_none());
+        assert!(indexed.index_built());
+        let empty = CountSource::from_owned(TransactionSet::new(3));
+        assert!(empty.is_empty());
+        assert_eq!(
+            empty.counts(
+                &[Itemset::new(vec![]), Itemset::from_slice(&[1])],
+                Parallelism::Sequential
+            ),
+            vec![0, 0]
+        );
+    }
+
+    #[test]
+    fn global_budget_defaults_and_overrides() {
+        // No override set in this test binary unless another test in this
+        // process set one; exercise the setter round trip explicitly.
+        set_global_index_budget(64 << 10);
+        assert_eq!(global_index_budget(), 64 << 10);
+        set_global_index_budget(0);
+        assert_eq!(global_index_budget(), 0);
+        // usize::MAX is clamped below the "unset" sentinel, not treated
+        // as unset.
+        set_global_index_budget(usize::MAX);
+        assert_eq!(global_index_budget(), usize::MAX - 1);
+        set_global_index_budget(DEFAULT_INDEX_BUDGET);
+        assert_eq!(global_index_budget(), DEFAULT_INDEX_BUDGET);
+    }
+}

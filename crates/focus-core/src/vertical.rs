@@ -18,7 +18,6 @@
 //! outside the dataset's universe supports nothing.
 
 use crate::data::TransactionSet;
-use crate::model::count_itemsets_par;
 use crate::region::Itemset;
 use focus_exec::{map_reduce, popcount_and_all, Parallelism, WORD_GRAIN};
 
@@ -57,6 +56,63 @@ impl VerticalIndex {
             words,
             bits,
         }
+    }
+
+    /// Builds the index straight from CSR parts (offsets + flat item
+    /// column) without materialising a [`TransactionSet`] — the
+    /// decode-to-index path used by the binary snapshot reader. The parts
+    /// are validated against exactly the invariants
+    /// [`TransactionSet::from_parts`] enforces, with identical error
+    /// strings, so a corrupt artifact surfaces the same way on either
+    /// decode path; the resulting index is bit-identical to
+    /// `VerticalIndex::build(&TransactionSet::from_parts(..)?)`.
+    pub fn from_csr(n_items: u32, offsets: &[usize], items: &[u32]) -> Result<Self, String> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets must start at 0".to_string());
+        }
+        let last = *offsets.last().expect("non-empty by the check above");
+        if last != items.len() {
+            return Err(format!(
+                "last offset {last} does not cover the {} items",
+                items.len()
+            ));
+        }
+        // Monotonicity first, over the whole array: with a non-decreasing
+        // sequence ending at `items.len()`, every window then slices
+        // safely below.
+        for (t, w) in offsets.windows(2).enumerate() {
+            if w[1] < w[0] {
+                return Err(format!("offsets decrease at transaction {t}"));
+            }
+        }
+        let n_transactions = offsets.len() - 1;
+        let words = n_transactions.div_ceil(64);
+        let mut bits = vec![0u64; n_items as usize * words];
+        for (t, w) in offsets.windows(2).enumerate() {
+            let txn = &items[w[0]..w[1]];
+            if let Some(&max) = txn.last() {
+                if max >= n_items {
+                    return Err(format!(
+                        "transaction {t}: item {max} out of range 0..{n_items}"
+                    ));
+                }
+            }
+            if txn.windows(2).any(|p| p[1] <= p[0]) {
+                return Err(format!(
+                    "transaction {t} is not strictly increasing (sorted + deduplicated)"
+                ));
+            }
+            let (word, bit) = (t / 64, t % 64);
+            for &it in txn {
+                bits[it as usize * words + word] |= 1u64 << bit;
+            }
+        }
+        Ok(Self {
+            n_items,
+            n_transactions,
+            words,
+            bits,
+        })
     }
 
     /// Size of the item universe the index was built over.
@@ -170,11 +226,11 @@ impl VerticalIndex {
 
     /// The bit-matrix size [`Self::build`] would allocate for `data`,
     /// without building it: `n_items × ceil(n / 64) × 8` bytes. Used by
-    /// [`count_itemsets_auto_par`] to refuse indexes that would dwarf the
-    /// scan they accelerate. Saturates at `usize::MAX` — a universe big
-    /// enough to wrap the multiplication must read as "too big for the
-    /// auto gate", not as a small wrapped product that would let the gate
-    /// wave an absurd allocation through.
+    /// the counting cost model ([`crate::source::prefers_vertical`]) to
+    /// refuse indexes over the index budget. Saturates at `usize::MAX` —
+    /// a universe big enough to wrap the multiplication must read as "too
+    /// big for the budget", not as a small wrapped product that would let
+    /// the cost model wave an absurd allocation through.
     pub fn estimate_bytes(data: &TransactionSet) -> usize {
         Self::estimate_bytes_for(data.n_items(), data.len())
     }
@@ -278,21 +334,14 @@ pub fn count_itemsets_vertical(index: &VerticalIndex, itemsets: &[Itemset]) -> V
     count_itemsets_vertical_par(index, itemsets, Parallelism::Global)
 }
 
-/// Below this many itemsets the horizontal scan is already cheap and the
-/// index build would dominate.
-const AUTO_MIN_ITEMSETS: usize = 8;
-/// Below this many transactions a scan finishes before a build pays off.
-const AUTO_MIN_TRANSACTIONS: usize = 1024;
-/// Refuse to build throwaway indexes larger than this (a huge sparse item
-/// universe over few transactions makes the bit matrix mostly zeros).
-const AUTO_MAX_INDEX_BYTES: usize = 128 << 20;
-
-/// Counts itemset supports via whichever backend is profitable: builds a
-/// throwaway [`VerticalIndex`] and counts vertically when the workload is
-/// large enough to amortise the build (at least [`AUTO_MIN_ITEMSETS`]
-/// itemsets over [`AUTO_MIN_TRANSACTIONS`] transactions, index no larger
-/// than [`AUTO_MAX_INDEX_BYTES`]), else falls through to the horizontal
-/// [`count_itemsets_par`].
+/// Counts itemset supports via whichever backend is profitable, as judged
+/// by the deterministic cost model in [`crate::source`]: a one-shot
+/// [`crate::source::CountSource`] over `data`, which builds a throwaway
+/// [`VerticalIndex`] only when the workload amortises the build and the
+/// index fits the process-wide budget, else falls through to the
+/// horizontal [`crate::model::count_itemsets_par`]. Callers that count
+/// repeatedly over the same dataset should hold their own `CountSource`
+/// instead, so the index is built once and cached.
 ///
 /// Both backends produce identical `u64` counts for every thread count —
 /// the differential suite enforces this — so the dispatch heuristic can
@@ -302,14 +351,7 @@ pub fn count_itemsets_auto_par(
     itemsets: &[Itemset],
     par: Parallelism,
 ) -> Vec<u64> {
-    if itemsets.len() >= AUTO_MIN_ITEMSETS
-        && data.len() >= AUTO_MIN_TRANSACTIONS
-        && VerticalIndex::estimate_bytes(data) <= AUTO_MAX_INDEX_BYTES
-    {
-        let index = VerticalIndex::build(data);
-        return count_itemsets_vertical_par(&index, itemsets, par);
-    }
-    count_itemsets_par(data, itemsets, par)
+    crate::source::CountSource::borrowed(data).counts(itemsets, par)
 }
 
 /// [`count_itemsets_auto_par`] at the process-wide default parallelism.
@@ -320,6 +362,7 @@ pub fn count_itemsets_auto(data: &TransactionSet, itemsets: &[Itemset]) -> Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::count_itemsets_par;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -461,6 +504,54 @@ mod tests {
                 "n = {n}"
             );
         }
+    }
+
+    #[test]
+    fn from_csr_matches_build_and_rejects_bad_parts() {
+        // Well-formed CSR parts produce exactly the index `build` would.
+        let ts = random_set(13, 300, 8, 0.3);
+        let mut offsets = vec![0usize];
+        let mut items = Vec::new();
+        for txn in ts.iter() {
+            items.extend_from_slice(txn);
+            offsets.push(items.len());
+        }
+        let direct = VerticalIndex::from_csr(8, &offsets, &items).unwrap();
+        assert_eq!(direct, VerticalIndex::build(&ts));
+        // Every invariant violation is reported with the same wording as
+        // `TransactionSet::from_parts`, never repaired or panicked on.
+        // The bool marks cases safe to cross-check against `from_parts`
+        // (an offset overshooting the item column would make `from_parts`
+        // slice out of bounds before its own decrease check).
+        let cases: [(&[usize], &[u32], &str, bool); 6] = [
+            (&[1, 3], &[1, 3, 5], "offsets must start at 0", true),
+            (&[0, 2], &[1, 3, 5], "does not cover", true),
+            (
+                &[0, 2, 1, 2],
+                &[1, 3],
+                "offsets decrease at transaction 1",
+                true,
+            ),
+            (
+                &[0, 5, 2],
+                &[1, 3],
+                "offsets decrease at transaction 1",
+                false,
+            ),
+            (&[0, 1], &[10], "out of range", true),
+            (&[0, 2], &[3, 1], "not strictly increasing", true),
+        ];
+        for (offs, its, want, cross_check) in cases {
+            let err = VerticalIndex::from_csr(10, offs, its).unwrap_err();
+            assert!(err.contains(want), "{offs:?}/{its:?}: {err}");
+            if cross_check {
+                let same = TransactionSet::from_parts(10, offs.to_vec(), its.to_vec()).unwrap_err();
+                assert_eq!(err, same, "wording must match from_parts");
+            }
+        }
+        // Empty dataset round-trips.
+        let empty = VerticalIndex::from_csr(4, &[0], &[]).unwrap();
+        assert_eq!(empty, VerticalIndex::build(&TransactionSet::new(4)));
     }
 
     #[test]

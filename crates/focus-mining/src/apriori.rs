@@ -14,16 +14,20 @@
 //! the original paper's hash tree.
 //!
 //! Step 3 is pluggable ([`CountBackend`]): the default prefix-guided DFS,
-//! the classical hash tree of [`crate::hashtree`], or Eclat-style vertical
+//! the classical hash tree of [`crate::hashtree`], Eclat-style vertical
 //! tid-bitset intersection ([`focus_core::vertical`]) — one cached
 //! `(k−1)`-prefix bitset per candidate run, one masked popcount per
-//! extension. All three produce identical `u64` counts, hence identical
-//! mined models.
+//! extension — or [`CountBackend::Auto`], which consults the cost model of
+//! [`focus_core::source`] once per level and switches to the vertical index
+//! the first level the projected scan cost favours it (the index then
+//! serves every later level). All backends produce identical `u64` counts,
+//! hence identical mined models.
 
 use crate::hashtree::HashTree;
 use focus_core::data::TransactionSet;
 use focus_core::model::LitsModel;
 use focus_core::region::Itemset;
+use focus_core::source::{global_index_budget, prefers_vertical};
 use focus_core::vertical::VerticalIndex;
 use focus_exec::{map_chunks, map_indices, merge_counts, Parallelism};
 use std::collections::{HashMap, HashSet};
@@ -48,16 +52,28 @@ pub enum CountBackend {
     /// Eclat-style vertical tid-bitset intersection: wins when many
     /// candidates are counted over many transactions.
     Vertical,
+    /// Cost-model dispatch: each level asks
+    /// [`focus_core::source::prefers_vertical`] whether the projected
+    /// candidate workload amortises building the vertical index (within the
+    /// process-wide index budget); until it does, levels count with the
+    /// DFS. The decision depends only on data shape and workload — never
+    /// thread count or timing — so the chosen backend sequence, and hence
+    /// the mined model, is identical on every run.
+    Auto,
 }
 
 impl CountBackend {
+    /// The valid spellings, for CLI/diagnostic messages.
+    pub const VALID_VALUES: &'static str = "dfs, hashtree, vertical or auto";
+
     /// Parses a user-facing backend name (`dfs`, `hashtree`/`hash-tree`,
-    /// `vertical`), case-insensitively.
+    /// `vertical`, `auto`), case-insensitively.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "dfs" => Some(Self::Dfs),
             "hashtree" | "hash-tree" | "hash_tree" => Some(Self::HashTree),
             "vertical" => Some(Self::Vertical),
+            "auto" => Some(Self::Auto),
             _ => None,
         }
     }
@@ -68,6 +84,7 @@ impl CountBackend {
             Self::Dfs => "dfs",
             Self::HashTree => "hashtree",
             Self::Vertical => "vertical",
+            Self::Auto => "auto",
         }
     }
 }
@@ -168,7 +185,11 @@ impl Apriori {
 
         // The vertical backend builds its tid-bitset index once, up front;
         // every level then counts by word-level AND + popcount against it.
-        let vindex = match self.params.backend {
+        // Auto defers the build to the cost model inside the level loop.
+        // The index budget is snapshotted once so a concurrent
+        // `set_global_index_budget` cannot split one run's decisions.
+        let budget = global_index_budget();
+        let mut vindex = match self.params.backend {
             CountBackend::Vertical => Some(VerticalIndex::build(data)),
             _ => None,
         };
@@ -214,6 +235,24 @@ impl Apriori {
             let candidates = generate_candidates(&frontier);
             if candidates.is_empty() {
                 break;
+            }
+            // Auto: build the index the first level whose candidate
+            // workload amortises it; once built it serves every later
+            // level (this loop is strictly sequential, so consulting the
+            // already-built state stays deterministic).
+            if self.params.backend == CountBackend::Auto
+                && vindex.is_none()
+                && prefers_vertical(
+                    candidates.len(),
+                    candidates.len() * k,
+                    n,
+                    data.n_items(),
+                    data.total_items(),
+                    false,
+                    budget,
+                )
+            {
+                vindex = Some(VerticalIndex::build(data));
             }
             let counts = match &vindex {
                 Some(idx) => {
@@ -589,7 +628,11 @@ mod tests {
             for minsup in [0.05, 0.2] {
                 let base = AprioriParams::with_minsup(minsup).max_len(6);
                 let reference = Apriori::new(base).mine(&data);
-                for backend in [CountBackend::HashTree, CountBackend::Vertical] {
+                for backend in [
+                    CountBackend::HashTree,
+                    CountBackend::Vertical,
+                    CountBackend::Auto,
+                ] {
                     let m = Apriori::new(base.backend(backend)).mine(&data);
                     assert_eq!(
                         m,
@@ -632,15 +675,36 @@ mod tests {
             CountBackend::parse("vertical"),
             Some(CountBackend::Vertical)
         );
+        assert_eq!(CountBackend::parse("auto"), Some(CountBackend::Auto));
         assert_eq!(CountBackend::parse("eclat?"), None);
         for b in [
             CountBackend::Dfs,
             CountBackend::HashTree,
             CountBackend::Vertical,
+            CountBackend::Auto,
         ] {
             assert_eq!(CountBackend::parse(b.as_str()), Some(b), "round-trip");
+            assert!(
+                CountBackend::VALID_VALUES.contains(b.as_str()),
+                "{} missing from VALID_VALUES",
+                b.as_str()
+            );
         }
         assert_eq!(CountBackend::default(), CountBackend::Dfs);
+    }
+
+    #[test]
+    fn auto_backend_on_empty_and_tiny_data() {
+        let params = AprioriParams::with_minsup(0.1).backend(CountBackend::Auto);
+        assert!(Apriori::new(params)
+            .mine(&TransactionSet::new(4))
+            .is_empty());
+
+        let data = dataset(&[&[0, 2, 3], &[1, 2, 4], &[0, 1, 2, 4], &[1, 4]], 5);
+        let auto =
+            Apriori::new(AprioriParams::with_minsup(0.5).backend(CountBackend::Auto)).mine(&data);
+        let dfs = Apriori::new(AprioriParams::with_minsup(0.5)).mine(&data);
+        assert_eq!(auto, dfs);
     }
 
     #[test]

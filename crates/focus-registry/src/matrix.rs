@@ -5,7 +5,8 @@
 //! ([`ModelFamily::upper_bound`]) for every unordered pair — a pure
 //! function of the two *models*, no dataset scans, effectively free (the
 //! "Time for δ*" column of Figure 13). Phase 2 runs the exact data-scan
-//! deviation ([`focus_core::deviation::deviate_par`]) only for pairs whose
+//! deviation ([`focus_core::deviation::deviate_sources_par`], over one
+//! shared access handle per snapshot) only for pairs whose
 //! bound exceeds the caller's threshold (or, in `--top K` mode, for the K
 //! pairs with the largest bounds); by Theorem 4.2 (1) `δ(f_a, g) ≤ δ*`, so
 //! a pair whose bound falls below the cut is *certified* uninteresting and
@@ -29,7 +30,7 @@
 //! results for any worker-thread count.
 
 use focus_core::data::TransactionSet;
-use focus_core::deviation::deviate_par;
+use focus_core::deviation::deviate_sources_par;
 use focus_core::diff::{AggFn, DiffFn};
 use focus_core::embed::DistanceMatrix;
 use focus_core::family::{LitsFamily, ModelFamily};
@@ -380,14 +381,20 @@ pub(crate) fn deviation_matrix_with_bounds<F: ModelFamily>(
 
     // Phase 2: exact scans for the surviving pairs only. Each pair is one
     // work item; nested scan parallelism inside a worker runs inline per
-    // the focus-exec nesting guard.
+    // the focus-exec nesting guard. One access handle per snapshot is
+    // shared across every pair that scans it, so per-snapshot structures
+    // (the lits vertical index) are built at most once per run instead of
+    // once per pair; handles for snapshots whose every pair was pruned
+    // stay untouched (construction is free — no scan, no index build).
+    let sources: Vec<F::Source<'_>> = datasets.iter().map(|d| F::source(d)).collect();
+    let sources = &sources;
     let exact_vals = map_indices(params.par, survivors.len(), |s| {
         let (i, j) = pair_list[survivors[s]];
-        deviate_par::<F>(
+        deviate_sources_par::<F>(
             &models[i],
-            &datasets[i],
+            &sources[i],
             &models[j],
-            &datasets[j],
+            &sources[j],
             params.diff,
             params.agg,
             params.par,
@@ -547,13 +554,18 @@ pub(crate) fn extend_matrix<F: ModelFamily>(
     let last = n - 1;
 
     let survivors = &plan.survivors;
+    // As in the full computation: one shared handle per snapshot, so the
+    // new member's expensive structures are built once across all of its
+    // surviving pairs.
+    let sources: Vec<F::Source<'_>> = datasets.iter().map(|d| F::source(d)).collect();
+    let sources = &sources;
     let exact_vals = map_indices(params.par, survivors.len(), |s| {
         let i = survivors[s];
-        deviate_par::<F>(
+        deviate_sources_par::<F>(
             &models[i],
-            &datasets[i],
+            &sources[i],
             &models[last],
-            &datasets[last],
+            &sources[last],
             params.diff,
             params.agg,
             params.par,

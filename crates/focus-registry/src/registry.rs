@@ -59,6 +59,7 @@ use crate::shard::{RegistryLayout, LAYOUT_FILE};
 use focus_core::data::TransactionSet;
 use focus_core::family::LitsFamily;
 use focus_core::model::LitsModel;
+use focus_core::source::CountSource;
 use focus_mining::{Apriori, AprioriParams};
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
@@ -666,6 +667,30 @@ impl Registry {
         }
     }
 
+    /// Loads one **lits** snapshot as an owning [`CountSource`] — the
+    /// counting handle the deviation engines scan through. Binary
+    /// registries take the decode-to-index seam: the vertical tid-bitset
+    /// index is built straight from the (memory-mapped) columnar words in
+    /// one pass, with the same checksum and CSR validation as
+    /// [`Registry::load_snapshot_dataset`] but no intermediate
+    /// `TransactionSet`. Text registries wrap the parsed dataset, so the
+    /// index is built lazily if and when the cost model wants it. Either
+    /// way counts are bit-identical to scanning the loaded dataset.
+    pub fn load_snapshot_source(&self, name: &str) -> std::io::Result<CountSource<'static>> {
+        self.check_kind::<LitsFamily>(name)?;
+        let path = self.artifact_path(name, <LitsFamily as SnapshotFamily>::DATA_EXT);
+        match self.layout.format {
+            StorageFormat::Text => Ok(CountSource::from_owned(
+                <LitsFamily as SnapshotFamily>::read_dataset(File::open(path)?)?,
+            )),
+            StorageFormat::Binary => {
+                let index =
+                    crate::binfmt::decode_transactions_to_index(&MappedBytes::open(&path)?)?;
+                Ok(CountSource::from_index(index))
+            }
+        }
+    }
+
     fn check_kind<F: SnapshotFamily>(&self, name: &str) -> std::io::Result<()> {
         let entry = self
             .entry(name)
@@ -943,6 +968,44 @@ mod tests {
         assert!(reg.load_model("nope").is_err());
         assert!(reg.load_dataset("nope").is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_source_counts_match_loaded_dataset() {
+        use focus_core::model::count_itemsets_par;
+        use focus_core::region::Itemset;
+        for format in [StorageFormat::Text, StorageFormat::Binary] {
+            let dir = scratch(&format!("source-{format:?}"));
+            let layout = RegistryLayout { shards: 0, format };
+            let mut reg = Registry::open_or_create_with(&dir, layout).unwrap();
+            let data = random_dataset(7, 250, 0.5);
+            reg.add("day-01", &data, 0.1).unwrap();
+
+            let source = reg.load_snapshot_source("day-01").unwrap();
+            // Binary registries decode straight to the index; text ones
+            // defer the build to the cost model.
+            assert_eq!(source.index_built(), format == StorageFormat::Binary);
+            assert_eq!(source.len(), data.len());
+
+            let itemsets: Vec<Itemset> = (0..8u32)
+                .map(|i| Itemset::from_slice(&[i, (i + 3) % 8]))
+                .chain(std::iter::once(Itemset::new(vec![])))
+                .collect();
+            let expect = count_itemsets_par(&data, &itemsets, Parallelism::Sequential);
+            assert_eq!(
+                source.counts(&itemsets, Parallelism::Sequential),
+                expect,
+                "{format:?}"
+            );
+
+            // Non-lits snapshots and unknown names are errors.
+            let (dt_data, dt_model) = dt_snapshot(40.0);
+            reg.add_snapshot::<DtFamily>("dt-day", &dt_data, &dt_model)
+                .unwrap();
+            assert!(reg.load_snapshot_source("dt-day").is_err());
+            assert!(reg.load_snapshot_source("nope").is_err());
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

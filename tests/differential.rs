@@ -19,8 +19,13 @@
 //! **four-way agreement** — every pair must match, not just one anchor —
 //! on proptest-generated transaction sets, at every itemset length the
 //! miner produced. A second property demands that the Apriori miner
-//! itself produces the identical model under all three of its candidate
-//! counting backends (DFS, hash tree, vertical).
+//! itself produces the identical model under all of its candidate
+//! counting backends (DFS, hash tree, vertical, and the cost-model
+//! `auto`). A third pins the [`CountSource`] dispatch seam: the
+//! auto-dispatching handle, a budget-0 handle (forced horizontal) and a
+//! prebuilt-index handle (forced vertical) must return `u64`-identical
+//! counts no matter which side of the cost model's gate the workload
+//! lands on.
 
 use focus::core::prelude::*;
 use focus::exec::Parallelism;
@@ -140,9 +145,46 @@ proptest! {
 
         let params = AprioriParams::with_minsup(minsup).max_len(5);
         let reference = Apriori::new(params.backend(CountBackend::Dfs)).mine(&data);
-        for backend in [CountBackend::HashTree, CountBackend::Vertical] {
+        for backend in [CountBackend::HashTree, CountBackend::Vertical, CountBackend::Auto] {
             let model = Apriori::new(params.backend(backend)).mine(&data);
             prop_assert_eq!(&model, &reference, "backend {:?}", backend);
         }
+    }
+
+    /// Cost-model dispatch witness: whatever backend the auto-dispatching
+    /// [`CountSource`] picks for this workload, its counts are
+    /// `u64`-identical to both forced extremes — a budget-0 handle that can
+    /// never build an index (pure horizontal scan) and a prebuilt-index
+    /// handle that can never scan horizontally (pure vertical popcounts).
+    /// The same agreement is re-demanded of the mined models above, so the
+    /// dispatch seam cannot smuggle in a count difference at any layer.
+    #[test]
+    fn cost_model_dispatch_agrees_with_forced_backends(seed in 0u64..1_000_000,
+                                                       n in 30usize..300,
+                                                       n_items in 4u32..12,
+                                                       density in 0.15f64..0.5,
+                                                       minsup in 0.05f64..0.4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = TransactionSet::new(n_items);
+        for _ in 0..n {
+            let t: Vec<u32> = (0..n_items).filter(|_| rng.gen::<f64>() < density).collect();
+            data.push(t);
+        }
+        let model = Apriori::new(AprioriParams::with_minsup(minsup).max_len(5)).mine(&data);
+        prop_assume!(!model.is_empty());
+
+        // Budgets are pinned per handle so a concurrently running test
+        // cannot skew the dispatch through the process-wide knob.
+        let auto = CountSource::borrowed(&data).with_index_budget(DEFAULT_INDEX_BUDGET);
+        let forced_horizontal = CountSource::borrowed(&data).with_index_budget(0);
+        let forced_vertical = CountSource::from_index(VerticalIndex::build(&data));
+
+        let reference = forced_horizontal.counts(model.itemsets(), Parallelism::Global);
+        prop_assert!(!forced_horizontal.index_built(), "budget 0 must never build an index");
+        prop_assert_eq!(&auto.counts(model.itemsets(), Parallelism::Global), &reference,
+                        "auto vs forced horizontal");
+        prop_assert_eq!(&forced_vertical.counts(model.itemsets(), Parallelism::Global),
+                        &reference,
+                        "forced vertical vs forced horizontal");
     }
 }

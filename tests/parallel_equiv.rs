@@ -3,7 +3,8 @@
 //!
 //! For random datasets and seeds, every parallelized pipeline — deviation
 //! measure scans for all three model classes, Apriori mining, hash-tree
-//! counting, vertical tid-bitset counting, decision-tree induction,
+//! counting, vertical tid-bitset counting, shared counting-source
+//! handles with their lazily cached index, decision-tree induction,
 //! k-means Lloyd iterations, monitor
 //! calibration, per-region `f`/`g` aggregation, and the bootstrap
 //! qualification fan-out — must produce **bit-identical** results for any
@@ -392,6 +393,54 @@ proptest! {
                 &horizontal,
                 "auto-dispatched counts, threads = {}", t
             );
+        }
+    }
+
+    /// A shared [`CountSource`] handle: its cost-model dispatch and its
+    /// lazily cached index must be invisible in the results. Every thread
+    /// count, through the auto handle, through a prebuilt-index handle,
+    /// and through worker closures sharing one handle (`Fn + Sync`, the
+    /// matrix engine's access pattern), returns counts `u64`-identical to
+    /// an uncached sequential horizontal scan.
+    #[test]
+    fn shared_count_source_bit_identical(seed in 0u64..1_000_000,
+                                         n in 50usize..400,
+                                         n_items in 4u32..14,
+                                         density in 0.1f64..0.5) {
+        let data = random_transactions(n, n_items, density, seed);
+        let sets: Vec<Itemset> = (0..n_items.saturating_sub(1))
+            .map(|b| Itemset::from_slice(&[b, b + 1]))
+            .chain((0..n_items).map(|b| Itemset::from_slice(&[b])))
+            .chain(std::iter::once(Itemset::from_slice(&[])))
+            .collect();
+        let uncached = count_itemsets_par(&data, &sets, Parallelism::Sequential);
+
+        // The auto handle (budget pinned so concurrent tests can't turn
+        // the process-wide knob mid-sweep): repeated counts across the
+        // sweep share at most one cached index build.
+        let auto = CountSource::borrowed(&data).with_index_budget(DEFAULT_INDEX_BUDGET);
+        prop_assert_eq!(&auto.counts(&sets, Parallelism::Sequential), &uncached,
+                        "auto handle, sequential");
+        for t in THREADS {
+            prop_assert_eq!(&auto.counts(&sets, Parallelism::Threads(t)), &uncached,
+                            "auto handle, threads = {}", t);
+        }
+
+        // The cached-index path, guaranteed: an index-backed handle has no
+        // horizontal view at all, so every count exercises the bitsets.
+        let indexed = CountSource::from_index(VerticalIndex::build(&data));
+        prop_assert!(indexed.index_built());
+        for t in THREADS {
+            prop_assert_eq!(&indexed.counts(&sets, Parallelism::Threads(t)), &uncached,
+                            "indexed handle, threads = {}", t);
+            // One handle shared by the worker closures themselves — each
+            // counts a single itemset through the same cached index.
+            let shared = &indexed;
+            let per_set = focus::exec::map_indices(Parallelism::Threads(t), sets.len(), |i| {
+                shared.counts(&sets[i..i + 1], Parallelism::Sequential)[0]
+            });
+            prop_assert_eq!(&per_set, &uncached,
+                            "handle shared across worker closures, threads = {}", t);
         }
     }
 

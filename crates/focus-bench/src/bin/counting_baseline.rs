@@ -1,24 +1,33 @@
 //! **Counting baseline** — itemset-support counting backends compared at
-//! three dataset scales, recorded PR-over-PR in `BENCH_counting.json`:
+//! three sparse dataset scales plus a dense scale, recorded PR-over-PR in
+//! `BENCH_counting.json`:
 //!
 //! ```text
 //! cargo run --release -p focus-bench --bin counting_baseline -- --threads 4 > BENCH_counting.json
 //! ```
 //!
-//! Per scale the binary generates an association dataset, mines its
-//! frequent itemsets once (the realistic counting workload: the measure
-//! extension re-counts a model's itemsets against another dataset), and
-//! times three ways of counting every itemset's support:
+//! Per scale the binary generates a dataset, mines its frequent itemsets
+//! once (the realistic counting workload: the measure extension re-counts
+//! a model's itemsets against another dataset), and times the ways of
+//! counting every itemset's support:
 //!
 //! * `bitmap_scan` — the horizontal `count_itemsets_par` scan (one
 //!   membership bitmap per transaction, subset test per itemset);
 //! * `hash_tree`   — per-level hash trees probed per transaction,
 //!   tree build included;
 //! * `vertical`    — the Eclat-style tid-bitset index of
-//!   `focus_core::vertical`, **index build included**, so the speedup is
-//!   what a cold caller actually sees.
+//!   `focus_core::vertical`, **index build included**, counting each
+//!   itemset with its own word fold;
+//! * `diffset`     — the density-adaptive dEclat index
+//!   (`VerticalIndex::build_adaptive`, build included; dense items store
+//!   complement rows) counted through the batched prefix-run path, i.e.
+//!   the adaptive tier exactly as the counting-source layer ships it;
+//! * `extend_batched` — the warm measure-extension scan: one batched
+//!   prefix-run pass over the prebuilt adaptive index (build excluded),
+//!   the per-call cost `family.rs`'s `extend_supports` pays once a
+//!   source's cache is hot.
 //!
-//! A second pair of rows measures **index reuse** — the matrix-run
+//! A further pair of rows measures **index reuse** — the matrix-run
 //! regime, where the same snapshot is re-counted once per surviving
 //! pair:
 //!
@@ -27,25 +36,37 @@
 //!   layer);
 //! * `source_cached_x4` — four scans through one shared
 //!   [`focus_core::source::CountSource`] handle, which builds its index
-//!   lazily at most once and serves the remaining scans from the cache.
+//!   lazily at most once and serves the remaining scans from the cache
+//!   (through the batched prefix-run path).
 //!
 //! For the reuse rows `speedup_vs_bitmap` compares against four
 //! horizontal scans — the bitmap cost of the same workload.
 //!
+//! The sparse scales use the paper's association generator; the `dense`
+//! scale is an independent-Bernoulli dataset at 0.7 fill over 32 items —
+//! past the diffset density crossover, so the adaptive index genuinely
+//! stores complement rows and the mined workload (triples at minsup 0.3)
+//! has deep shared prefixes for the batched path.
+//!
 //! All backends must (and are asserted to) produce identical `u64`
 //! counts. Each regime runs `--samples` times; the recorded time is the
-//! minimum. One JSON object per (scale, backend) lands on stdout; the
-//! human table goes to stderr.
+//! minimum. One JSON object per (scale, backend) lands on stdout — with
+//! `threads` and `commit` machine-context fields — and the human table
+//! goes to stderr.
 
-use focus_bench::{timed, ExpConfig};
+use focus_bench::{git_commit, timed, ExpConfig};
 use focus_core::data::TransactionSet;
 use focus_core::model::count_itemsets_par;
 use focus_core::region::Itemset;
 use focus_core::source::{CountSource, DEFAULT_INDEX_BUDGET};
-use focus_core::vertical::{count_itemsets_vertical_par, VerticalIndex};
+use focus_core::vertical::{
+    count_itemsets_grouped_par, count_itemsets_vertical_par, VerticalIndex,
+};
 use focus_data::assoc::{AssocGen, AssocGenParams};
 use focus_exec::Parallelism;
 use focus_mining::{Apriori, AprioriParams, HashTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Scans per reuse row — stands in for a matrix run's repeated re-counts
 /// of one snapshot (one per surviving pair).
@@ -97,24 +118,59 @@ fn best_of(samples: usize, reference: &[u64], mut run: impl FnMut() -> Vec<u64>)
     best
 }
 
+/// An independent-Bernoulli dense dataset: every item present with the
+/// given probability, past the diffset density crossover.
+fn dense_transactions(n: usize, n_items: u32, density: f64, seed: u64) -> TransactionSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = TransactionSet::new(n_items);
+    for _ in 0..n {
+        let t: Vec<u32> = (0..n_items)
+            .filter(|_| rng.gen::<f64>() < density)
+            .collect();
+        data.push(t);
+    }
+    data
+}
+
 fn main() {
     let cfg = ExpConfig::parse(std::env::args().skip(1));
     let par = Parallelism::Global;
     let base = cfg.rows(250_000);
+    let threads = par.threads();
+    let commit = git_commit();
     let mut rows = Vec::new();
 
-    for (scale, n) in [("small", base), ("medium", base * 4), ("large", base * 16)] {
+    // (scale, dataset, mining params): the sparse scales carry the
+    // paper-shaped association workload; the dense scale sits past the
+    // diffset crossover with a triple-heavy mined workload.
+    let scales: Vec<(&'static str, TransactionSet, AprioriParams)> = vec![
+        ("small", AprioriParams::with_minsup(0.01), base),
+        ("medium", AprioriParams::with_minsup(0.01), base * 4),
+        ("large", AprioriParams::with_minsup(0.01), base * 16),
+    ]
+    .into_iter()
+    .map(|(scale, params, n)| {
         let gen = AssocGen::new(AssocGenParams::paper(500, 4.0), cfg.seed);
-        let data = gen.generate(n, cfg.seed + 1);
+        (
+            scale,
+            gen.generate(n, cfg.seed + 1),
+            params.max_len(10).min_count_floor(2),
+        )
+    })
+    .chain(std::iter::once((
+        "dense",
+        dense_transactions(base * 16, 32, 0.7, cfg.seed + 7),
+        AprioriParams::with_minsup(0.3)
+            .max_len(4)
+            .min_count_floor(2),
+    )))
+    .collect();
+
+    for (scale, data, mine_params) in scales {
         // The realistic workload: a mined model's itemsets, re-counted the
         // way the measure-extension step re-counts them against a second
         // dataset.
-        let model = Apriori::new(
-            AprioriParams::with_minsup(0.01)
-                .max_len(10)
-                .min_count_floor(2),
-        )
-        .mine(&data);
+        let model = Apriori::new(mine_params).mine(&data);
         let itemsets = model.itemsets().to_vec();
         let reference = count_itemsets_par(&data, &itemsets, par);
 
@@ -127,6 +183,19 @@ fn main() {
         let vertical_secs = best_of(cfg.samples, &reference, || {
             let index = VerticalIndex::build(&data);
             count_itemsets_vertical_par(&index, &itemsets, par)
+        });
+        // The adaptive dEclat tier, cold: adaptive build + batched
+        // prefix-run counting — what a cold CountSource pays when the
+        // cost model picks the diffset layout.
+        let diffset_secs = best_of(cfg.samples, &reference, || {
+            let index = VerticalIndex::build_adaptive(&data);
+            count_itemsets_grouped_par(&index, &itemsets, par)
+        });
+        // The warm measure-extension scan: batched counting over the
+        // prebuilt adaptive index, build excluded.
+        let warm_index = VerticalIndex::build_adaptive(&data);
+        let extend_secs = best_of(cfg.samples, &reference, || {
+            count_itemsets_grouped_par(&warm_index, &itemsets, par)
         });
 
         // Reuse regime: the same itemsets re-counted REUSE_SCANS times,
@@ -153,6 +222,8 @@ fn main() {
             ("bitmap_scan", bitmap_secs, 1),
             ("hash_tree", hash_secs, 1),
             ("vertical", vertical_secs, 1),
+            ("diffset", diffset_secs, 1),
+            ("extend_batched", extend_secs, 1),
             ("vertical_rebuild_x4", rebuild_secs, REUSE_SCANS),
             ("source_cached_x4", cached_secs, REUSE_SCANS),
         ] {
@@ -170,17 +241,25 @@ fn main() {
     // JSON lines to stdout (the `BENCH_counting.json` payload), the human
     // table to stderr so a redirect stays machine-readable.
     eprintln!(
-        "{:>7}  {:>12}  {:>8}  {:>12}  {:>10}  {:>8}",
+        "{:>7}  {:>12}  {:>8}  {:>18}  {:>10}  {:>8}",
         "Scale", "Transactions", "Itemsets", "Backend", "Best s", "Speedup"
     );
     for r in &rows {
         println!(
             "{{\"bench\":\"counting\",\"scale\":\"{}\",\"transactions\":{},\"itemsets\":{},\
-             \"backend\":\"{}\",\"secs\":{:.6},\"speedup_vs_bitmap\":{:.2}}}",
-            r.scale, r.transactions, r.itemsets, r.backend, r.secs, r.speedup_vs_bitmap
+             \"backend\":\"{}\",\"secs\":{:.6},\"speedup_vs_bitmap\":{:.2},\
+             \"threads\":{},\"commit\":\"{}\"}}",
+            r.scale,
+            r.transactions,
+            r.itemsets,
+            r.backend,
+            r.secs,
+            r.speedup_vs_bitmap,
+            threads,
+            commit
         );
         eprintln!(
-            "{:>7}  {:>12}  {:>8}  {:>12}  {:>10.4}  {:>7.2}x",
+            "{:>7}  {:>12}  {:>8}  {:>18}  {:>10.4}  {:>7.2}x",
             r.scale, r.transactions, r.itemsets, r.backend, r.secs, r.speedup_vs_bitmap
         );
     }

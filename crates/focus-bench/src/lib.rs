@@ -83,6 +83,21 @@ pub fn fmt_sig(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// The short git commit hash of the working tree, for the machine-context
+/// fields appended to bench JSON lines; `"unknown"` when git (or a repo)
+/// is unavailable, so bench bins never fail over provenance.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +113,11 @@ mod tests {
     fn fmt_helpers() {
         assert_eq!(fmt(0.12345678), "0.1235");
         assert_eq!(fmt_sig(99.99), "99.99");
+    }
+
+    #[test]
+    fn git_commit_is_nonempty() {
+        // In a checkout this is the short hash; outside one, the fallback.
+        assert!(!git_commit().is_empty());
     }
 }

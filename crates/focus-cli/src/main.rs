@@ -165,10 +165,11 @@ global flags:
                 fan-out (0 = one per core; default: FOCUS_THREADS env var,
                 else core count). Results are bit-identical for every
                 thread count.
-  --count-backend dfs|hashtree|vertical|auto
+  --count-backend dfs|hashtree|vertical|diffset|auto
                 Apriori support-counting backend for mine/deviate/qualify
-                (default dfs; auto = cost-model dispatch). Mined models
-                are backend-independent.
+                (default dfs; diffset = vertical with dEclat complement
+                rows for dense items; auto = cost-model dispatch). Mined
+                models are backend-independent.
   --index-budget B
                 byte cap on vertical tid-bitset indexes, consulted by the
                 counting cost model; accepts k/M/G suffixes (e.g. 512M),
@@ -692,8 +693,12 @@ mod tests {
         );
         // The rejection names every valid spelling, so a typo is
         // self-correcting from the error alone.
+        assert_eq!(
+            count_backend(&flags_of(&["--count-backend", "diffset"])).unwrap(),
+            CountBackend::Diffset
+        );
         let err = count_backend(&flags_of(&["--count-backend", "nope"])).unwrap_err();
-        for valid in ["dfs", "hashtree", "vertical", "auto"] {
+        for valid in ["dfs", "hashtree", "vertical", "diffset", "auto"] {
             assert!(err.contains(valid), "{err:?} should mention {valid:?}");
         }
         assert!(err.contains("nope"));

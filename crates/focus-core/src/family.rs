@@ -264,9 +264,13 @@ pub(crate) fn extend_supports(
     if !missing.is_empty() {
         let to_count: Vec<Itemset> = missing.iter().map(|&i| regions[i].clone()).collect();
         // Cost-model dispatched: large workloads count through the
-        // source's cached vertical tid-bitset index instead of re-walking
-        // every transaction per itemset. Counts are identical either way,
-        // so measures stay bit-identical to the horizontal scan.
+        // source's cached vertical tid-bitset index (diffset-adaptive on
+        // dense data) instead of re-walking every transaction per
+        // itemset, and the vertical path batches the missing itemsets by
+        // shared (k−1)-prefix runs — one cached intersection mask per
+        // run, one masked popcount per sibling. Counts are identical
+        // either way, so measures stay bit-identical to the horizontal
+        // scan.
         let counts = source.counts(&to_count, par);
         let n = source.len().max(1) as f64;
         for (slot, &c) in missing.iter().zip(&counts) {

@@ -132,15 +132,17 @@ pub mod prelude {
     pub use crate::region::{AttrConstraint, BoxBuilder, BoxRegion, CatMask, Itemset};
     pub use crate::report::{dt_report, lits_report, ComparisonReport, ReportOptions};
     pub use crate::source::{
-        global_index_budget, parse_index_budget, prefers_vertical, set_global_index_budget,
-        CountSource, DEFAULT_INDEX_BUDGET,
+        choose_backend, global_index_budget, parse_index_budget, prefers_vertical,
+        set_global_index_budget, BackendChoice, CountSource, DEFAULT_INDEX_BUDGET,
+        DIFFSET_DENSITY_NUM,
     };
     pub use crate::stream::{
         calibrate_threshold_par, BlockVerdict, ChangeMonitor, DEFAULT_HISTORY_CAP,
     };
     pub use crate::vertical::{
-        count_itemsets_auto, count_itemsets_auto_par, count_itemsets_vertical,
-        count_itemsets_vertical_par, VerticalIndex,
+        count_itemsets_auto, count_itemsets_auto_par, count_itemsets_grouped,
+        count_itemsets_grouped_par, count_itemsets_vertical, count_itemsets_vertical_par, CsrError,
+        RowRepr, VerticalIndex,
     };
     pub use focus_exec::Parallelism;
 }

@@ -14,22 +14,30 @@
 //!
 //! ## The cost model
 //!
-//! [`prefers_vertical`] replaces the old static gate (≥ 8 itemsets over
-//! ≥ 1024 transactions) with an explicit cost comparison:
+//! [`choose_backend`] replaces the old static gate (≥ 8 itemsets over
+//! ≥ 1024 transactions) with an explicit three-way comparison —
+//! [`BackendChoice::Horizontal`] / [`BackendChoice::Tidset`] /
+//! [`BackendChoice::Diffset`]:
 //!
 //! * horizontal scan ≈ `rows × Σ|itemset|` subset probes plus one bitmap
 //!   build per transaction (`total_items` touches);
 //! * vertical count ≈ `Σ|itemset| × words` AND/popcount word ops, plus —
 //!   when no index exists yet — a build pass weighted by
 //!   [`INDEX_BUILD_WEIGHT`] so a throwaway index never wins on a workload
-//!   too small to amortise it.
+//!   too small to amortise it;
+//! * when vertical wins, a dense dataset (average fill at or above 1/4,
+//!   so a meaningful share of items sits past the per-row 1/2 density
+//!   crossover) builds the **diffset-adaptive** index
+//!   ([`VerticalIndex::build_adaptive`]) instead of the all-tidset one —
+//!   same word count, complement rows for the dense items.
 //!
 //! The choice is a **pure function of data shape, workload and budget** —
 //! never thread count, timing, or whether a cache already holds the index
 //! — so dispatch can never violate the workspace's
-//! bit-identical-for-any-thread-count contract. Both backends produce
+//! bit-identical-for-any-thread-count contract. All backends produce
 //! identical `u64` counts (the differential suite enforces this), so the
-//! model can only change cost, never a result.
+//! model can only change cost, never a result. [`prefers_vertical`] is
+//! the boolean view of the same model (`!= Horizontal`).
 //!
 //! ## The index budget
 //!
@@ -45,7 +53,7 @@
 use crate::data::TransactionSet;
 use crate::model::count_itemsets_par;
 use crate::region::Itemset;
-use crate::vertical::{count_itemsets_vertical_par, VerticalIndex};
+use crate::vertical::{count_itemsets_grouped_par, VerticalIndex};
 use focus_exec::Parallelism;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -83,23 +91,21 @@ pub fn parse_index_budget(s: &str) -> Option<usize> {
 }
 
 fn env_index_budget() -> Option<usize> {
-    *ENV_BUDGET.get_or_init(|| {
-        let raw = std::env::var("FOCUS_INDEX_BUDGET").ok()?;
-        match parse_index_budget(&raw) {
-            Some(b) => Some(b),
-            None => {
-                // A typo'd budget silently falling back would be invisible
-                // (counts are bit-identical either way), so say so once.
-                eprintln!(
-                    "focus-core: ignoring unparseable FOCUS_INDEX_BUDGET={raw:?} \
-                     (want a byte count, optionally with a k/m/g suffix); \
-                     using the {} MiB default",
-                    DEFAULT_INDEX_BUDGET >> 20
-                );
-                None
-            }
-        }
-    })
+    // A typo'd budget silently falling back would be invisible (counts are
+    // bit-identical either way), so say so once.
+    focus_exec::env_knob_once(
+        &ENV_BUDGET,
+        "FOCUS_INDEX_BUDGET",
+        parse_index_budget,
+        |raw| {
+            eprintln!(
+                "focus-core: ignoring unparseable FOCUS_INDEX_BUDGET={raw:?} \
+             (want a byte count, optionally with a k/m/g suffix); \
+             using the {} MiB default",
+                DEFAULT_INDEX_BUDGET >> 20
+            )
+        },
+    )
 }
 
 /// Sets the process-wide index budget in bytes (the CLI's `--index-budget`
@@ -128,20 +134,49 @@ pub fn global_index_budget() -> usize {
 /// is up-weighted to keep one-shot small workloads on the horizontal scan.
 const INDEX_BUILD_WEIGHT: usize = 4;
 
-/// The deterministic backend choice: `true` when counting `n_itemsets`
-/// itemsets totalling `workload_items` items over the given data shape is
-/// cheaper vertically (including, when `index_built` is false, the
-/// weighted cost of building the index first) and the index fits
-/// `budget_bytes`.
+/// Average dataset density (as `total_items / (n_transactions × n_items)`)
+/// at or above which the cost model builds the diffset-adaptive index:
+/// 1/4, expressed as the numerator of the comparison
+/// `DIFFSET_DENSITY_NUM × total_items ≥ n_transactions × n_items`. At a
+/// quarter average fill, a meaningful share of items sits past the
+/// per-row 1/2 crossover where the complement row is the sparser one.
+pub const DIFFSET_DENSITY_NUM: u128 = 4;
+
+/// Which counting backend the cost model picked for a workload.
 ///
-/// Inputs are data shape and workload only — never thread count, timing,
-/// or cache state — so for a fixed dataset and call sequence the dispatch
-/// decision is identical on every run and every `FOCUS_THREADS` setting.
-/// `index_built` exists for strictly sequential callers that already hold
-/// an index (the Apriori level loop); shared [`CountSource`] handles
-/// always pass `false` so their dispatch never depends on what a previous
-/// call happened to cache.
-pub fn prefers_vertical(
+/// `Tidset` and `Diffset` differ only in **which index gets built** — the
+/// all-tidset matrix versus the density-adaptive mixed layout
+/// ([`VerticalIndex::build_adaptive`]); every counting entry point
+/// resolves the representation per row, so an already-built index of
+/// either flavour serves either choice with identical counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendChoice {
+    /// Scan the horizontal transaction list.
+    Horizontal,
+    /// Count through the all-tidset vertical index.
+    Tidset,
+    /// Count through the diffset-adaptive vertical index (dense items
+    /// stored as complement rows).
+    Diffset,
+}
+
+/// The deterministic three-way backend choice for counting `n_itemsets`
+/// itemsets totalling `workload_items` items over the given data shape:
+/// horizontal when the vertical word fold (including, when `index_built`
+/// is false, the [`INDEX_BUILD_WEIGHT`]-weighted build pass) loses or the
+/// index would not fit `budget_bytes`; otherwise tidset or diffset by the
+/// dataset's average density against [`DIFFSET_DENSITY_NUM`].
+///
+/// Inputs are data shape, workload and budget only — never thread count,
+/// timing, or cache state — so for a fixed dataset and call sequence the
+/// dispatch decision is identical on every run and every `FOCUS_THREADS`
+/// setting. `index_built` exists for strictly sequential callers that
+/// already hold an index (the Apriori level loop); shared [`CountSource`]
+/// handles always pass `false` so their dispatch never depends on what a
+/// previous call happened to cache. The density term depends on the data
+/// alone, so one dataset always maps to one index flavour no matter how
+/// the workload varies call to call.
+pub fn choose_backend(
     n_itemsets: usize,
     workload_items: usize,
     n_transactions: usize,
@@ -149,10 +184,15 @@ pub fn prefers_vertical(
     total_items: usize,
     index_built: bool,
     budget_bytes: usize,
-) -> bool {
+) -> BackendChoice {
     if n_itemsets == 0 || n_transactions == 0 {
-        // Nothing to scan; the trivial early-outs of both backends agree.
-        return index_built;
+        // Nothing to scan; the trivial early-outs of all backends agree,
+        // so route to whatever already exists.
+        return if index_built {
+            BackendChoice::Tidset
+        } else {
+            BackendChoice::Horizontal
+        };
     }
     let words = n_transactions.div_ceil(64) as u128;
     // Horizontal: every transaction is bitmapped once (≈ total_items
@@ -165,12 +205,43 @@ pub fn prefers_vertical(
         0
     } else {
         if VerticalIndex::estimate_bytes_for(n_items, n_transactions) > budget_bytes {
-            return false;
+            return BackendChoice::Horizontal;
         }
         (INDEX_BUILD_WEIGHT as u128) * (total_items as u128 + (n_items as u128) * words.div_ceil(8))
     };
     let vertical = (workload_items as u128) * words + build;
-    vertical < horizontal
+    if vertical >= horizontal {
+        return BackendChoice::Horizontal;
+    }
+    // Vertical wins; pick the row layout by the dataset's average density.
+    if DIFFSET_DENSITY_NUM * (total_items as u128) >= (n_transactions as u128) * (n_items as u128) {
+        BackendChoice::Diffset
+    } else {
+        BackendChoice::Tidset
+    }
+}
+
+/// The boolean view of [`choose_backend`]: `true` for either vertical
+/// flavour. Kept for callers that only care about the
+/// horizontal-vs-vertical split.
+pub fn prefers_vertical(
+    n_itemsets: usize,
+    workload_items: usize,
+    n_transactions: usize,
+    n_items: u32,
+    total_items: usize,
+    index_built: bool,
+    budget_bytes: usize,
+) -> bool {
+    choose_backend(
+        n_itemsets,
+        workload_items,
+        n_transactions,
+        n_items,
+        total_items,
+        index_built,
+        budget_bytes,
+    ) != BackendChoice::Horizontal
 }
 
 // ---------------------------------------------------------------------------
@@ -299,19 +370,25 @@ impl<'a> CountSource<'a> {
     /// Support counts for `itemsets`, dispatched by the cost model.
     ///
     /// Index-backed sources always count vertically. Horizontal-backed
-    /// sources consult [`prefers_vertical`] with `index_built = false`
+    /// sources consult [`choose_backend`] with `index_built = false`
     /// every call — dispatch depends only on the workload's shape, never
-    /// on what an earlier call cached — and the winning vertical path
-    /// reuses (or race-safely builds) the cached index. Counts are
-    /// bit-identical across backends and thread counts.
+    /// on what an earlier call cached — and a winning vertical choice
+    /// reuses (or race-safely builds) the cached index, diffset-adaptive
+    /// when the choice was [`BackendChoice::Diffset`]. (The density term
+    /// is a function of the data alone, so every call over one handle
+    /// resolves to the same index flavour.) Vertical counting goes through
+    /// the batched prefix-run path ([`count_itemsets_grouped_par`]), so
+    /// sibling itemsets in a measure-extension workload share one cached
+    /// prefix mask per run. Counts are bit-identical across backends and
+    /// thread counts.
     pub fn counts(&self, itemsets: &[Itemset], par: Parallelism) -> Vec<u64> {
         let data = match &self.repr {
-            Repr::Index(idx) => return count_itemsets_vertical_par(idx, itemsets, par),
+            Repr::Index(idx) => return count_itemsets_grouped_par(idx, itemsets, par),
             Repr::Borrowed(d) => d,
             Repr::Owned(d) => d,
         };
         let workload_items: usize = itemsets.iter().map(Itemset::len).sum();
-        if prefers_vertical(
+        match choose_backend(
             itemsets.len(),
             workload_items,
             data.len(),
@@ -320,10 +397,17 @@ impl<'a> CountSource<'a> {
             false,
             self.budget,
         ) {
-            let index = self.cache.get_or_init(|| VerticalIndex::build(data));
-            count_itemsets_vertical_par(index, itemsets, par)
-        } else {
-            count_itemsets_par(data, itemsets, par)
+            BackendChoice::Horizontal => count_itemsets_par(data, itemsets, par),
+            choice => {
+                let index = self.cache.get_or_init(|| {
+                    if choice == BackendChoice::Diffset {
+                        VerticalIndex::build_adaptive(data)
+                    } else {
+                        VerticalIndex::build(data)
+                    }
+                });
+                count_itemsets_grouped_par(index, itemsets, par)
+            }
         }
     }
 }
@@ -430,6 +514,79 @@ mod tests {
             false,
             DEFAULT_INDEX_BUDGET
         ));
+    }
+
+    #[test]
+    fn three_way_choice_follows_density_and_budget() {
+        // A build-amortising workload over sparse data: tidset.
+        assert_eq!(
+            choose_backend(17, 25, 2000, 9, 2700, false, DEFAULT_INDEX_BUDGET),
+            BackendChoice::Tidset,
+            "density 0.15 stays tidset"
+        );
+        // Same workload, dense data (≥ 1/4 average fill): diffset.
+        assert_eq!(
+            choose_backend(17, 25, 2000, 9, 7200, false, DEFAULT_INDEX_BUDGET),
+            BackendChoice::Diffset,
+            "density 0.4 crosses to diffset"
+        );
+        // Exactly the 1/4 boundary is dense.
+        assert_eq!(
+            choose_backend(17, 25, 2000, 8, 4000, false, DEFAULT_INDEX_BUDGET),
+            BackendChoice::Diffset
+        );
+        // Too small to amortise a build, or over budget: horizontal, no
+        // matter the density.
+        assert_eq!(
+            choose_backend(1, 2, 1000, 10, 8000, false, DEFAULT_INDEX_BUDGET),
+            BackendChoice::Horizontal
+        );
+        assert_eq!(
+            choose_backend(1000, 5000, 100_000, 50, 4_000_000, false, 0),
+            BackendChoice::Horizontal
+        );
+        // Degenerate shapes route to whatever already exists.
+        assert_eq!(
+            choose_backend(0, 0, 1000, 10, 3000, false, DEFAULT_INDEX_BUDGET),
+            BackendChoice::Horizontal
+        );
+        assert_eq!(
+            choose_backend(0, 0, 1000, 10, 3000, true, DEFAULT_INDEX_BUDGET),
+            BackendChoice::Tidset
+        );
+        // prefers_vertical is exactly the boolean view.
+        for (args, want) in [
+            ((17usize, 25usize, 2000usize, 9u32, 7200usize, false), true),
+            ((17, 25, 2000, 9, 2700, false), true),
+            ((1, 2, 1000, 10, 8000, false), false),
+        ] {
+            let (a, b, c, d, e, f) = args;
+            assert_eq!(
+                prefers_vertical(a, b, c, d, e, f, DEFAULT_INDEX_BUDGET),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn dense_sources_cache_the_adaptive_index() {
+        // Density 0.7 — well past the crossover — over a workload that
+        // amortises the build: the handle must cache the diffset-adaptive
+        // index and still count identically to the horizontal scan.
+        let ts = random_set(31, 2000, 9, 0.7);
+        let sets: Vec<Itemset> = (0..9u32)
+            .map(|i| Itemset::from_slice(&[i]))
+            .chain((0..8u32).map(|i| Itemset::from_slice(&[i, i + 1])))
+            .chain((0..7u32).map(|i| Itemset::from_slice(&[i, i + 1, i + 2])))
+            .collect();
+        let source = CountSource::borrowed(&ts).with_index_budget(DEFAULT_INDEX_BUDGET);
+        let got = source.counts(&sets, Parallelism::Sequential);
+        assert!(source.index_built());
+        assert!(
+            source.cache.get().unwrap().n_diffset_rows() > 0,
+            "dense data must cache the adaptive index"
+        );
+        assert_eq!(got, count_itemsets_par(&ts, &sets, Parallelism::Sequential));
     }
 
     #[test]

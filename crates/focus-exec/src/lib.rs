@@ -103,28 +103,77 @@ fn available_cores() -> usize {
         .unwrap_or(1)
 }
 
-fn env_threads() -> Option<usize> {
-    *ENV_THREADS.get_or_init(|| {
-        let raw = std::env::var("FOCUS_THREADS").ok()?;
-        let t = raw.trim();
-        if t.eq_ignore_ascii_case("auto") {
-            return Some(available_cores());
-        }
-        match t.parse::<usize>() {
-            Ok(0) => Some(available_cores()),
-            Ok(n) => Some(n),
-            Err(_) => {
-                // A typo'd setting silently running on all cores would be
-                // invisible (results are bit-identical by design), so say
-                // so once.
-                eprintln!(
-                    "focus-exec: ignoring unparseable FOCUS_THREADS={raw:?} \
-                     (want a number, 0, or \"auto\"); using one thread per core"
-                );
+/// Resolves a knob value at most once per process: the first call reads
+/// `read()`, parses it, and memoises the outcome in `cell`; every later
+/// call returns the memoised value without re-reading or re-warning.
+/// `on_invalid` runs **exactly once** — on the first call, and only if
+/// the value was present but unparseable (the warn-once contract: a
+/// typo'd setting silently falling back would be invisible, because
+/// results are bit-identical by design, so it must be said — once).
+pub fn knob_once<T, R, P, W>(
+    cell: &OnceLock<Option<T>>,
+    read: R,
+    parse: P,
+    on_invalid: W,
+) -> Option<T>
+where
+    T: Copy,
+    R: FnOnce() -> Option<String>,
+    P: FnOnce(&str) -> Option<T>,
+    W: FnOnce(&str),
+{
+    *cell.get_or_init(|| {
+        let raw = read()?;
+        match parse(&raw) {
+            Some(v) => Some(v),
+            None => {
+                on_invalid(&raw);
                 None
             }
         }
     })
+}
+
+/// [`knob_once`] over an environment variable — the shared warn-once
+/// parser behind `FOCUS_THREADS` (here) and `FOCUS_INDEX_BUDGET`
+/// (`focus-core`). An unset variable is `None` with no warning; an
+/// unparseable one warns once via `on_invalid` and then behaves as unset.
+pub fn env_knob_once<T, P, W>(
+    cell: &OnceLock<Option<T>>,
+    var: &str,
+    parse: P,
+    on_invalid: W,
+) -> Option<T>
+where
+    T: Copy,
+    P: FnOnce(&str) -> Option<T>,
+    W: FnOnce(&str),
+{
+    knob_once(cell, || std::env::var(var).ok(), parse, on_invalid)
+}
+
+fn env_threads() -> Option<usize> {
+    env_knob_once(
+        &ENV_THREADS,
+        "FOCUS_THREADS",
+        |raw| {
+            let t = raw.trim();
+            if t.eq_ignore_ascii_case("auto") {
+                return Some(available_cores());
+            }
+            match t.parse::<usize>() {
+                Ok(0) => Some(available_cores()),
+                Ok(n) => Some(n),
+                Err(_) => None,
+            }
+        },
+        |raw| {
+            eprintln!(
+                "focus-exec: ignoring unparseable FOCUS_THREADS={raw:?} \
+                 (want a number, 0, or \"auto\"); using one thread per core"
+            );
+        },
+    )
 }
 
 /// Sets the process-wide default thread count (`Parallelism::Global`).
@@ -326,39 +375,96 @@ where
 /// amortise a scoped spawn.
 pub const WORD_GRAIN: usize = 512;
 
+/// Fixed accumulator width of the word kernels: the AND/ANDNOT folds
+/// process `LANES` adjacent `u64`s per step with independent per-lane
+/// accumulators, a shape stable Rust autovectorizes to SIMD lanes, then
+/// finish the remainder with a scalar tail. Lane partials are exact `u64`
+/// popcount sums, so the lane decomposition — a pure function of the word
+/// range — can never change a total.
+const LANES: usize = 4;
+
+/// Lane-folded kernel for one word range: `Σ popcount(AND(pos) & !OR'd
+/// NOT(neg))` — i.e. each word ANDs every `pos` operand and AND-NOTs every
+/// `neg` operand. `pos` must be non-empty (callers synthesise a full mask
+/// when no positive operand exists). Deterministic in `(range)` alone.
+fn popcount_fold_words(pos: &[&[u64]], neg: &[&[u64]], range: Range<usize>) -> u64 {
+    debug_assert!(!pos.is_empty(), "fold kernels need a positive base row");
+    let first = pos[0];
+    let mut lanes = [0u64; LANES];
+    let mut w = range.start;
+    while w + LANES <= range.end {
+        let mut acc = [0u64; LANES];
+        acc.copy_from_slice(&first[w..w + LANES]);
+        for p in &pos[1..] {
+            for l in 0..LANES {
+                acc[l] &= p[w + l];
+            }
+        }
+        for n in neg {
+            for l in 0..LANES {
+                acc[l] &= !n[w + l];
+            }
+        }
+        for l in 0..LANES {
+            lanes[l] += u64::from(acc[l].count_ones());
+        }
+        w += LANES;
+    }
+    let mut total: u64 = lanes.iter().sum();
+    while w < range.end {
+        let mut acc = first[w];
+        for p in &pos[1..] {
+            acc &= p[w];
+        }
+        for n in neg {
+            acc &= !n[w];
+        }
+        total += u64::from(acc.count_ones());
+        w += 1;
+    }
+    total
+}
+
 /// Chunked popcount fold: the number of bit positions set in **all** of
 /// the `operands` bitsets (`popcount(op₀[w] & op₁[w] & …)` summed over
 /// every word `w`), with the word range fanned out over `par` worker
-/// threads via [`map_reduce`].
+/// threads via [`map_reduce`]. The per-chunk fold runs the lane-folded
+/// kernel (fixed 4×`u64` lanes plus a scalar tail).
 ///
 /// All operands must have the same word count. With no operands the
 /// intersection is empty by convention and the count is 0. Per-chunk
 /// partials are `u64` totals merged by addition in chunk order, so the
 /// result is bit-identical to a sequential fold for every thread count.
 pub fn popcount_and_all(par: Parallelism, operands: &[&[u64]], grain: usize) -> u64 {
-    let Some(first) = operands.first() else {
+    popcount_andnot_all(par, operands, &[], grain)
+}
+
+/// The ANDNOT variant of [`popcount_and_all`]: counts the bit positions
+/// set in every `pos` bitset and in **none** of the `neg` bitsets —
+/// `Σ popcount(pos₀[w] & pos₁[w] & … & !neg₀[w] & !neg₁[w] & …)`. This is
+/// the dEclat diffset fold: a dense item's stored row is the *complement*
+/// of its cover, so intersecting its cover is one ANDNOT against the
+/// prefix mask instead of materialising the un-complemented row.
+///
+/// All operands (both lists) must share one word count. With no positive
+/// operand the result is 0 by the same empty-intersection convention as
+/// [`popcount_and_all`] — callers wanting "all transactions minus the
+/// negatives" pass an explicit full-mask row as the positive base, which
+/// also keeps bits past the logical length zeroed.
+pub fn popcount_andnot_all(par: Parallelism, pos: &[&[u64]], neg: &[&[u64]], grain: usize) -> u64 {
+    let Some(first) = pos.first() else {
         return 0;
     };
     let len = first.len();
     assert!(
-        operands.iter().all(|o| o.len() == len),
-        "popcount_and_all: operand word counts must align"
+        pos.iter().chain(neg).all(|o| o.len() == len),
+        "popcount_andnot_all: operand word counts must align"
     );
     map_reduce(
         par,
         len,
         grain,
-        |range| {
-            let mut total = 0u64;
-            for w in range {
-                let mut acc = operands[0][w];
-                for o in &operands[1..] {
-                    acc &= o[w];
-                }
-                total += u64::from(acc.count_ones());
-            }
-            total
-        },
+        |range| popcount_fold_words(pos, neg, range),
         |a, b| a + b,
     )
     .unwrap_or(0)
@@ -644,6 +750,132 @@ mod tests {
         let a = vec![1u64, 2];
         let b = vec![1u64];
         popcount_and_all(Parallelism::Sequential, &[&a, &b], 1);
+    }
+
+    /// Scalar reference for the lane-folded kernels: one word at a time,
+    /// no lanes, no chunking.
+    fn naive_andnot(pos: &[&[u64]], neg: &[&[u64]]) -> u64 {
+        (0..pos[0].len())
+            .map(|w| {
+                let mut acc = pos.iter().fold(u64::MAX, |a, p| a & p[w]);
+                for n in neg {
+                    acc &= !n[w];
+                }
+                u64::from(acc.count_ones())
+            })
+            .sum()
+    }
+
+    #[test]
+    fn popcount_andnot_all_subtracts_negative_operands() {
+        let a: Vec<u64> = vec![0b1111, u64::MAX];
+        let b: Vec<u64> = vec![0b1010, 0];
+        let seq = Parallelism::Sequential;
+        // a & !b: bits 0 and 2 of word 0, all 64 of word 1.
+        assert_eq!(popcount_andnot_all(seq, &[&a], &[&b], 1), 2 + 64);
+        // No positive base: empty intersection by convention.
+        assert_eq!(popcount_andnot_all(seq, &[], &[&b], 1), 0);
+        // No negatives: identical to the AND fold.
+        assert_eq!(
+            popcount_andnot_all(seq, &[&a, &b], &[], 1),
+            popcount_and_all(seq, &[&a, &b], 1)
+        );
+        // Self-negation empties the count.
+        assert_eq!(popcount_andnot_all(seq, &[&a], &[&a], 1), 0);
+    }
+
+    #[test]
+    fn lane_fold_matches_scalar_at_every_length() {
+        // Sweep lengths around the 4-word lane width so the lane body,
+        // the scalar tail, and their boundary all get exercised.
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65] {
+            let a: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9))
+                .collect();
+            let b: Vec<u64> = (0..len as u64).map(|i| !i ^ (i << 7)).collect();
+            let c: Vec<u64> = (0..len as u64).map(|i| i.rotate_left(11)).collect();
+            let seq = Parallelism::Sequential;
+            assert_eq!(
+                popcount_and_all(seq, &[&a, &b], usize::MAX),
+                naive_andnot(&[&a, &b], &[]),
+                "and, len = {len}"
+            );
+            assert_eq!(
+                popcount_andnot_all(seq, &[&a], &[&b, &c], usize::MAX),
+                naive_andnot(&[&a], &[&b, &c]),
+                "andnot, len = {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn popcount_andnot_all_thread_count_invariant() {
+        let a: Vec<u64> = (0..3000u64).map(|i| i.wrapping_mul(0x517C_C1B7)).collect();
+        let b: Vec<u64> = (0..3000u64).map(|i| i ^ (i >> 3)).collect();
+        let seq = popcount_andnot_all(Parallelism::Sequential, &[&a], &[&b], 64);
+        assert_eq!(seq, naive_andnot(&[&a], &[&b]));
+        for t in [1usize, 2, 4, 7, 16] {
+            assert_eq!(
+                popcount_andnot_all(Parallelism::Threads(t), &[&a], &[&b], 64),
+                seq,
+                "threads = {t}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn popcount_andnot_all_rejects_misaligned_negatives() {
+        let a = vec![1u64, 2];
+        let b = vec![1u64];
+        popcount_andnot_all(Parallelism::Sequential, &[&a], &[&b], 1);
+    }
+
+    #[test]
+    fn knob_once_parses_once_and_warns_once() {
+        use std::sync::atomic::AtomicUsize;
+        // Unparseable value: the warning fires on the first resolution
+        // only; later calls return the memoised miss without re-warning.
+        let cell: OnceLock<Option<usize>> = OnceLock::new();
+        let warns = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let got = knob_once(
+                &cell,
+                || Some("garbage".to_string()),
+                |s| s.parse::<usize>().ok(),
+                |raw| {
+                    assert_eq!(raw, "garbage");
+                    warns.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(got, None);
+        }
+        assert_eq!(warns.load(Ordering::Relaxed), 1, "warn-once contract");
+        // Valid value: parsed once, memoised, never warned about.
+        let cell: OnceLock<Option<usize>> = OnceLock::new();
+        let reads = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let got = knob_once(
+                &cell,
+                || {
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    Some("42".to_string())
+                },
+                |s| s.parse::<usize>().ok(),
+                |_| panic!("valid values must not warn"),
+            );
+            assert_eq!(got, Some(42));
+        }
+        assert_eq!(reads.load(Ordering::Relaxed), 1, "read-once memoisation");
+        // Unset knob: no value, no warning.
+        let cell: OnceLock<Option<usize>> = OnceLock::new();
+        let got = knob_once(
+            &cell,
+            || None,
+            |s| s.parse::<usize>().ok(),
+            |_| panic!("unset values must not warn"),
+        );
+        assert_eq!(got, None);
     }
 
     #[test]

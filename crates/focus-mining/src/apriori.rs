@@ -27,7 +27,7 @@ use crate::hashtree::HashTree;
 use focus_core::data::TransactionSet;
 use focus_core::model::LitsModel;
 use focus_core::region::Itemset;
-use focus_core::source::{global_index_budget, prefers_vertical};
+use focus_core::source::{choose_backend, global_index_budget, BackendChoice};
 use focus_core::vertical::VerticalIndex;
 use focus_exec::{map_chunks, map_indices, merge_counts, Parallelism};
 use std::collections::{HashMap, HashSet};
@@ -52,27 +52,34 @@ pub enum CountBackend {
     /// Eclat-style vertical tid-bitset intersection: wins when many
     /// candidates are counted over many transactions.
     Vertical,
+    /// The vertical index with dEclat diffset rows for dense items
+    /// ([`VerticalIndex::build_adaptive`]): same word fold, complement
+    /// rows AND-NOT into it. Counts are identical to `Vertical`; the
+    /// layout pays off on dense datasets.
+    Diffset,
     /// Cost-model dispatch: each level asks
-    /// [`focus_core::source::prefers_vertical`] whether the projected
+    /// [`focus_core::source::choose_backend`] whether the projected
     /// candidate workload amortises building the vertical index (within the
-    /// process-wide index budget); until it does, levels count with the
-    /// DFS. The decision depends only on data shape and workload — never
-    /// thread count or timing — so the chosen backend sequence, and hence
-    /// the mined model, is identical on every run.
+    /// process-wide index budget) — and, if so, whether the data is dense
+    /// enough for the diffset-adaptive layout; until a build wins, levels
+    /// count with the DFS. The decision depends only on data shape and
+    /// workload — never thread count or timing — so the chosen backend
+    /// sequence, and hence the mined model, is identical on every run.
     Auto,
 }
 
 impl CountBackend {
     /// The valid spellings, for CLI/diagnostic messages.
-    pub const VALID_VALUES: &'static str = "dfs, hashtree, vertical or auto";
+    pub const VALID_VALUES: &'static str = "dfs, hashtree, vertical, diffset or auto";
 
     /// Parses a user-facing backend name (`dfs`, `hashtree`/`hash-tree`,
-    /// `vertical`, `auto`), case-insensitively.
+    /// `vertical`, `diffset`, `auto`), case-insensitively.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "dfs" => Some(Self::Dfs),
             "hashtree" | "hash-tree" | "hash_tree" => Some(Self::HashTree),
             "vertical" => Some(Self::Vertical),
+            "diffset" => Some(Self::Diffset),
             "auto" => Some(Self::Auto),
             _ => None,
         }
@@ -84,6 +91,7 @@ impl CountBackend {
             Self::Dfs => "dfs",
             Self::HashTree => "hashtree",
             Self::Vertical => "vertical",
+            Self::Diffset => "diffset",
             Self::Auto => "auto",
         }
     }
@@ -183,14 +191,17 @@ impl Apriori {
 
         let mut all_frequent: Vec<(Itemset, u64)> = Vec::new();
 
-        // The vertical backend builds its tid-bitset index once, up front;
-        // every level then counts by word-level AND + popcount against it.
-        // Auto defers the build to the cost model inside the level loop.
+        // The vertical backends build their tid-bitset index once, up
+        // front — all-tidset for `Vertical`, diffset-adaptive for
+        // `Diffset` — and every level then counts by word-level
+        // AND/ANDNOT + popcount against it. Auto defers the build (and
+        // the layout choice) to the cost model inside the level loop.
         // The index budget is snapshotted once so a concurrent
         // `set_global_index_budget` cannot split one run's decisions.
         let budget = global_index_budget();
         let mut vindex = match self.params.backend {
             CountBackend::Vertical => Some(VerticalIndex::build(data)),
+            CountBackend::Diffset => Some(VerticalIndex::build_adaptive(data)),
             _ => None,
         };
 
@@ -240,9 +251,8 @@ impl Apriori {
             // workload amortises it; once built it serves every later
             // level (this loop is strictly sequential, so consulting the
             // already-built state stays deterministic).
-            if self.params.backend == CountBackend::Auto
-                && vindex.is_none()
-                && prefers_vertical(
+            if self.params.backend == CountBackend::Auto && vindex.is_none() {
+                match choose_backend(
                     candidates.len(),
                     candidates.len() * k,
                     n,
@@ -250,9 +260,11 @@ impl Apriori {
                     data.total_items(),
                     false,
                     budget,
-                )
-            {
-                vindex = Some(VerticalIndex::build(data));
+                ) {
+                    BackendChoice::Horizontal => {}
+                    BackendChoice::Tidset => vindex = Some(VerticalIndex::build(data)),
+                    BackendChoice::Diffset => vindex = Some(VerticalIndex::build_adaptive(data)),
+                }
             }
             let counts = match &vindex {
                 Some(idx) => {
@@ -631,6 +643,7 @@ mod tests {
                 for backend in [
                     CountBackend::HashTree,
                     CountBackend::Vertical,
+                    CountBackend::Diffset,
                     CountBackend::Auto,
                 ] {
                     let m = Apriori::new(base.backend(backend)).mine(&data);
@@ -660,6 +673,24 @@ mod tests {
     }
 
     #[test]
+    fn diffset_backend_matches_dfs_on_dense_data() {
+        // Dense rows (≈ 3/4 fill) make most items cross the per-row 1/2
+        // density threshold, so the adaptive index really holds diffset
+        // rows — and the mined model must not move.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut data = TransactionSet::new(10);
+        for _ in 0..300 {
+            let t: Vec<u32> = (0..10).filter(|_| rng.gen::<f64>() < 0.75).collect();
+            data.push(t);
+        }
+        let base = AprioriParams::with_minsup(0.3).max_len(6);
+        let dfs = Apriori::new(base).mine(&data);
+        let diffset = Apriori::new(base.backend(CountBackend::Diffset)).mine(&data);
+        assert_eq!(diffset, dfs);
+        assert!(!diffset.is_empty(), "dense data should mine itemsets");
+    }
+
+    #[test]
     fn count_backend_parsing() {
         assert_eq!(CountBackend::parse("dfs"), Some(CountBackend::Dfs));
         assert_eq!(CountBackend::parse("DFS"), Some(CountBackend::Dfs));
@@ -675,12 +706,14 @@ mod tests {
             CountBackend::parse("vertical"),
             Some(CountBackend::Vertical)
         );
+        assert_eq!(CountBackend::parse("diffset"), Some(CountBackend::Diffset));
         assert_eq!(CountBackend::parse("auto"), Some(CountBackend::Auto));
         assert_eq!(CountBackend::parse("eclat?"), None);
         for b in [
             CountBackend::Dfs,
             CountBackend::HashTree,
             CountBackend::Vertical,
+            CountBackend::Diffset,
             CountBackend::Auto,
         ] {
             assert_eq!(CountBackend::parse(b.as_str()), Some(b), "round-trip");

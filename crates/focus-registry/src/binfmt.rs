@@ -474,9 +474,9 @@ pub fn decode_transactions(bytes: &[u8]) -> Result<TransactionSet, BinError> {
 /// `VerticalIndex::build(&decode_transactions(bytes)?)`.
 pub fn decode_transactions_to_index(bytes: &[u8]) -> Result<VerticalIndex, BinError> {
     let (n_items, offsets, items) = decode_transactions_parts(bytes)?;
-    VerticalIndex::from_csr(n_items, &offsets, &items).map_err(|what| BinError::Malformed {
+    VerticalIndex::from_csr(n_items, &offsets, &items).map_err(|e| BinError::Malformed {
         section: "ITEM",
-        what,
+        what: e.to_string(),
     })
 }
 

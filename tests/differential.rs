@@ -1,6 +1,6 @@
 //! Cross-implementation differential testing of support counting.
 //!
-//! The workspace carries four independent ways to count how many
+//! The workspace carries five independent ways to count how many
 //! transactions contain an itemset:
 //!
 //! 1. the **hash tree** of the original Apriori paper
@@ -10,22 +10,27 @@
 //! 3. the **Apriori miner's level counts** — the prefix-guided DFS that
 //!    produced the frequent itemsets and recorded their supports;
 //! 4. the **vertical tid-bitset index** ([`VerticalIndex`], Eclat-style:
-//!    support = popcount of ANDed per-item transaction bitsets).
+//!    support = popcount of ANDed per-item transaction bitsets);
+//! 5. the **diffset-adaptive index** ([`VerticalIndex::build_adaptive`],
+//!    dEclat-style: dense items store complement rows that AND-NOT into
+//!    the fold), counted both per-itemset and through the batched
+//!    prefix-run path ([`count_itemsets_grouped`]).
 //!
 //! Each implementation has a completely different traversal order and
 //! data-structure shape, so a bug in any one of them (hash collision
-//! handling, DFS pruning, bitmap containment, bitset intersection) is
-//! unlikely to be mirrored by the other three. The property below demands
-//! **four-way agreement** — every pair must match, not just one anchor —
-//! on proptest-generated transaction sets, at every itemset length the
-//! miner produced. A second property demands that the Apriori miner
-//! itself produces the identical model under all of its candidate
-//! counting backends (DFS, hash tree, vertical, and the cost-model
-//! `auto`). A third pins the [`CountSource`] dispatch seam: the
-//! auto-dispatching handle, a budget-0 handle (forced horizontal) and a
-//! prebuilt-index handle (forced vertical) must return `u64`-identical
-//! counts no matter which side of the cost model's gate the workload
-//! lands on.
+//! handling, DFS pruning, bitmap containment, bitset intersection,
+//! complement-row bookkeeping) is unlikely to be mirrored by the others.
+//! The property below demands **five-way agreement** — every backend
+//! pinned against the naive scan plus a second independent witness, not
+//! just one anchor — on proptest-generated transaction sets, at every
+//! itemset length the miner produced. A second property demands that the
+//! Apriori miner itself produces the identical model under all of its
+//! candidate counting backends (DFS, hash tree, vertical, diffset, and
+//! the cost-model `auto`). A third pins the [`CountSource`] dispatch
+//! seam: the auto-dispatching handle, a budget-0 handle (forced
+//! horizontal) and prebuilt-index handles over both index flavours
+//! (forced tidset / forced diffset) must return `u64`-identical counts no
+//! matter which side of the cost model's gates the workload lands on.
 
 use focus::core::prelude::*;
 use focus::exec::Parallelism;
@@ -50,14 +55,15 @@ fn naive_counts(data: &TransactionSet, candidates: &[Vec<u32>]) -> Vec<u64> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Three-way agreement: hash tree ≡ naive ≡ Apriori level counts, for
-    /// every level the miner produced, on random transaction data.
+    /// Five-way agreement: hash tree ≡ naive ≡ Apriori level counts ≡
+    /// tidset index ≡ diffset-adaptive index (per-itemset and batched),
+    /// for every level the miner produced, on random transaction data.
     #[test]
-    fn counting_backends_agree_three_ways(seed in 0u64..1_000_000,
-                                          n in 30usize..200,
-                                          n_items in 4u32..12,
-                                          density in 0.15f64..0.5,
-                                          minsup in 0.05f64..0.4) {
+    fn counting_backends_agree_five_ways(seed in 0u64..1_000_000,
+                                         n in 30usize..200,
+                                         n_items in 4u32..12,
+                                         density in 0.15f64..0.8,
+                                         minsup in 0.05f64..0.4) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = TransactionSet::new(n_items);
         for _ in 0..n {
@@ -69,6 +75,7 @@ proptest! {
         prop_assume!(!model.is_empty());
         let n_txn = model.n_transactions() as f64;
         let vindex = VerticalIndex::build(&data);
+        let dindex = VerticalIndex::build_adaptive(&data);
 
         // Group the mined itemsets by length: one hash tree per level,
         // exactly how the original algorithm counts candidates.
@@ -115,7 +122,7 @@ proptest! {
                             "bitmap counter vs naive at level {}", k);
 
             // Pairwise leg 4: the vertical tid-bitset index vs naive —
-            // the Eclat-style backend closes the four-way agreement.
+            // the Eclat-style backend.
             let vertical = count_itemsets_vertical(&vindex, &itemsets);
             prop_assert_eq!(&vertical, &naive,
                             "vertical index vs naive at level {}", k);
@@ -123,6 +130,18 @@ proptest! {
             // second independent witness rather than one anchor.
             prop_assert_eq!(&vertical, &ht,
                             "vertical index vs hash tree at level {}", k);
+
+            // Pairwise leg 5: the diffset-adaptive index — per-itemset
+            // fold and batched prefix-run counting — closes the five-way
+            // agreement, again against two independent witnesses.
+            let diffset = count_itemsets_vertical(&dindex, &itemsets);
+            prop_assert_eq!(&diffset, &naive,
+                            "diffset index vs naive at level {}", k);
+            prop_assert_eq!(&diffset, &ht,
+                            "diffset index vs hash tree at level {}", k);
+            let grouped = count_itemsets_grouped(&dindex, &itemsets);
+            prop_assert_eq!(&grouped, &naive,
+                            "grouped diffset counts vs naive at level {}", k);
         }
     }
 
@@ -145,7 +164,8 @@ proptest! {
 
         let params = AprioriParams::with_minsup(minsup).max_len(5);
         let reference = Apriori::new(params.backend(CountBackend::Dfs)).mine(&data);
-        for backend in [CountBackend::HashTree, CountBackend::Vertical, CountBackend::Auto] {
+        for backend in [CountBackend::HashTree, CountBackend::Vertical,
+                        CountBackend::Diffset, CountBackend::Auto] {
             let model = Apriori::new(params.backend(backend)).mine(&data);
             prop_assert_eq!(&model, &reference, "backend {:?}", backend);
         }
@@ -177,14 +197,18 @@ proptest! {
         // cannot skew the dispatch through the process-wide knob.
         let auto = CountSource::borrowed(&data).with_index_budget(DEFAULT_INDEX_BUDGET);
         let forced_horizontal = CountSource::borrowed(&data).with_index_budget(0);
-        let forced_vertical = CountSource::from_index(VerticalIndex::build(&data));
+        let forced_tidset = CountSource::from_index(VerticalIndex::build(&data));
+        let forced_diffset = CountSource::from_index(VerticalIndex::build_adaptive(&data));
 
         let reference = forced_horizontal.counts(model.itemsets(), Parallelism::Global);
         prop_assert!(!forced_horizontal.index_built(), "budget 0 must never build an index");
         prop_assert_eq!(&auto.counts(model.itemsets(), Parallelism::Global), &reference,
                         "auto vs forced horizontal");
-        prop_assert_eq!(&forced_vertical.counts(model.itemsets(), Parallelism::Global),
+        prop_assert_eq!(&forced_tidset.counts(model.itemsets(), Parallelism::Global),
                         &reference,
-                        "forced vertical vs forced horizontal");
+                        "forced tidset vs forced horizontal");
+        prop_assert_eq!(&forced_diffset.counts(model.itemsets(), Parallelism::Global),
+                        &reference,
+                        "forced diffset vs forced horizontal");
     }
 }

@@ -396,6 +396,53 @@ proptest! {
         }
     }
 
+    /// The dEclat tier: the diffset-adaptive index (complement rows for
+    /// dense items) and the batched prefix-run counter must both return
+    /// counts `u64`-identical to the sequential horizontal scan for every
+    /// thread count — the representation, the run decomposition, and the
+    /// run-level fan-out are all pure functions of the workload, never of
+    /// the schedule. The density range reaches 0.9 so adaptive indexes
+    /// really carry diffset rows, and the workload includes triples
+    /// sharing (k−1)-prefixes so the grouped path really forms multi-
+    /// member runs.
+    #[test]
+    fn diffset_and_grouped_counting_bit_identical(seed in 0u64..1_000_000,
+                                                  n in 50usize..400,
+                                                  n_items in 4u32..14,
+                                                  density in 0.2f64..0.9) {
+        let data = random_transactions(n, n_items, density, seed);
+        let sets: Vec<Itemset> = (0..n_items.saturating_sub(2))
+            .map(|b| Itemset::from_slice(&[b, b + 1, b + 2]))
+            .chain((0..n_items.saturating_sub(2)).map(|b| Itemset::from_slice(&[b, b + 1, n_items - 1])))
+            .chain((0..n_items.saturating_sub(1)).map(|b| Itemset::from_slice(&[b, b + 1])))
+            .chain((0..n_items).map(|b| Itemset::from_slice(&[b])))
+            .chain(std::iter::once(Itemset::from_slice(&[])))
+            .chain(std::iter::once(Itemset::from_slice(&[n_items + 3])))
+            .collect();
+        let horizontal = count_itemsets_par(&data, &sets, Parallelism::Sequential);
+
+        for index in [VerticalIndex::build(&data), VerticalIndex::build_adaptive(&data)] {
+            let seq = count_itemsets_vertical_par(&index, &sets, Parallelism::Sequential);
+            prop_assert_eq!(&seq, &horizontal, "per-itemset fold vs horizontal, sequential");
+            let grouped_seq = count_itemsets_grouped_par(&index, &sets, Parallelism::Sequential);
+            prop_assert_eq!(&grouped_seq, &horizontal, "grouped vs horizontal, sequential");
+            for t in THREADS {
+                prop_assert_eq!(
+                    &count_itemsets_vertical_par(&index, &sets, Parallelism::Threads(t)),
+                    &horizontal,
+                    "per-itemset fold, {} diffset rows, threads = {}",
+                    index.n_diffset_rows(), t
+                );
+                prop_assert_eq!(
+                    &count_itemsets_grouped_par(&index, &sets, Parallelism::Threads(t)),
+                    &horizontal,
+                    "grouped counts, {} diffset rows, threads = {}",
+                    index.n_diffset_rows(), t
+                );
+            }
+        }
+    }
+
     /// A shared [`CountSource`] handle: its cost-model dispatch and its
     /// lazily cached index must be invisible in the results. Every thread
     /// count, through the auto handle, through a prebuilt-index handle,
